@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper via its
+experiment driver, prints the paper-vs-measured rows, and asserts the
+paper's qualitative shape.  ``benchmark.pedantic(..., rounds=1)`` is used
+throughout: the drivers are full experiments, not micro-kernels.
+
+Sample-rate notes: experiments run at the paper's 2.4 Msps where that is
+affordable; the SF12 sweeps use an integral divisor rate (0.5-1 Msps)
+which preserves the chirp duration (and therefore estimation resolution)
+while keeping regeneration quick -- EXPERIMENTS.md records the setting
+used for every number.
+"""

@@ -1,0 +1,19 @@
+"""Bench Sec. 8.2: the 1.07 km campus link -- µs timestamps at range."""
+
+from repro.experiments.campus import run_campus
+
+
+def test_campus_long_distance(benchmark):
+    result = benchmark.pedantic(
+        run_campus, kwargs={"sample_rate_hz": 2.4e6}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    # Geometry: 1.07 km -> one-way propagation 3.57 µs.
+    assert result.distance_m == 1070.0
+    assert abs(result.propagation_delay_us - 3.57) < 0.05
+    # Four trials, all with microsecond-level error upper bounds (the
+    # paper measured 0.23..6.43 µs in heavy rain).
+    assert len(result.trial_errors_us) == 4
+    assert result.max_error_us() < 10.0

@@ -1,0 +1,17 @@
+"""Bench F6: Fig. 6 -- I trace and spectrogram of an ideal up chirp."""
+
+from repro.experiments.waveforms import run_fig6
+
+
+def test_fig06_chirp_waveform(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # SF7 at 125 kHz: 1.024 ms chirp (paper Sec. 6.1.1).
+    assert result.chirp_time_s == 1.024e-3
+    # ~20 PSDs from the 2^S-point Kaiser window with 16-point overlap.
+    assert 19 <= result.n_psd_frames <= 22
+    # The ~50 µs STFT hop is the paper's reason to reject spectrogram
+    # timestamping.
+    assert 40e-6 < result.time_resolution_s < 60e-6

@@ -1,0 +1,16 @@
+"""Bench F7: Fig. 7 -- the I waveform depends on the unknown phase θ."""
+
+import numpy as np
+
+from repro.experiments.waveforms import run_fig7
+
+
+def test_fig07_phase_ambiguity(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # θ=π exactly negates the θ=0 trace: no fixed real template exists.
+    np.testing.assert_allclose(result.i_theta_zero, -result.i_theta_pi, atol=1e-9)
+    assert result.max_abs_difference > 1.9
+    assert result.rms_difference > 1.0

@@ -1,0 +1,16 @@
+"""Bench F8: Fig. 8 -- frequency bias shifts the I-trace dip center."""
+
+from repro.experiments.waveforms import run_fig8
+
+
+def test_fig08_fb_dip_shift(benchmark):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"fb_hz": -22.8e3}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    # A negative δ delays the dip (paper Fig. 8); the magnitude tracks
+    # the analytic prediction −δ·2^S/W² up to stationary-phase ambiguity.
+    assert result.measured_shift_s > 0
+    assert abs(result.measured_shift_s - result.predicted_shift_s) < 0.1e-3

@@ -1,0 +1,18 @@
+"""Bench F9: Fig. 9 -- envelope-ratio and AIC onset picks in action."""
+
+from repro.experiments.fig09_detectors import run_fig9
+
+
+def test_fig09_onset_detectors(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # The two adopted detectors land close to the truth...
+    assert result.errors_us["aic"] < 2.0
+    assert result.errors_us["envelope"] < 10.0
+    # ...and outperform both rejected candidates on the same capture.
+    assert result.errors_us["spectrogram"] > result.errors_us["aic"]
+    assert result.errors_us["matched_filter"] > result.errors_us["aic"]
+    # The ratio curve peaks hard at the onset (Fig. 9a's visual).
+    assert max(result.ratio_curve) > 2.0

@@ -1,0 +1,14 @@
+"""Bench F11: Fig. 11 -- I(t) for δ = ±25 kHz."""
+
+from repro.experiments.waveforms import run_fig11
+
+
+def test_fig11_fb_waveforms(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # Opposite biases shift the dip (axis of symmetry) in opposite
+    # directions -- the Fig. 11 visual the estimators exploit.
+    assert result.negative.measured_shift_s > 0.1e-3
+    assert result.positive.measured_shift_s < -0.1e-3

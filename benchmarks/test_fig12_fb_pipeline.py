@@ -1,0 +1,20 @@
+"""Bench F12: Fig. 12 -- phase-regression FB extraction, stage by stage."""
+
+import numpy as np
+
+from repro.experiments.fig12_fb_pipeline import run_fig12
+
+
+def test_fig12_fb_pipeline(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # The paper's worked example: δ ~ -22.8 kHz, ~26 ppm of 869.75 MHz.
+    assert np.isfinite(result.estimated_fb_hz)
+    assert abs(result.estimated_fb_hz - (-22.8e3)) < 100.0
+    assert abs(abs(result.estimated_ppm) - 26.2) < 0.5
+    # Panel (d): the de-swept phase is a straight line.
+    assert result.residual_linearity_rmse < 0.5
+    # Panel (c) is monotone decreasing for a negative-bias up chirp start.
+    assert result.rectified_phase[-1] < result.rectified_phase[0]

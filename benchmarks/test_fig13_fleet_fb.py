@@ -1,0 +1,30 @@
+"""Bench F13: Fig. 13 -- 16 nodes' FBs, original vs single-USRP replay."""
+
+from repro.experiments.fig13_fleet_fb import run_fig13
+
+
+def test_fig13_fleet_fb(benchmark):
+    result = benchmark.pedantic(
+        run_fig13,
+        kwargs={"n_nodes": 16, "frames_per_node": 20},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    assert len(result.original) == 16
+    # Original FBs sit in the paper's measured band: -25..-17 kHz.
+    for summary in result.original:
+        assert -25.5e3 <= summary.mean_hz <= -16.5e3
+    # Per-node estimates are stable across 20 frames (tight error bars).
+    for summary in result.original:
+        assert summary.max_hz - summary.min_hz < 500.0
+    # Replayed FBs are consistently LOWER (the USRP's negative offset)...
+    for original, replayed in zip(result.original, result.replayed):
+        assert replayed.mean_hz < original.mean_hz
+    # ...by an amount in the paper's -543..-743 Hz range, well above the
+    # 120 Hz estimation resolution.
+    for added in result.mean_additional_fb_hz:
+        assert -800.0 <= added <= -500.0
+        assert abs(added) > 120.0

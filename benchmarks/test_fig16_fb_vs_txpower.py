@@ -1,0 +1,24 @@
+"""Bench F16: Fig. 16 -- estimated FB vs end-device transmission power."""
+
+from repro.experiments.fig16_txpower import run_fig16
+
+
+def test_fig16_fb_vs_txpower(benchmark):
+    result = benchmark.pedantic(
+        run_fig16, kwargs={"frames_per_point": 6}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    assert len(result.tx_powers_dbm) == 7  # the paper's 3.6..10.4 dBm sweep
+    # TX power has little impact on any observer's FB estimate.
+    assert result.power_sensitivity_hz("gateway_direct") < 200.0
+    assert result.power_sensitivity_hz("eavesdropper") < 200.0
+    assert result.power_sensitivity_hz("gateway_replayed") < 200.0
+    # Eavesdropper and gateway read different FBs (different δRx).
+    gap = result.eavesdropper[0].median - result.gateway_direct[0].median
+    assert abs(gap) > 200.0
+    # The dual-USRP replay sits ~2 kHz from the direct row (Sec. 8.1.4).
+    separation = result.replay_separation_hz()
+    assert -2600.0 < separation < -1400.0
+    assert abs(separation) > 10 * 120.0  # far beyond estimation resolution

@@ -1,0 +1,22 @@
+"""Bench Sec. 3.2: sync-based vs sync-free overhead arithmetic."""
+
+import pytest
+
+from repro.experiments.overhead import run_overhead
+
+
+def test_sec32_overhead_analysis(benchmark):
+    result = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # Every number of the paper's cost example.
+    assert result.sync_sessions_per_hour == pytest.approx(14.4)
+    assert result.sf12_airtime_s == pytest.approx(1.483, abs=0.01)
+    assert result.frames_per_hour == 24
+    assert result.timestamp_overhead == pytest.approx(8 / 30)
+    assert result.buffer_time_s == pytest.approx(250.0)
+    assert result.elapsed_bits == 18
+    # The simulated baseline behaves exactly as the arithmetic promises.
+    assert result.simulated_max_sync_error_s <= 10e-3 + 1e-9
+    assert 13 <= result.simulated_sync_count <= 16

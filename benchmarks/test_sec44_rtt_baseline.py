@@ -1,0 +1,20 @@
+"""Bench Sec. 4.4: round-trip-timing baseline -- works, but at what cost."""
+
+from repro.experiments.rtt_baseline import run_rtt_baseline
+
+
+def test_sec44_rtt_baseline(benchmark):
+    result = benchmark.pedantic(run_rtt_baseline, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # The strawman does detect both attack variants...
+    assert result.detects_delay
+    assert result.detects_loss
+    # ...but pays a continuous airtime tax on every single datum,
+    assert result.airtime_overhead_ratio > 0.4
+    # saturates the gateway's single downlink chain for large fleets,
+    assert result.ack_service_fraction[10] == 1.0
+    assert result.ack_service_fraction[200] < 0.9
+    # while SoftLoRa's FB monitoring costs nothing on the air.
+    assert result.softlora_airtime_overhead == 0.0

@@ -1,0 +1,21 @@
+"""Bench T2: Table 2 -- onset error upper bounds, ENV vs AIC, 10 runs."""
+
+from repro.experiments.table2_onset import run_table2
+
+
+def test_table2_onset_accuracy(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"n_runs": 10}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+
+    # Paper Table 2: AIC errors below 2 µs; envelope errors ~2-10 µs.
+    assert result.max_aic_error_us() < 2.0
+    assert result.max_env_error_us() < 10.0
+    # AIC is the more accurate detector on every run/component.
+    for aic, env in zip(
+        result.aic_i_errors_us + result.aic_q_errors_us,
+        result.env_i_errors_us + result.env_q_errors_us,
+    ):
+        assert aic < env

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""The Sec. 8.2 campus deployment: microsecond timestamps at 1.07 km.
+
+An end device on a rooftop, the SoftLoRa gateway in an open staircase
+1.07 km away (the paper's two NTU sites, surveyed in heavy rain).  The
+one-way propagation time is 3.57 µs -- already negligible against the
+millisecond targets, and the AIC timestamps resolve the onset to a few
+microseconds anyway, guaranteeing correctly-sliced chirps for FB
+estimation at range.
+
+Run:  python examples/campus_link.py
+"""
+
+from repro.experiments.campus import PAPER_CAMPUS_ERRORS_US, run_campus
+
+
+def main() -> None:
+    result = run_campus(sample_rate_hz=2.4e6)
+    print(result.format())
+    print()
+    print(f"paper's four trials : {', '.join(f'{e:.2f}' for e in PAPER_CAMPUS_ERRORS_US)} µs")
+    print(f"our four trials     : {', '.join(f'{e:.2f}' for e in result.trial_errors_us)} µs")
+    print(f"\npropagation ({result.propagation_delay_us:.2f} µs one-way) and timestamping "
+          f"(<= {result.max_error_us():.2f} µs) both sit 3+ orders of magnitude below the "
+          "millisecond accuracy the monitoring applications need.")
+
+
+if __name__ == "__main__":
+    main()

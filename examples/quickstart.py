@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: one device, one SoftLoRa gateway, one timestamped uplink.
+
+Walks the full pipeline of the paper on a synthetic capture:
+
+1. an end device (drifting clock, biased radio crystal) buffers two
+   sensor readings and transmits them with compact elapsed-time fields;
+2. the SDR front end captures the frame at complex baseband with noise;
+3. SoftLoRa timestamps the PHY onset (AIC), estimates the transmitter's
+   frequency bias (least squares), demodulates and MIC-checks the frame,
+   verifies the FB against the device's profile, and reconstructs global
+   timestamps for both readings.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChirpConfig,
+    CommodityGateway,
+    DriftingClock,
+    EndDevice,
+    IQTrace,
+    Oscillator,
+    SessionKeys,
+    SoftLoRaGateway,
+)
+from repro.sdr.noise import complex_awgn, noise_power_for_snr
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    config = ChirpConfig(spreading_factor=7, sample_rate_hz=1e6)
+
+    # --- the end device -----------------------------------------------------
+    dev_addr = 0x26011001
+    keys = SessionKeys.derive_for_test(dev_addr)
+    device = EndDevice(
+        name="water-meter-7",
+        dev_addr=dev_addr,
+        keys=keys,
+        radio_oscillator=Oscillator.lora_end_device(rng),
+        clock=DriftingClock(drift_ppm=40.0),  # never synchronized
+        spreading_factor=7,
+        rng=rng,
+    )
+    print(f"device radio frequency bias: {device.fb_hz / 1e3:+.2f} kHz "
+          f"({device.fb_hz / 869.75e6 * 1e6:+.1f} ppm of the carrier)")
+
+    # --- the SoftLoRa gateway -------------------------------------------------
+    commodity = CommodityGateway()
+    commodity.register_device(dev_addr, keys)
+    gateway = SoftLoRaGateway(config=config, commodity=commodity)
+    # Offline FB profile (could equally be learned from clean traffic).
+    gateway.bootstrap_fb_profile(dev_addr, [device.fb_hz + e for e in (-25.0, 0.0, 25.0)])
+
+    # --- sensing and transmission ----------------------------------------------
+    t_reading_1, t_reading_2 = 1000.0, 1030.0
+    device.take_reading(215.0, t_reading_1)  # e.g. 21.5 C in deci-degrees
+    device.take_reading(218.0, t_reading_2)
+    uplink = device.transmit(1060.0)
+    print(f"uplink: {len(uplink.mac_bytes)} MAC bytes, "
+          f"airtime {uplink.airtime_s * 1e3:.1f} ms, "
+          f"emitted at t={uplink.emission_time_s:.6f} s")
+
+    # --- SDR capture ---------------------------------------------------------
+    waveform = device.modulate(uplink, config)
+    snr_db = 12.0
+    noise_power = noise_power_for_snr(1.0, snr_db)
+    pad = 1500
+    samples = np.concatenate(
+        [np.zeros(pad, dtype=complex), waveform, np.zeros(1024, dtype=complex)]
+    )
+    samples = samples + complex_awgn(len(samples), noise_power, rng)
+    trace = IQTrace(
+        samples,
+        config.sample_rate_hz,
+        start_time_s=uplink.emission_time_s - pad / config.sample_rate_hz,
+    )
+    print(f"capture: {len(trace)} samples at {snr_db:.0f} dB SNR")
+
+    # --- the SoftLoRa pipeline ---------------------------------------------------
+    reception = gateway.process_capture(trace, noise_power=noise_power)
+    print(f"\nreception status : {reception.status.value}")
+    print(f"PHY timestamp    : {reception.phy_timestamp_s:.9f} s "
+          f"(error {(reception.phy_timestamp_s - uplink.emission_time_s) * 1e6:+.2f} µs)")
+    print(f"estimated FB     : {reception.fb_hz / 1e3:+.3f} kHz "
+          f"(true {device.fb_hz / 1e3:+.3f} kHz)")
+    print(f"replay check     : {reception.replay_check.reason}")
+    print("\nreconstructed timestamps (sync-free):")
+    for reading, truth in zip(reception.readings, (t_reading_1, t_reading_2)):
+        print(f"  value {reading.value:6.1f}  at t={reading.global_time_s:10.3f} s "
+              f"(true {truth:10.3f} s, error {(reading.global_time_s - truth) * 1e3:+.2f} ms)")
+    print("\nno clock synchronization ran on the device; the gateway alone "
+          "anchored every reading to global time.")
+
+
+if __name__ == "__main__":
+    main()

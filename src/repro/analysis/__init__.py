@@ -1,0 +1,20 @@
+"""Metrics and report formatting shared by tests, benches, and examples."""
+
+from repro.analysis.metrics import (
+    DetectionStats,
+    detection_stats,
+    fb_error_hz,
+    timing_error_s,
+    timing_error_upper_bound_s,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "DetectionStats",
+    "detection_stats",
+    "fb_error_hz",
+    "format_series",
+    "format_table",
+    "timing_error_s",
+    "timing_error_upper_bound_s",
+]

@@ -1,0 +1,100 @@
+"""Evaluation metrics used across the reproduction.
+
+The central one is the paper's **timing error upper bound** (Sec. 6.2):
+signal timestamping resolution is limited by the ADC sampling grid; when
+the true onset falls between two consecutive samples its exact position is
+unknown, so the paper reports the worst-case error consistent with the
+grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def timing_error_s(detected_time_s: float, true_time_s: float) -> float:
+    """Plain absolute timing error."""
+    return abs(detected_time_s - true_time_s)
+
+
+def timing_error_upper_bound_s(
+    detected_time_s: float, true_time_s: float, sample_period_s: float
+) -> float:
+    """The paper's upper-bound metric for sampled onset detection.
+
+    The detector reports a sample instant; the true onset is only known to
+    lie inside one sampling interval.  The upper bound is the largest
+    distance from the detected instant to any point of the interval
+    ``[floor(t_true), floor(t_true) + Ts]``.
+    """
+    if sample_period_s <= 0:
+        raise ConfigurationError(f"sample period must be positive, got {sample_period_s}")
+    interval_start = math.floor(true_time_s / sample_period_s) * sample_period_s
+    interval_end = interval_start + sample_period_s
+    return max(abs(detected_time_s - interval_start), abs(detected_time_s - interval_end))
+
+
+def fb_error_hz(estimated_fb_hz: float, true_fb_hz: float) -> float:
+    """Absolute frequency-bias estimation error."""
+    return abs(estimated_fb_hz - true_fb_hz)
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Binary detection quality over a labelled evaluation set."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+        )
+
+    @property
+    def detection_rate(self) -> float:
+        """True positive rate (recall)."""
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else float("nan")
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False positive rate."""
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else float("nan")
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else float("nan")
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / self.total if self.total else float("nan")
+
+
+def detection_stats(labels: list[bool], predictions: list[bool]) -> DetectionStats:
+    """Tally detection statistics; ``labels[i]`` is True for real attacks."""
+    if len(labels) != len(predictions):
+        raise ConfigurationError(
+            f"{len(labels)} labels do not match {len(predictions)} predictions"
+        )
+    tp = fp = tn = fn = 0
+    for label, prediction in zip(labels, predictions):
+        if label and prediction:
+            tp += 1
+        elif label and not prediction:
+            fn += 1
+        elif not label and prediction:
+            fp += 1
+        else:
+            tn += 1
+    return DetectionStats(
+        true_positives=tp, false_positives=fp, true_negatives=tn, false_negatives=fn
+    )

@@ -1,0 +1,56 @@
+"""Plain-text table and series formatting for benches and EXPERIMENTS.md.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    rendered = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[Any, Any]],
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as a two-column table (one per figure axis)."""
+    return format_table([x_label, y_label], [list(p) for p in points], title=title)

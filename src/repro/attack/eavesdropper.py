@@ -1,0 +1,67 @@
+"""The eavesdropper: records the uplink waveform near the end device.
+
+Positioned close to the device, the eavesdropper's SDR sees a strong copy
+of the legitimate frame and only a heavily attenuated copy of the jamming
+signal (the replayer is far away, near the gateway), so no delicate power
+control is needed -- the paper demonstrates this across multiple building
+floors (Sec. 8.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radio.geometry import Position
+from repro.sdr.iq import IQTrace
+from repro.sdr.noise import complex_awgn
+from repro.sdr.receiver import SdrReceiver
+
+
+@dataclass
+class Eavesdropper:
+    """Waveform recorder near the end device.
+
+    ``receiver.fb_hz`` models the eavesdropper SDR's own oscillator bias;
+    it rotates the recorded baseband, becoming part of the replay chain's
+    net frequency offset.
+    """
+
+    receiver: SdrReceiver
+    position: Position = Position(0.0, 0.0, 0.0)
+    recordings: list[IQTrace] = field(default_factory=list)
+
+    def record(
+        self,
+        waveform: np.ndarray,
+        start_time_s: float,
+        rng: np.random.Generator,
+        jamming_power: float = 0.0,
+        metadata: dict | None = None,
+    ) -> IQTrace:
+        """Capture one uplink, optionally with residual jamming energy.
+
+        ``jamming_power`` is the mean power of the attenuated jamming
+        signal reaching the eavesdropper; it is injected as wideband
+        interference (the jamming chirps are uncorrelated with the
+        legitimate ones after propagation, so their effect at the
+        recorder is noise-like).
+        """
+        if jamming_power < 0:
+            raise ConfigurationError(f"jamming power must be >= 0, got {jamming_power}")
+        contaminated = np.asarray(waveform, dtype=complex)
+        if jamming_power > 0:
+            contaminated = contaminated + complex_awgn(len(contaminated), jamming_power, rng)
+        trace = self.receiver.capture(
+            contaminated, start_time_s=start_time_s, rng=rng, metadata=metadata or {}
+        )
+        self.recordings.append(trace)
+        return trace
+
+    @property
+    def last_recording(self) -> IQTrace:
+        if not self.recordings:
+            raise ConfigurationError("the eavesdropper has not recorded anything yet")
+        return self.recordings[-1]

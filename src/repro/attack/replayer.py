@@ -1,0 +1,90 @@
+"""The replayer: re-transmits a recorded waveform after a chosen delay.
+
+The replay chain (eavesdropper downconversion + replayer upconversion,
+through independently-synthesized local oscillators) adds a **net
+frequency offset** to the replayed signal.  The paper measures it at
+-543 to -743 Hz for a single USRP N210 (Fig. 13) and about -2 kHz when
+two different USRPs are chained (Sec. 8.1.4).  We model it as the
+device parameter ``chain_fb_offset_hz``, calibrated to those ranges --
+this offset is precisely the forensic signal SoftLoRa detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SINGLE_USRP_REPLAY_FB_RANGE_HZ
+from repro.errors import ConfigurationError
+from repro.radio.geometry import Position
+from repro.sdr.iq import IQTrace
+
+
+@dataclass
+class Replayer:
+    """A USRP-class transmitter replaying recorded I/Q data.
+
+    Parameters
+    ----------
+    chain_fb_offset_hz:
+        Net frequency offset the record-replay chain adds to the original
+        transmitter's bias.
+    gain_db:
+        Replay amplitude gain relative to the recorded amplitude; the
+        attacker keeps this low enough (paper: <= 7 dBm TX power) that
+        only the nearby victim gateway hears the replay.
+    """
+
+    chain_fb_offset_hz: float = sum(SINGLE_USRP_REPLAY_FB_RANGE_HZ) / 2.0
+    gain_db: float = 0.0
+    position: Position = Position(0.0, 0.0, 0.0)
+
+    def replay_waveform(self, trace: IQTrace, start_time_s: float) -> np.ndarray:
+        """The replayed complex baseband waveform as emitted.
+
+        Applies the chain's net frequency rotation and gain.  The caller
+        schedules it on the air at ``start_time_s = t0 + τ``.
+        """
+        samples = np.asarray(trace.samples, dtype=complex)
+        gain = 10.0 ** (self.gain_db / 20.0)
+        if self.chain_fb_offset_hz:
+            t = start_time_s + np.arange(len(samples)) / trace.sample_rate_hz
+            samples = samples * np.exp(2j * np.pi * self.chain_fb_offset_hz * t)
+        return gain * samples
+
+    def replay(self, trace: IQTrace, delay_s: float) -> IQTrace:
+        """Replay a recording ``delay_s`` after its original capture time."""
+        if delay_s <= 0:
+            raise ConfigurationError(f"replay delay must be positive, got {delay_s}")
+        start = trace.start_time_s + delay_s
+        return IQTrace(
+            samples=self.replay_waveform(trace, start),
+            sample_rate_hz=trace.sample_rate_hz,
+            start_time_s=start,
+            metadata={**trace.metadata, "replayed": True, "replay_delay_s": delay_s},
+        )
+
+    @classmethod
+    def single_usrp(cls, rng: np.random.Generator, gain_db: float = 0.0) -> "Replayer":
+        """A replayer calibrated to the paper's single-USRP chain."""
+        lo, hi = SINGLE_USRP_REPLAY_FB_RANGE_HZ
+        return cls(chain_fb_offset_hz=float(rng.uniform(lo, hi)), gain_db=gain_db)
+
+    @classmethod
+    def dual_usrp(
+        cls,
+        rng: np.random.Generator,
+        gain_db: float = 0.0,
+        per_device_range_hz: tuple[float, float] = (-1200.0, -800.0),
+    ) -> "Replayer":
+        """Eavesdropper + replayer on two distinct USRPs (offsets add).
+
+        The paper's Sec. 8.1.4 measures the two-USRP chain at about
+        −2 kHz net (2.3 ppm); individual units vary, so each contributes
+        a draw from ``per_device_range_hz`` (the default centers the sum
+        on the measured −2 kHz).
+        """
+        lo, hi = per_device_range_hz
+        offset = float(rng.uniform(lo, hi)) + float(rng.uniform(lo, hi))
+        return cls(chain_fb_offset_hz=offset, gain_db=gain_db)

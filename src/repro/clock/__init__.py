@@ -1,0 +1,33 @@
+"""Clock substrate: oscillators, drifting clocks, and the sync-based baseline.
+
+The paper's Sec. 3.2 cost analysis — and the accuracy of sync-free
+timestamp reconstruction — both hinge on how crystal clocks drift.  This
+package provides the oscillator/clock models and the synchronization-based
+timestamping baseline that the paper argues against.
+"""
+
+from repro.clock.clocks import DriftingClock, GpsClock, PerfectClock
+from repro.clock.oscillator import Oscillator
+from repro.clock.sync import (
+    SyncBasedTimestamping,
+    duty_cycle_frame_budget,
+    elapsed_time_bits_needed,
+    max_buffer_time_s,
+    required_sync_interval_s,
+    sync_sessions_per_hour,
+    timestamp_payload_overhead,
+)
+
+__all__ = [
+    "DriftingClock",
+    "GpsClock",
+    "Oscillator",
+    "PerfectClock",
+    "SyncBasedTimestamping",
+    "duty_cycle_frame_budget",
+    "elapsed_time_bits_needed",
+    "max_buffer_time_s",
+    "required_sync_interval_s",
+    "sync_sessions_per_hour",
+    "timestamp_payload_overhead",
+]

@@ -1,0 +1,107 @@
+"""Clock models mapping global (true) time to local readings and back.
+
+The sync-free scheme of the paper leans on exactly two clock qualities:
+
+* the gateway has a **GPS-disciplined** clock, accurate to well under the
+  millisecond targets,
+* end devices have **unsynchronized drifting** clocks that are only ever
+  used to measure short *elapsed* intervals, so their absolute error is
+  irrelevant and only drift over the buffering window matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PerfectClock:
+    """A clock identical to global time (useful as a test control)."""
+
+    def read(self, global_time_s: float) -> float:
+        return global_time_s
+
+    def global_from_local(self, local_time_s: float) -> float:
+        return local_time_s
+
+    def elapsed(self, global_start_s: float, global_end_s: float) -> float:
+        """Elapsed local time between two global instants."""
+        return self.read(global_end_s) - self.read(global_start_s)
+
+
+@dataclass
+class GpsClock:
+    """A GPS-disciplined clock with small zero-mean jitter per reading."""
+
+    jitter_s: float = 50e-9
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.jitter_s < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter_s}")
+        if self.jitter_s > 0 and self.rng is None:
+            raise ConfigurationError("a random generator is required for non-zero jitter")
+
+    def read(self, global_time_s: float) -> float:
+        if self.jitter_s == 0:
+            return global_time_s
+        return global_time_s + self.rng.normal(0.0, self.jitter_s)
+
+    def global_from_local(self, local_time_s: float) -> float:
+        return local_time_s
+
+    def elapsed(self, global_start_s: float, global_end_s: float) -> float:
+        return self.read(global_end_s) - self.read(global_start_s)
+
+
+@dataclass
+class DriftingClock:
+    """A free-running clock advancing at ``1 + drift_ppm·1e-6`` of real time.
+
+    The clock is anchored at ``(anchor_global_s, anchor_local_s)``;
+    :meth:`synchronize` re-anchors it, modelling a sync session with a
+    given residual error.
+    """
+
+    drift_ppm: float
+    anchor_global_s: float = 0.0
+    anchor_local_s: float = 0.0
+    _history: list[tuple[float, float]] = field(default_factory=list, repr=False)
+
+    @property
+    def rate(self) -> float:
+        """Local seconds elapsed per global second."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def read(self, global_time_s: float) -> float:
+        """Local reading at a global instant."""
+        return self.anchor_local_s + (global_time_s - self.anchor_global_s) * self.rate
+
+    def global_from_local(self, local_time_s: float) -> float:
+        """Invert :meth:`read` (exact for this linear model)."""
+        return self.anchor_global_s + (local_time_s - self.anchor_local_s) / self.rate
+
+    def elapsed(self, global_start_s: float, global_end_s: float) -> float:
+        """Elapsed local time between two global instants."""
+        return self.read(global_end_s) - self.read(global_start_s)
+
+    def error_at(self, global_time_s: float) -> float:
+        """Absolute clock error (local − global) at a global instant."""
+        return self.read(global_time_s) - global_time_s
+
+    def synchronize(self, global_time_s: float, residual_error_s: float = 0.0) -> None:
+        """Re-anchor the local clock to global time, up to a residual error.
+
+        Models one synchronization session of the sync-based baseline.
+        """
+        self._history.append((self.anchor_global_s, self.anchor_local_s))
+        self.anchor_global_s = global_time_s
+        self.anchor_local_s = global_time_s + residual_error_s
+
+    @property
+    def sync_count(self) -> int:
+        """Number of synchronization sessions performed so far."""
+        return len(self._history)

@@ -1,0 +1,99 @@
+"""Crystal oscillator model: static bias, temperature curve, aging.
+
+Two distinct phenomena in the paper both originate here:
+
+* **clock drift** (Sec. 3.2): the 30-50 ppm rate at which an unsynchronized
+  MCU clock diverges from global time,
+* **carrier frequency bias** (Sec. 7): the same class of manufacturing
+  imperfection, at the radio's reference crystal, shifts the emitted chirp
+  by tens of ppm of the 869.75 MHz carrier -- the fingerprint SoftLoRa
+  tracks.
+
+An AT-cut crystal's frequency-vs-temperature curve is roughly parabolic
+around a turnover temperature; we include that so the "run-time conditions
+like temperature" drift the paper's detector must tolerate (Sec. 7.2) can
+be simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import EU868_CENTER_FREQUENCY_HZ
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Oscillator:
+    """A crystal oscillator characterized in parts-per-million.
+
+    Parameters
+    ----------
+    bias_ppm:
+        Static manufacturing bias at the turnover temperature.
+    temp_coeff_ppm_per_c2:
+        Parabolic temperature coefficient; ~-0.034 ppm/°C² for AT-cut.
+    turnover_temp_c:
+        Temperature of zero temperature-induced deviation.
+    aging_ppm_per_year:
+        Linear aging rate.
+    """
+
+    bias_ppm: float
+    temp_coeff_ppm_per_c2: float = -0.034
+    turnover_temp_c: float = 25.0
+    aging_ppm_per_year: float = 0.0
+
+    def bias_at(self, temperature_c: float = 25.0, age_years: float = 0.0) -> float:
+        """Total bias in ppm under the given operating conditions."""
+        temp_term = self.temp_coeff_ppm_per_c2 * (temperature_c - self.turnover_temp_c) ** 2
+        return self.bias_ppm + temp_term + self.aging_ppm_per_year * age_years
+
+    def frequency_offset_hz(
+        self,
+        carrier_hz: float = EU868_CENTER_FREQUENCY_HZ,
+        temperature_c: float = 25.0,
+        age_years: float = 0.0,
+    ) -> float:
+        """Carrier frequency offset this oscillator induces, in Hz."""
+        return self.bias_at(temperature_c, age_years) * 1e-6 * carrier_hz
+
+    @classmethod
+    def typical_mcu_crystal(cls, rng: np.random.Generator) -> "Oscillator":
+        """A 30-50 ppm MCU crystal (paper Sec. 3.2 cites this range)."""
+        magnitude = rng.uniform(30.0, 50.0)
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return cls(bias_ppm=sign * magnitude)
+
+    @classmethod
+    def lora_end_device(
+        cls,
+        rng: np.random.Generator,
+        fb_range_hz: tuple[float, float] = (-25e3, -17e3),
+        carrier_hz: float = EU868_CENTER_FREQUENCY_HZ,
+    ) -> "Oscillator":
+        """An RN2483-class radio crystal.
+
+        Default range reproduces the paper's Fig. 13 measurement: net FBs
+        of the 16 test nodes (relative to the SoftLoRa SDR) fall between
+        -25 kHz and -17 kHz at 869.75 MHz, i.e. |20..29| ppm.
+        """
+        lo, hi = fb_range_hz
+        if lo >= hi:
+            raise ConfigurationError(f"fb range must satisfy lo < hi, got ({lo}, {hi})")
+        fb = rng.uniform(lo, hi)
+        return cls(bias_ppm=fb / carrier_hz * 1e6)
+
+    @classmethod
+    def usrp_tcxo(
+        cls,
+        rng: np.random.Generator,
+        fb_range_hz: tuple[float, float] = (-743.0, -543.0),
+        carrier_hz: float = EU868_CENTER_FREQUENCY_HZ,
+    ) -> "Oscillator":
+        """A USRP-class TCXO; default matches the replay offsets of Fig. 13."""
+        lo, hi = fb_range_hz
+        fb = rng.uniform(lo, hi)
+        return cls(bias_ppm=fb / carrier_hz * 1e6, temp_coeff_ppm_per_c2=-0.002)

@@ -1,0 +1,119 @@
+"""Physical and protocol constants used throughout the reproduction.
+
+The numbers here come from three sources, all cited in the paper:
+
+* the LoRaWAN 1.0.2 regional parameters for the EU 868 MHz band,
+* the Semtech SX1276 datasheet (demodulation SNR floors, sensitivity),
+* the RTL-SDR receiver used by the SoftLoRa prototype (sample rate).
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+# ---------------------------------------------------------------------------
+# LoRa channel used in all of the paper's numerical examples and experiments.
+# ---------------------------------------------------------------------------
+
+#: Central frequency of the LoRaWAN channel used throughout the paper (Hz).
+EU868_CENTER_FREQUENCY_HZ = 869.75e6
+
+#: LoRa channel bandwidth used throughout the paper (Hz).
+LORA_BANDWIDTH_HZ = 125e3
+
+#: Spreading factors supported by LoRa.  ``S`` is an integer in [6, 12].
+MIN_SPREADING_FACTOR = 6
+MAX_SPREADING_FACTOR = 12
+
+#: Default uplink preamble length (number of programmed preamble chirps).
+DEFAULT_PREAMBLE_CHIRPS = 8
+
+#: Number of additional sync symbols appended to the programmed preamble by
+#: the LoRa modem (2 sync-word symbols + 2.25 downchirp SFD symbols).
+SYNC_SYMBOLS = 4.25
+
+# ---------------------------------------------------------------------------
+# RTL-SDR receiver (SoftLoRa's SDR front end).
+# ---------------------------------------------------------------------------
+
+#: Stable continuous sample rate of the RTL2832U dongle (samples/second).
+RTL_SDR_SAMPLE_RATE_HZ = 2.4e6
+
+#: Sampling resolution quoted in the paper: 1 / 2.4 Msps.
+RTL_SDR_SAMPLE_PERIOD_S = 1.0 / RTL_SDR_SAMPLE_RATE_HZ
+
+#: Tuning range of the RTL2832U (Hz) -- covers all LoRaWAN bands.
+RTL_SDR_TUNING_RANGE_HZ = (24e6, 1766e6)
+
+#: RTL-SDR ADC resolution (bits per I/Q component).
+RTL_SDR_ADC_BITS = 8
+
+# ---------------------------------------------------------------------------
+# SX1276 demodulation limits (datasheet, quoted in paper Sec. 7.1.2).
+# ---------------------------------------------------------------------------
+
+#: Minimum SNR (dB) for reliable demodulation, per spreading factor.
+SX1276_DEMOD_SNR_FLOOR_DB = {
+    6: -5.0,
+    7: -7.5,
+    8: -10.0,
+    9: -12.5,
+    10: -15.0,
+    11: -17.5,
+    12: -20.0,
+}
+
+#: Receiver noise figure assumed for the SX1276 front end (dB).
+SX1276_NOISE_FIGURE_DB = 6.0
+
+#: Thermal noise density (dBm/Hz) at T = 290 K.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+# ---------------------------------------------------------------------------
+# Regulatory / MAC constants.
+# ---------------------------------------------------------------------------
+
+#: ETSI duty-cycle limit for the EU 868 MHz sub-bands used by LoRaWAN.
+EU868_DUTY_CYCLE_LIMIT = 0.01
+
+#: Typical crystal-oscillator drift range for microcontrollers (ppm); the
+#: paper adopts 40 ppm for its Sec. 3.2 overhead analysis.
+TYPICAL_CRYSTAL_DRIFT_PPM = (30.0, 50.0)
+PAPER_ANALYSIS_DRIFT_PPM = 40.0
+
+#: Elapsed-time field used by sync-free timestamping (Sec. 3.2): 18 bits at
+#: 1 ms resolution covers a buffer window of about 4.37 minutes.
+ELAPSED_TIME_BITS = 18
+ELAPSED_TIME_RESOLUTION_S = 1e-3
+
+# ---------------------------------------------------------------------------
+# Attack-related constants measured by the paper.
+# ---------------------------------------------------------------------------
+
+#: The gateway's LoRa chip locks onto a preamble at this chirp index; jamming
+#: that starts before chirp 5 re-locks the (stronger) jamming preamble.
+PREAMBLE_LOCK_CHIRP = 5
+
+#: Net additional frequency bias introduced by a single-USRP replay chain
+#: (Hz); the paper measures -543 to -743 Hz (Fig. 13).
+SINGLE_USRP_REPLAY_FB_RANGE_HZ = (-743.0, -543.0)
+
+#: Net additional FB with two distinct USRPs (eavesdropper + replayer)
+#: whose biases superimpose (Sec. 8.1.4): about -2 kHz.
+DUAL_USRP_REPLAY_FB_HZ = -2000.0
+
+#: FB estimation resolution the paper achieves at SNR down to -25 dB (Hz).
+FB_ESTIMATION_RESOLUTION_HZ = 120.0
+
+#: The same resolution expressed in ppm of the 869.75 MHz carrier.
+FB_ESTIMATION_RESOLUTION_PPM = FB_ESTIMATION_RESOLUTION_HZ / EU868_CENTER_FREQUENCY_HZ * 1e6
+
+
+def ppm_to_hz(ppm: float, carrier_hz: float = EU868_CENTER_FREQUENCY_HZ) -> float:
+    """Convert a parts-per-million bias at ``carrier_hz`` into Hz."""
+    return ppm * 1e-6 * carrier_hz
+
+
+def hz_to_ppm(hz: float, carrier_hz: float = EU868_CENTER_FREQUENCY_HZ) -> float:
+    """Convert a frequency offset in Hz into ppm of ``carrier_hz``."""
+    return hz / carrier_hz * 1e6

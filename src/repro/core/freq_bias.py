@@ -1,0 +1,240 @@
+"""Frequency-bias estimation from one preamble chirp (paper Sec. 7.1).
+
+The captured chirp obeys ``I(t) = A cos Θ(t)``, ``Q(t) = A sin Θ(t)`` with
+
+    ``Θ(t) = π W²/2^S · t² − π W t + 2π δ t + θ``        (paper Eq. 5)
+
+so the net bias ``δ = δTx − δRx`` sits in the *linear* phase term.  Two
+estimators are provided, mirroring the paper:
+
+**Linear regression** (Sec. 7.1.1).  Unwrap ``atan2(Q, I)`` (the paper's
+2kπ rectification), subtract the known quadratic sweep
+``πW²/2^S·t² − πWt``, and fit a line; the slope is ``2πδ``.  O(1) solution
+but fragile at low SNR, where unwrap errors corrupt the rectification.
+
+**Least squares** (Sec. 7.1.2).  Fit noiseless templates
+``A cos Θ, A sin Θ`` to the traces over ``(θ, δ)``.  The paper solves this
+with scipy's differential evolution (0.69 s on a Raspberry Pi); we provide
+that solver verbatim (``method="de"``) plus an exact fast reduction
+(``method="dechirp"``): for fixed δ the optimal θ is closed-form, and the
+objective collapses to maximizing ``|Σ z(t)·e^{−j(quad(t)+2πδt)}|`` over δ
+alone — a dechirped-tone frequency search solved by a zero-padded FFT and
+local refinement.  Both methods agree to sub-Hz (property-tested); the
+fast one keeps the test suite quick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.phy.chirp import ChirpConfig
+from repro.sdr.iq import IQTrace
+
+
+@dataclass(frozen=True)
+class FbEstimate:
+    """An estimated frequency bias δ (Hz) with fit metadata."""
+
+    fb_hz: float
+    phase: float
+    method: str
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+
+def estimate_amplitude(iq: np.ndarray, noise_power: float = 0.0) -> float:
+    """Template amplitude A from signal-plus-noise power (paper Sec. 7.1.2).
+
+    ``E[I² + Q²] = A² + E[Z_I² + Z_Q²]``, so with the noise power profiled
+    separately (when no LoRa signal is on the air),
+    ``A = sqrt(mean power − noise power)``.
+    """
+    iq = np.asarray(iq)
+    if iq.size == 0:
+        raise EstimationError("cannot estimate amplitude of an empty trace")
+    mean_power = float(np.mean(np.abs(iq) ** 2))
+    if noise_power < 0:
+        raise ConfigurationError(f"noise power must be >= 0, got {noise_power}")
+    return float(np.sqrt(max(mean_power - noise_power, 0.0)))
+
+
+def _chirp_samples(iq: np.ndarray | IQTrace, config: ChirpConfig) -> np.ndarray:
+    """Extract exactly one chirp of complex samples."""
+    samples = iq.samples if isinstance(iq, IQTrace) else np.asarray(iq, dtype=complex)
+    n = config.samples_per_chirp
+    if len(samples) < n:
+        raise EstimationError(
+            f"need one full chirp ({n} samples) for FB estimation, got {len(samples)}"
+        )
+    return samples[:n]
+
+
+def _quadratic_phase(config: ChirpConfig) -> np.ndarray:
+    """The known sweep phase ``πW²/2^S·t² − πWt`` at the sample instants."""
+    t = config.sample_times()
+    w = config.bandwidth_hz
+    rate = w * w / config.n_symbols
+    return np.pi * rate * t * t - np.pi * w * t
+
+
+class LinearRegressionFbEstimator:
+    """Closed-form FB estimation by phase unwrap + linear regression."""
+
+    def __init__(self, config: ChirpConfig):
+        self.config = config
+        self._quad = _quadratic_phase(config)
+        self._t = config.sample_times()
+
+    def rectified_phase(self, iq: np.ndarray | IQTrace) -> np.ndarray:
+        """Θ(t) after the 2kπ rectification (Fig. 12c)."""
+        samples = _chirp_samples(iq, self.config)
+        return np.unwrap(np.arctan2(samples.imag, samples.real))
+
+    def linear_residual(self, iq: np.ndarray | IQTrace) -> np.ndarray:
+        """Θ(t) − πW²/2^S·t² + πWt, ideally the line 2πδt + θ (Fig. 12d)."""
+        return self.rectified_phase(iq) - self._quad
+
+    def estimate(self, iq: np.ndarray | IQTrace) -> FbEstimate:
+        residual = self.linear_residual(iq)
+        slope, intercept = np.polyfit(self._t, residual, 1)
+        fitted = slope * self._t + intercept
+        rmse = float(np.sqrt(np.mean((residual - fitted) ** 2)))
+        return FbEstimate(
+            fb_hz=float(slope / (2 * np.pi)),
+            phase=float(np.mod(intercept, 2 * np.pi)),
+            method="linear_regression",
+            diagnostics={"fit_rmse_rad": rmse},
+        )
+
+
+class LeastSquaresFbEstimator:
+    """Noise-robust FB estimation by template least squares.
+
+    Parameters
+    ----------
+    config:
+        Chirp parameters of the monitored channel.
+    search_range_hz:
+        Bounds on δ.  RF oscillators are within tens of ppm, i.e. tens of
+        kHz at 869.75 MHz; the default ±40 kHz covers that with margin.
+    method:
+        ``"dechirp"`` (fast, exact reduction) or ``"de"`` (the paper's
+        differential evolution over ``(θ, δ)``).
+    """
+
+    def __init__(
+        self,
+        config: ChirpConfig,
+        search_range_hz: tuple[float, float] = (-40e3, 40e3),
+        method: str = "dechirp",
+        zero_pad_factor: int = 8,
+        de_seed: int = 7,
+    ):
+        if search_range_hz[0] >= search_range_hz[1]:
+            raise ConfigurationError(f"invalid search range {search_range_hz}")
+        if method not in ("dechirp", "de"):
+            raise ConfigurationError(f"method must be 'dechirp' or 'de', got {method!r}")
+        if zero_pad_factor < 1:
+            raise ConfigurationError(f"zero-pad factor must be >= 1, got {zero_pad_factor}")
+        self.config = config
+        self.search_range_hz = search_range_hz
+        self.method = method
+        self.zero_pad_factor = zero_pad_factor
+        self.de_seed = de_seed
+        self._quad = _quadratic_phase(config)
+        self._t = config.sample_times()
+
+    # -- shared objective ---------------------------------------------------
+
+    def _dechirped(self, samples: np.ndarray) -> np.ndarray:
+        return samples * np.exp(-1j * self._quad)
+
+    def _correlation(self, dechirped: np.ndarray, fb_hz: float) -> complex:
+        return complex(np.sum(dechirped * np.exp(-2j * np.pi * fb_hz * self._t)))
+
+    # -- fast reduction -----------------------------------------------------
+
+    def _estimate_dechirp(self, samples: np.ndarray) -> FbEstimate:
+        dechirped = self._dechirped(samples)
+        n = len(dechirped)
+        n_fft = int(2 ** np.ceil(np.log2(n * self.zero_pad_factor)))
+        spectrum = np.fft.fft(dechirped, n_fft)
+        freqs = np.fft.fftfreq(n_fft, d=1.0 / self.config.sample_rate_hz)
+        lo, hi = self.search_range_hz
+        in_range = (freqs >= lo) & (freqs <= hi)
+        if not np.any(in_range):
+            raise EstimationError(f"search range {self.search_range_hz} excludes every FFT bin")
+        magnitudes = np.abs(spectrum)
+        candidates = np.nonzero(in_range)[0]
+        coarse = freqs[candidates[np.argmax(magnitudes[candidates])]]
+        bin_width = self.config.sample_rate_hz / n_fft
+
+        result = optimize.minimize_scalar(
+            lambda fb: -abs(self._correlation(dechirped, fb)),
+            bounds=(max(coarse - bin_width, lo), min(coarse + bin_width, hi)),
+            method="bounded",
+            options={"xatol": 1e-3},
+        )
+        fb = float(result.x)
+        corr = self._correlation(dechirped, fb)
+        return FbEstimate(
+            fb_hz=fb,
+            phase=float(np.mod(np.angle(corr), 2 * np.pi)),
+            method="least_squares/dechirp",
+            diagnostics={
+                "coarse_fb_hz": float(coarse),
+                "correlation_magnitude": abs(corr),
+                "fft_bin_width_hz": bin_width,
+            },
+        )
+
+    # -- the paper's differential evolution ---------------------------------
+
+    def _estimate_de(self, samples: np.ndarray, noise_power: float) -> FbEstimate:
+        amplitude = estimate_amplitude(samples, noise_power)
+        if amplitude <= 0:
+            raise EstimationError("estimated template amplitude is zero; SNR too low")
+        i_obs, q_obs = samples.real, samples.imag
+        quad, t = self._quad, self._t
+
+        def objective(params: np.ndarray) -> float:
+            theta, fb = params
+            angle = quad + 2 * np.pi * fb * t + theta
+            residual_i = i_obs - amplitude * np.cos(angle)
+            residual_q = q_obs - amplitude * np.sin(angle)
+            return float(np.sum(residual_i**2 + residual_q**2))
+
+        result = optimize.differential_evolution(
+            objective,
+            bounds=[(0.0, 2 * np.pi), self.search_range_hz],
+            seed=self.de_seed,
+            tol=1e-8,
+            polish=True,
+        )
+        theta, fb = result.x
+        return FbEstimate(
+            fb_hz=float(fb),
+            phase=float(np.mod(theta, 2 * np.pi)),
+            method="least_squares/de",
+            diagnostics={
+                "residual": float(result.fun),
+                "amplitude": amplitude,
+                "n_evaluations": int(result.nfev),
+            },
+        )
+
+    def estimate(self, iq: np.ndarray | IQTrace, noise_power: float = 0.0) -> FbEstimate:
+        """Estimate δ from one chirp starting at the trace's first sample.
+
+        The SoftLoRa pipeline feeds this the *second* preamble chirp (its
+        amplitude has settled; paper Sec. 7.1.2), sliced using the
+        AIC-detected onset.
+        """
+        samples = _chirp_samples(iq, self.config)
+        if self.method == "de":
+            return self._estimate_de(samples, noise_power)
+        return self._estimate_dechirp(samples)

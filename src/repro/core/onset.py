@@ -1,0 +1,270 @@
+"""PHY-layer signal timestamping: preamble onset detection (paper Sec. 6).
+
+The SoftLoRa gateway needs the *arrival sample* of a LoRa frame for two
+reasons: the onset time **is** the PHY timestamp used by sync-free data
+timestamping, and the FB estimator must slice exactly one chirp of I/Q
+data starting at the onset.
+
+The paper evaluates four candidates:
+
+* **spectrogram inspection** -- rejected: STFT time resolution (~50 µs at
+  the Fig. 6 settings) is far too coarse;
+* **matched filter** -- rejected: the receiver cannot phase-lock to the
+  transmitter, and the I/Q waveform *shape* depends on the unknown phase
+  difference θ and on the FB, so no fixed real-valued template exists;
+* **envelope detector** -- Hilbert envelope; the onset is the sample with
+  the largest ratio between its envelope amplitude and the previous
+  sample's (errors ~5-10 µs in Table 2);
+* **AIC detector** -- the autoregressive Akaike-Information-Criterion
+  phase picker from seismology; single-sample accuracy (< 2 µs errors in
+  Table 2); adopted by the paper.
+
+Both adopted detectors are formulated as optimizations and need no
+detection threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.phy.chirp import ChirpConfig, upchirp
+from repro.phy.spectrum import hilbert_envelope, spectrogram
+from repro.sdr.iq import IQTrace
+
+
+@dataclass(frozen=True)
+class OnsetResult:
+    """A detected preamble onset."""
+
+    index: int
+    time_s: float
+    detector: str
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+
+def _component(trace: IQTrace, component: str) -> np.ndarray:
+    if component == "i":
+        return trace.i
+    if component == "q":
+        return trace.q
+    if component == "magnitude":
+        return np.abs(trace.samples)
+    raise ConfigurationError(f"component must be 'i', 'q' or 'magnitude', got {component!r}")
+
+
+class EnvelopeDetector:
+    """Envelope-ratio onset picker (paper Sec. 6.1.2, Fig. 9a).
+
+    The Hilbert envelope of the I (or Q) trace is extracted; the onset is
+    the sample maximizing ``envelope[k] / envelope[k-1]``.  A short
+    moving-average smoothing of the envelope (default 25 samples, ~10 µs
+    at the RTL-SDR rate) suppresses spurious per-sample ratio spikes; it
+    costs a small early bias of about half the window, which is visible in
+    the paper's Table 2 as the envelope detector's ~5 µs errors versus the
+    AIC detector's < 2 µs.
+    """
+
+    def __init__(self, smoothing_window: int = 25):
+        if smoothing_window < 1:
+            raise ConfigurationError(
+                f"smoothing window must be >= 1 sample, got {smoothing_window}"
+            )
+        self.smoothing_window = smoothing_window
+
+    def detect(self, trace: IQTrace, component: str = "i") -> OnsetResult:
+        x = _component(trace, component)
+        if len(x) < 3:
+            raise EstimationError(f"trace too short for envelope detection ({len(x)} samples)")
+        envelope = hilbert_envelope(x)
+        if self.smoothing_window > 1:
+            kernel = np.ones(self.smoothing_window) / self.smoothing_window
+            envelope = np.convolve(envelope, kernel, mode="same")
+        # Guard against division by exactly zero in synthetic noiseless
+        # traces; any true onset still dominates the ratio.
+        eps = max(float(np.max(envelope)) * 1e-12, 1e-300)
+        ratio = envelope[1:] / np.maximum(envelope[:-1], eps)
+        index = int(np.argmax(ratio)) + 1
+        return OnsetResult(
+            index=index,
+            time_s=trace.time_of_index(index),
+            detector="envelope",
+            diagnostics={"max_ratio": float(ratio[index - 1])},
+        )
+
+
+class AicDetector:
+    """Two-model AIC onset picker (paper Sec. 6.1.2, Fig. 9b).
+
+    For every split point ``k`` the trace is modelled as two stationary
+    segments; the Akaike information criterion
+
+        ``AIC(k) = k·ln σ²(x[:k]) + (N−k)·ln σ²(x[k:])``
+
+    is minimized over ``k``.  Computed in O(N) with cumulative moments.
+    The trace should start in noise and contain the signal onset; the
+    SoftLoRa capture window guarantees that.
+
+    ``margin_fraction`` excludes a fraction of the trace at each end from
+    the candidate split points: tiny segments have wildly noisy variance
+    estimates and produce spurious edge minima at low SNR (a known AIC
+    picker pathology).
+    """
+
+    def __init__(self, min_segment: int = 8, margin_fraction: float = 0.02):
+        if min_segment < 2:
+            raise ConfigurationError(f"min segment must be >= 2 samples, got {min_segment}")
+        if not 0.0 <= margin_fraction < 0.5:
+            raise ConfigurationError(
+                f"margin fraction must be in [0, 0.5), got {margin_fraction}"
+            )
+        self.min_segment = min_segment
+        self.margin_fraction = margin_fraction
+
+    def aic_curve(self, x: np.ndarray) -> np.ndarray:
+        """The AIC value at every admissible split point (else NaN)."""
+        x = np.asarray(x, dtype=float)
+        n = len(x)
+        if n < 2 * self.min_segment:
+            raise EstimationError(
+                f"trace too short for AIC ({n} < {2 * self.min_segment} samples)"
+            )
+        cs = np.concatenate([[0.0], np.cumsum(x)])
+        cs2 = np.concatenate([[0.0], np.cumsum(x * x)])
+        k = np.arange(n + 1, dtype=float)
+        eps = 1e-30
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var_left = (cs2 - cs * cs / np.maximum(k, 1)) / np.maximum(k, 1)
+            tail_n = np.maximum(n - k, 1)
+            tail_sum = cs[-1] - cs
+            tail_sum2 = cs2[-1] - cs2
+            var_right = (tail_sum2 - tail_sum * tail_sum / tail_n) / tail_n
+            curve = k * np.log(np.maximum(var_left, eps)) + (n - k) * np.log(
+                np.maximum(var_right, eps)
+            )
+        guard = max(self.min_segment, int(n * self.margin_fraction))
+        curve[:guard] = np.nan
+        curve[n - guard :] = np.nan
+        return curve[:n]
+
+    def detect(self, trace: IQTrace, component: str = "i") -> OnsetResult:
+        x = _component(trace, component)
+        curve = self.aic_curve(x)
+        index = int(np.nanargmin(curve))
+        return OnsetResult(
+            index=index,
+            time_s=trace.time_of_index(index),
+            detector="aic",
+            diagnostics={"aic_min": float(curve[index])},
+        )
+
+
+class FilteredAicDetector:
+    """The production onset pipeline: channel filter, then AIC pick.
+
+    Band-limits the capture to the LoRa channel (the digital counterpart
+    of the receiver's low-pass selection stage; ~12.8 dB of in-band SNR
+    at 2.4 Msps) and runs the AIC picker on the filtered magnitude.
+    Used by the low-SNR experiments (Figs. 10 and 15); at bench SNRs it
+    performs like the plain AIC.
+    """
+
+    def __init__(
+        self,
+        cutoff_hz: float | None = None,
+        aic: AicDetector | None = None,
+    ):
+        # Import here: sdr.filters depends on sdr.iq only, but keeping
+        # core.onset import-light avoids dragging scipy.signal.butter in
+        # for users who never touch this detector.
+        from repro.sdr.filters import DEFAULT_CHANNEL_CUTOFF_HZ
+
+        self.cutoff_hz = DEFAULT_CHANNEL_CUTOFF_HZ if cutoff_hz is None else cutoff_hz
+        self.aic = aic or AicDetector()
+
+    def detect(self, trace: IQTrace, component: str = "magnitude") -> OnsetResult:
+        from repro.sdr.filters import bandlimit_trace
+
+        filtered = bandlimit_trace(trace, self.cutoff_hz)
+        onset = self.aic.detect(filtered, component=component)
+        return OnsetResult(
+            index=onset.index,
+            time_s=onset.time_s,
+            detector="filtered_aic",
+            diagnostics={**onset.diagnostics, "cutoff_hz": self.cutoff_hz},
+        )
+
+
+class MatchedFilterDetector:
+    """Real-template matched filter -- the approach the paper rejects.
+
+    Correlates the received I (or Q) trace against the real part of an
+    ideal chirp template generated with an *assumed* phase and FB.  Because
+    the true θ is random and the transmitter's FB reshapes the waveform
+    (paper Figs. 7-8), the real-template correlation peak wanders; the
+    tests and the ablation bench demonstrate the failure mode the paper
+    describes.  (A complex-envelope correlator would be phase-invariant,
+    but needs the FB -- which is only available *after* onset detection.)
+    """
+
+    def __init__(self, config: ChirpConfig, template_phase: float = 0.0, template_fb_hz: float = 0.0):
+        self.config = config
+        template = upchirp(config, fb_hz=template_fb_hz, phase=template_phase)
+        self._template = template.real - np.mean(template.real)
+
+    def detect(self, trace: IQTrace, component: str = "i") -> OnsetResult:
+        x = _component(trace, component)
+        if len(x) < len(self._template):
+            raise EstimationError("trace shorter than the matched-filter template")
+        correlation = np.correlate(x, self._template, mode="valid")
+        index = int(np.argmax(np.abs(correlation)))
+        return OnsetResult(
+            index=index,
+            time_s=trace.time_of_index(index),
+            detector="matched_filter",
+            diagnostics={"peak": float(np.abs(correlation[index]))},
+        )
+
+
+class SpectrogramOnsetDetector:
+    """Spectrogram-based onset locator -- coarse by construction.
+
+    Finds the first STFT frame whose in-band power exceeds a multiple of
+    the noise-floor estimate.  Its resolution is one STFT hop (~50 µs at
+    the paper's Fig. 6 settings), which is the paper's argument for
+    rejecting it.
+    """
+
+    def __init__(self, config: ChirpConfig, threshold_over_floor: float = 4.0):
+        if threshold_over_floor <= 1.0:
+            raise ConfigurationError(
+                f"threshold multiplier must exceed 1, got {threshold_over_floor}"
+            )
+        self.config = config
+        self.threshold_over_floor = threshold_over_floor
+
+    def detect(self, trace: IQTrace, component: str = "i") -> OnsetResult:
+        del component  # the STFT uses the full complex trace
+        spec = spectrogram(trace.samples, self.config)
+        band = np.abs(spec.frequencies_hz) <= self.config.bandwidth_hz / 2
+        power_per_frame = spec.power[band].sum(axis=0)
+        # The capture may be mostly signal; the noise floor lives in the
+        # lowest few frames.
+        floor = np.percentile(power_per_frame, 5)
+        above = np.nonzero(power_per_frame > floor * self.threshold_over_floor)[0]
+        if len(above) == 0:
+            raise EstimationError("no STFT frame exceeded the onset threshold")
+        frame = int(above[0])
+        index = int(round(spec.times_s[frame] * trace.sample_rate_hz))
+        return OnsetResult(
+            index=index,
+            time_s=trace.time_of_index(index),
+            detector="spectrogram",
+            diagnostics={
+                "frame": frame,
+                "time_resolution_s": spec.time_resolution_s,
+            },
+        )

@@ -1,0 +1,134 @@
+"""The round-trip-timing detector the paper rejects (Sec. 4.4).
+
+A simple defense against frame delay: acknowledge every uplink and have
+the device compare the observed round-trip time against a threshold -- a
+delayed (replayed) uplink produces an acknowledgement that arrives far
+outside the expected Class A window relative to the *original*
+transmission.
+
+It works, but the paper rejects it on cost grounds, all of which this
+module makes measurable:
+
+* every uplink now needs a downlink: the gateway's single transmit chain
+  and duty-cycle budget cap the fleet size it can serve,
+* downlink airtime roughly doubles the network's airtime per datum,
+* the detector pays that price continuously although attacks are rare.
+
+:class:`RttDetector` implements the mechanism; the Sec. 4.4 experiment
+compares its overhead against SoftLoRa's zero-airtime defense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.lorawan.downlink import RX1_DELAY_S, DownlinkScheduler
+from repro.phy.airtime import airtime_s
+
+
+@dataclass(frozen=True)
+class RttObservation:
+    """One uplink/ack round trip as timed by the device."""
+
+    uplink_sent_local_s: float
+    ack_received_local_s: float | None
+
+    @property
+    def rtt_s(self) -> float | None:
+        if self.ack_received_local_s is None:
+            return None
+        return self.ack_received_local_s - self.uplink_sent_local_s
+
+
+@dataclass
+class RttDetector:
+    """Device-side round-trip timing check.
+
+    ``expected_rtt_s`` is uplink airtime + RX1 delay (+ ack airtime till
+    its end); ``tolerance_s`` absorbs stack jitter.  A missing or late
+    acknowledgement flags the uplink as possibly delayed.
+    """
+
+    uplink_airtime_s: float
+    ack_airtime_s: float
+    tolerance_s: float = 0.1
+    observations: list[RttObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.uplink_airtime_s <= 0 or self.ack_airtime_s <= 0:
+            raise ConfigurationError("airtimes must be positive")
+        if self.tolerance_s < 0:
+            raise ConfigurationError(f"tolerance must be >= 0, got {self.tolerance_s}")
+
+    @property
+    def expected_rtt_s(self) -> float:
+        return self.uplink_airtime_s + RX1_DELAY_S + self.ack_airtime_s
+
+    def check(self, observation: RttObservation) -> bool:
+        """True when the round trip indicates a delay attack (or loss)."""
+        self.observations.append(observation)
+        rtt = observation.rtt_s
+        if rtt is None:
+            return True  # no ack: the original uplink never arrived
+        return abs(rtt - self.expected_rtt_s) > self.tolerance_s
+
+
+@dataclass
+class RttCostModel:
+    """Fleet-level cost of acknowledging every uplink (Sec. 4.4).
+
+    The gateway has one downlink chain; each ack occupies it for its
+    airtime plus the mandated off-time.  ``max_fleet_size`` is how many
+    devices at a given reporting period the ack budget can serve at all.
+    """
+
+    spreading_factor: int = 7
+    ack_payload_bytes: int = 0
+    gateway_duty_cycle: float = 0.10
+
+    def ack_airtime_s(self) -> float:
+        return airtime_s(self.ack_payload_bytes + 12, self.spreading_factor)
+
+    def downlink_airtime_per_uplink_s(self) -> float:
+        return self.ack_airtime_s()
+
+    def airtime_overhead_ratio(self, uplink_payload_bytes: int) -> float:
+        """Extra on-air time per datum relative to ack-free operation."""
+        up = airtime_s(uplink_payload_bytes, self.spreading_factor)
+        return self.downlink_airtime_per_uplink_s() / up
+
+    def max_fleet_size(self, reporting_period_s: float) -> int:
+        """Devices servable when every uplink must be acked.
+
+        Each ack blocks the downlink chain for
+        ``airtime / duty_cycle`` seconds.
+        """
+        if reporting_period_s <= 0:
+            raise ConfigurationError("reporting period must be positive")
+        block = self.ack_airtime_s() / self.gateway_duty_cycle
+        return max(int(reporting_period_s / block), 0)
+
+    def simulate_ack_service(
+        self, n_devices: int, reporting_period_s: float, duration_s: float
+    ) -> float:
+        """Fraction of uplinks that actually receive a timely ack.
+
+        Devices report on a staggered schedule; the single downlink
+        chain serves what it can within the Class A windows.
+        """
+        scheduler = DownlinkScheduler(duty_cycle=self.gateway_duty_cycle)
+        ack_airtime = self.ack_airtime_s()
+        served = total = 0
+        stagger = reporting_period_s / max(n_devices, 1)
+        t = 0.0
+        while t < duration_s:
+            for device_index in range(n_devices):
+                uplink_end = t + device_index * stagger + airtime_s(20, self.spreading_factor)
+                if uplink_end > duration_s:
+                    continue
+                total += 1
+                if scheduler.schedule(uplink_end, ack_airtime) is not None:
+                    served += 1
+            t += reporting_period_s
+        return served / total if total else float("nan")

@@ -1,0 +1,26 @@
+"""Experiment drivers: one per paper table / figure.
+
+Each module exposes a ``run_*`` function returning a structured result
+object with a ``format()`` method that prints the same rows/series the
+paper reports.  Benchmarks time these drivers and assert the paper's
+qualitative shape; EXPERIMENTS.md records paper-vs-measured values.
+
+Index (see DESIGN.md Sec. 4 for the full mapping):
+
+=========  ==========================================================
+T1         ``table1_jamming.run_table1``
+T2         ``table2_onset.run_table2``
+Fig 6-8,11 ``waveforms.run_*``
+Fig 9      ``fig09_detectors.run_fig09``
+Fig 10     ``fig10_onset_snr.run_fig10``
+Fig 12     ``fig12_fb_pipeline.run_fig12``
+Fig 13     ``fig13_fleet_fb.run_fig13``
+Fig 14     ``fig14_ls_snr.run_fig14``
+Fig 15     ``fig15_building.run_fig15``
+Fig 16     ``fig16_txpower.run_fig16``
+Sec 8.2    ``campus.run_campus``
+Sec 3.2    ``overhead.run_overhead``
+Sec 8.1.1  ``attack_e2e.run_attack_e2e``
+Sec 7.2    ``detection.run_detection``
+=========  ==========================================================
+"""

@@ -1,0 +1,77 @@
+"""Shared synthesis helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.chirp import ChirpConfig, preamble_at_times
+from repro.sdr.iq import IQTrace
+from repro.sdr.noise import RealNoiseModel, complex_awgn, noise_power_for_snr
+
+
+@dataclass(frozen=True)
+class SynthesizedCapture:
+    """A synthetic SDR capture with exact ground truth."""
+
+    trace: IQTrace
+    true_onset_time_s: float
+    true_onset_index_float: float
+    fb_hz: float
+    snr_db: float
+    noise_power: float
+
+
+def synthesize_capture(
+    config: ChirpConfig,
+    rng: np.random.Generator,
+    snr_db: float = 30.0,
+    fb_hz: float = -20e3,
+    phase: float | None = None,
+    n_chirps: int = 8,
+    pad_chirps: float = 1.5,
+    fractional_onset: bool = True,
+    amplitude: float = 1.0,
+    noise_model: RealNoiseModel | None = None,
+    start_time_s: float = 0.0,
+) -> SynthesizedCapture:
+    """One noise-padded preamble capture, onset between ADC samples.
+
+    The capture contains ``pad_chirps`` chirp-times of pure noise followed
+    by signal running to the end of the window: a real SoftLoRa capture
+    ends while the (much longer) frame is still on the air, so the onset
+    is the *only* statistical change point in the trace.  When
+    ``fractional_onset`` is set the true onset is offset by a random
+    sub-sample fraction -- the paper's upper-bound metric exists exactly
+    because of this unobservable fraction.
+    """
+    if phase is None:
+        phase = float(rng.uniform(0.0, 2 * np.pi))
+    fs = config.sample_rate_hz
+    spc = config.samples_per_chirp
+    pad = int(round(pad_chirps * spc))
+    total = pad + n_chirps * spc
+    fraction = float(rng.uniform(0.0, 1.0)) if fractional_onset else 0.0
+    onset_index_float = pad + fraction
+    onset_time = onset_index_float / fs
+    t = np.arange(total) / fs - onset_time
+    # One extra chirp-time of signal guarantees coverage to the window end
+    # despite the fractional onset shift.
+    clean = preamble_at_times(
+        t, config, n_chirps=n_chirps + 1, fb_hz=fb_hz, phase=phase, amplitude=amplitude
+    )
+    noise_power = noise_power_for_snr(amplitude**2, snr_db)
+    if noise_model is None:
+        noise = complex_awgn(total, noise_power, rng)
+    else:
+        noise = noise_model.generate(total, noise_power, rng)
+    trace = IQTrace(clean + noise, fs, start_time_s=start_time_s)
+    return SynthesizedCapture(
+        trace=trace,
+        true_onset_time_s=start_time_s + onset_time,
+        true_onset_index_float=onset_index_float,
+        fb_hz=fb_hz,
+        snr_db=snr_db,
+        noise_power=noise_power,
+    )

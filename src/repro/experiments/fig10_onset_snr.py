@@ -1,0 +1,98 @@
+"""Fig. 10: AIC signal-timestamping error versus received SNR.
+
+The paper adds zero-mean Gaussian noise to high-SNR traces, sweeps the
+SNR from −20 to +40 dB, and reports the AIC detector's timing error:
+within ~20 µs for the building's SNR range (−1..13 dB) and within
+~25 µs at −20 dB (the demodulation limit).
+
+Our pipeline band-limits the capture to the LoRa channel first (the
+digital analogue of the receiver's low-pass selection stage; the paper's
+synthetic noise is full-band while its *real* captures pass the RTL-SDR
+front end).  With that, the AIC detector reproduces the paper's numbers
+through the building/campus SNR range and down to about −10 dB; below
+that our fully-synthetic white-noise condition degrades faster than the
+paper's measurement -- documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import timing_error_upper_bound_s
+from repro.analysis.report import format_series
+from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
+from repro.core.onset import AicDetector
+from repro.experiments.common import synthesize_capture
+from repro.phy.chirp import ChirpConfig
+from repro.sdr.filters import bandlimit_trace
+
+
+@dataclass
+class Fig10Result:
+    snrs_db: list[float]
+    mean_errors_us: list[float]
+    max_errors_us: list[float]
+
+    def format(self) -> str:
+        points = list(zip(self.snrs_db, [round(e, 2) for e in self.mean_errors_us]))
+        return format_series(
+            "SNR (dB)",
+            "mean AIC error (µs)",
+            points,
+            title="Fig. 10 -- AIC timestamping error vs received SNR",
+        )
+
+    def error_at(self, snr_db: float) -> float:
+        """Mean error at the sweep point closest to ``snr_db``."""
+        index = int(np.argmin([abs(s - snr_db) for s in self.snrs_db]))
+        return self.mean_errors_us[index]
+
+
+def run_fig10(
+    snrs_db: list[float] | None = None,
+    n_trials: int = 10,
+    spreading_factor: int = 7,
+    sample_rate_hz: float = RTL_SDR_SAMPLE_RATE_HZ,
+    seed: int = 10,
+    bandlimit_cutoff_hz: float | None = 100e3,
+) -> Fig10Result:
+    """Sweep SNR and measure the AIC detector's error upper bound.
+
+    ``bandlimit_cutoff_hz=None`` runs the raw-capture ablation (no
+    channel-selection filter), which only holds up at higher SNRs.
+    """
+    if snrs_db is None:
+        snrs_db = [-20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 30.0, 40.0]
+    config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
+    rng = np.random.default_rng(seed)
+    detector = AicDetector()
+    mean_errors, max_errors = [], []
+    for snr in snrs_db:
+        errors = []
+        for _ in range(n_trials):
+            capture = synthesize_capture(
+                config,
+                rng,
+                snr_db=snr,
+                fb_hz=float(rng.uniform(-25e3, -17e3)),
+                n_chirps=8,
+            )
+            trace = capture.trace
+            component = "i"
+            if bandlimit_cutoff_hz is not None:
+                trace = bandlimit_trace(trace, bandlimit_cutoff_hz)
+                component = "magnitude"
+            onset = detector.detect(trace, component=component)
+            errors.append(
+                timing_error_upper_bound_s(
+                    onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
+                )
+                * 1e6
+            )
+        mean_errors.append(float(np.mean(errors)))
+        max_errors.append(float(np.max(errors)))
+    return Fig10Result(
+        snrs_db=list(snrs_db), mean_errors_us=mean_errors, max_errors_us=max_errors
+    )

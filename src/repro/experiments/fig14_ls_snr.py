@@ -1,0 +1,94 @@
+"""Fig. 14: least-squares FB estimation error vs SNR, two noise types.
+
+The paper scales Gaussian noise and *real captured* building noise onto
+high-SNR traces and sweeps the SNR from −25 to +10 dB; the estimation
+error stays below 120 Hz (0.14 ppm of the carrier) throughout -- below
+the demodulation limit of −20 dB.  Our "real" noise is the synthetic
+colored+impulsive surrogate (see :class:`repro.sdr.noise.RealNoiseModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import fb_error_hz
+from repro.analysis.report import format_table
+from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.experiments.common import synthesize_capture
+from repro.phy.chirp import ChirpConfig
+from repro.sdr.noise import RealNoiseModel
+
+
+@dataclass
+class Fig14Result:
+    snrs_db: list[float]
+    gaussian_errors_hz: list[float]
+    real_errors_hz: list[float]
+
+    def format(self) -> str:
+        rows = [
+            [snr, round(g, 1), round(r, 1)]
+            for snr, g, r in zip(self.snrs_db, self.gaussian_errors_hz, self.real_errors_hz)
+        ]
+        return format_table(
+            ["SNR (dB)", "Gaussian noise err (Hz)", "real noise err (Hz)"],
+            rows,
+            title="Fig. 14 -- least-squares FB error vs SNR",
+        )
+
+    def max_error_hz(self) -> float:
+        return max(self.gaussian_errors_hz + self.real_errors_hz)
+
+
+def run_fig14(
+    snrs_db: list[float] | None = None,
+    n_trials: int = 8,
+    fb_hz: float = -22e3,
+    spreading_factor: int = 12,
+    sample_rate_hz: float = RTL_SDR_SAMPLE_RATE_HZ,
+    seed: int = 14,
+) -> Fig14Result:
+    """Mean FB estimation error per SNR for both noise models.
+
+    SF12 (the paper's default experimental setting) gives the chirp the
+    coherent integration length that keeps the estimate under 120 Hz down
+    to −25 dB.  The chirp is sliced exactly at its onset: a slicing
+    offset of ε seconds would bias the estimate by ``(W²/2^S)·ε`` -- the
+    reason microsecond PHY timestamping is a prerequisite of FB
+    estimation (paper Sec. 5.3).
+    """
+    if snrs_db is None:
+        snrs_db = [-25.0, -20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0]
+    config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
+    estimator = LeastSquaresFbEstimator(config)
+    spc = config.samples_per_chirp
+    real_model = RealNoiseModel()
+    gaussian_errors, real_errors = [], []
+    rng = np.random.default_rng(seed)
+    for snr in snrs_db:
+        per_model: dict[str, list[float]] = {"gaussian": [], "real": []}
+        for _ in range(n_trials):
+            for label, model in (("gaussian", None), ("real", real_model)):
+                capture = synthesize_capture(
+                    config,
+                    rng,
+                    snr_db=snr,
+                    fb_hz=fb_hz,
+                    n_chirps=2,
+                    fractional_onset=False,
+                    noise_model=model,
+                )
+                onset = int(round(capture.true_onset_index_float))
+                chirp = capture.trace.samples[onset : onset + spc]
+                estimate = estimator.estimate(chirp)
+                per_model[label].append(fb_error_hz(estimate.fb_hz, fb_hz))
+        gaussian_errors.append(float(np.mean(per_model["gaussian"])))
+        real_errors.append(float(np.mean(per_model["real"])))
+    return Fig14Result(
+        snrs_db=list(snrs_db),
+        gaussian_errors_hz=gaussian_errors,
+        real_errors_hz=real_errors,
+    )

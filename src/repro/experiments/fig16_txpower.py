@@ -1,0 +1,145 @@
+"""Fig. 16: estimated FB versus the end device's transmission power.
+
+Three observers, as in the paper's building deployment:
+
+* the **eavesdropper** (a USRP next to the device) estimates
+  ``δTx − δRx_eve``,
+* the **SoftLoRa gateway** estimates ``δTx − δRx_gw`` from the direct
+  uplink (no attack),
+* the gateway estimates ``δTx + δ_chain − δRx_gw`` from the **replayed**
+  waveform (two distinct USRPs; their offsets superimpose to ≈ +2 kHz of
+  separation from the direct row -- the paper measures about 2 kHz,
+  2.3 ppm).
+
+The paper's takeaways, which the driver verifies: transmission power has
+little effect on any row; the eavesdropper and gateway rows differ (their
+receivers' biases differ); the replayed row is offset from the direct row
+by far more than the estimation resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.attack.replayer import Replayer
+from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.experiments.common import synthesize_capture
+from repro.phy.chirp import ChirpConfig
+from repro.sim.rng import RngStreams
+
+#: The end-device transmission powers the paper sweeps (dBm).
+PAPER_TX_POWERS_DBM = (3.6, 4.7, 5.8, 6.9, 8.1, 9.3, 10.4)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Min / 25% / median / 75% / max, matching the paper's box plots."""
+
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: list[float]) -> "BoxStats":
+        arr = np.asarray(values)
+        return cls(
+            minimum=float(arr.min()),
+            q25=float(np.percentile(arr, 25)),
+            median=float(np.percentile(arr, 50)),
+            q75=float(np.percentile(arr, 75)),
+            maximum=float(arr.max()),
+        )
+
+
+@dataclass
+class Fig16Result:
+    tx_powers_dbm: list[float]
+    eavesdropper: list[BoxStats]
+    gateway_direct: list[BoxStats]
+    gateway_replayed: list[BoxStats]
+
+    def format(self) -> str:
+        rows = []
+        for i, power in enumerate(self.tx_powers_dbm):
+            rows.append(
+                [
+                    power,
+                    round(self.eavesdropper[i].median / 1e3, 2),
+                    round(self.gateway_direct[i].median / 1e3, 2),
+                    round(self.gateway_replayed[i].median / 1e3, 2),
+                ]
+            )
+        return format_table(
+            ["TX power (dBm)", "eavesdropper (kHz)", "gateway direct (kHz)", "gateway replayed (kHz)"],
+            rows,
+            title="Fig. 16 -- median estimated FB vs device TX power",
+        )
+
+    def replay_separation_hz(self) -> float:
+        """Mean separation between replayed and direct gateway rows."""
+        pairs = zip(self.gateway_replayed, self.gateway_direct)
+        return float(np.mean([r.median - d.median for r, d in pairs]))
+
+    def power_sensitivity_hz(self, row: str = "gateway_direct") -> float:
+        """Spread of a row's medians across the power sweep."""
+        medians = [s.median for s in getattr(self, row)]
+        return max(medians) - min(medians)
+
+
+def run_fig16(
+    tx_powers_dbm: tuple[float, ...] = PAPER_TX_POWERS_DBM,
+    frames_per_point: int = 6,
+    device_fb_hz: float = -22e3,
+    eavesdropper_rx_fb_hz: float = +600.0,
+    base_snr_db: float = 5.0,
+    spreading_factor: int = 8,
+    sample_rate_hz: float = RTL_SDR_SAMPLE_RATE_HZ,
+    seed: int = 16,
+) -> Fig16Result:
+    """Sweep the device TX power and collect the three FB box-plot rows.
+
+    Received SNR tracks TX power dB-for-dB; the estimators should be
+    insensitive to it in this regime, which is the figure's point.
+    """
+    config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
+    streams = RngStreams(seed)
+    estimator = LeastSquaresFbEstimator(config)
+    replayer = Replayer.dual_usrp(streams.stream("replayer"))
+    spc = config.samples_per_chirp
+    reference_power = tx_powers_dbm[0]
+
+    eave_rows, direct_rows, replay_rows = [], [], []
+    for power in tx_powers_dbm:
+        snr = base_snr_db + (power - reference_power)
+        rng = streams.stream(f"power-{power}")
+        eave, direct, replayed = [], [], []
+        for _ in range(frames_per_point):
+            capture = synthesize_capture(
+                config, rng, snr_db=snr, fb_hz=device_fb_hz, n_chirps=2, fractional_onset=False
+            )
+            onset = int(round(capture.true_onset_index_float))
+            chirp = capture.trace.samples[onset + spc : onset + 2 * spc]
+            # Gateway's direct estimate (its own RX bias is the reference 0).
+            direct.append(estimator.estimate(chirp).fb_hz)
+            # Eavesdropper sees the same chirp through its own biased LO.
+            t = np.arange(len(chirp)) / config.sample_rate_hz
+            eave_chirp = chirp * np.exp(-2j * np.pi * eavesdropper_rx_fb_hz * t)
+            eave.append(estimator.estimate(eave_chirp).fb_hz)
+            # Replay through the dual-USRP chain, estimated by the gateway.
+            replay_chirp = chirp * np.exp(2j * np.pi * replayer.chain_fb_offset_hz * t)
+            replayed.append(estimator.estimate(replay_chirp).fb_hz)
+        eave_rows.append(BoxStats.of(eave))
+        direct_rows.append(BoxStats.of(direct))
+        replay_rows.append(BoxStats.of(replayed))
+    return Fig16Result(
+        tx_powers_dbm=list(tx_powers_dbm),
+        eavesdropper=eave_rows,
+        gateway_direct=direct_rows,
+        gateway_replayed=replay_rows,
+    )

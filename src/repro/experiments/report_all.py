@@ -1,0 +1,116 @@
+"""One-shot reproduction report: run every experiment, print every table.
+
+``python -m repro.experiments.report_all`` regenerates the full
+evaluation (the same drivers the benchmarks use) and prints the
+paper-vs-measured tables in paper order.  ``--fast`` shrinks trial
+counts and sample rates for a quick smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable
+
+from repro.experiments.attack_e2e import run_attack_e2e
+from repro.experiments.campus import run_campus
+from repro.experiments.detection import run_detection
+from repro.experiments.fig09_detectors import run_fig9
+from repro.experiments.fig10_onset_snr import run_fig10
+from repro.experiments.fig12_fb_pipeline import run_fig12
+from repro.experiments.fig13_fleet_fb import run_fig13
+from repro.experiments.fig14_ls_snr import run_fig14
+from repro.experiments.fig15_building import run_fig15
+from repro.experiments.fig16_txpower import run_fig16
+from repro.experiments.overhead import run_overhead
+from repro.experiments.rtt_baseline import run_rtt_baseline
+from repro.experiments.table1_jamming import run_table1
+from repro.experiments.table2_onset import run_table2
+from repro.experiments.waveforms import run_fig6, run_fig7, run_fig8, run_fig11
+
+
+def _experiment_plan(fast: bool) -> list[tuple[str, Callable[[], object]]]:
+    """(name, thunk) for every experiment, sized by the fast flag."""
+    fs_fast = 1e6
+    return [
+        ("Sec 3.2  overhead", run_overhead),
+        ("Table 1  jamming windows", run_table1),
+        ("Fig 6    chirp + spectrogram", run_fig6),
+        ("Fig 7    phase ambiguity", run_fig7),
+        ("Fig 8    FB dip shift", run_fig8),
+        ("Table 2  onset accuracy", lambda: run_table2(n_runs=4 if fast else 10)),
+        ("Fig 9    onset detectors", run_fig9),
+        (
+            "Fig 10   AIC error vs SNR",
+            lambda: run_fig10(
+                n_trials=3 if fast else 10,
+                sample_rate_hz=fs_fast if fast else 2.4e6,
+            ),
+        ),
+        ("Fig 11   dip for ±25 kHz", run_fig11),
+        ("Fig 12   FB pipeline", run_fig12),
+        (
+            "Fig 13   fleet FBs",
+            lambda: run_fig13(
+                n_nodes=4 if fast else 16,
+                frames_per_node=4 if fast else 20,
+                sample_rate_hz=fs_fast if fast else 2.4e6,
+            ),
+        ),
+        (
+            "Fig 14   LS error vs SNR",
+            lambda: run_fig14(n_trials=2 if fast else 8, sample_rate_hz=0.5e6),
+        ),
+        (
+            "Fig 15   building survey",
+            lambda: run_fig15(
+                sample_rate_hz=fs_fast,
+                max_cells=8 if fast else None,
+                frames_per_cell=1 if fast else 3,
+            ),
+        ),
+        (
+            "Fig 16   FB vs TX power",
+            lambda: run_fig16(
+                frames_per_point=3 if fast else 6,
+                sample_rate_hz=fs_fast if fast else 2.4e6,
+            ),
+        ),
+        (
+            "Sec 8.2  campus link",
+            lambda: run_campus(sample_rate_hz=fs_fast if fast else 2.4e6),
+        ),
+        ("Sec 8.1  full attack", run_attack_e2e),
+        (
+            "Sec 7.2  fleet detection",
+            lambda: run_detection(rounds=8 if fast else 16),
+        ),
+        ("Sec 4.4  RTT baseline", run_rtt_baseline),
+    ]
+
+
+def generate_report(fast: bool = True) -> str:
+    """Run every experiment and return the consolidated report text."""
+    sections = []
+    for name, thunk in _experiment_plan(fast):
+        started = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - started
+        sections.append(f"===== {name}  [{elapsed:.1f}s] =====\n{result.format()}")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-size runs (2.4 Msps, full trial counts); default is fast",
+    )
+    args = parser.parse_args(argv)
+    print(generate_report(fast=not args.full))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""LoRaWAN 1.0.2 link-layer substrate.
+
+Implements what the attack narrative needs end-to-end: frames carry real
+AES-CMAC MICs and encrypted payloads, the gateway verifies both, frame
+counters advance -- and a replayed waveform still passes every check,
+because the frame delay attack operates strictly below the MAC layer.
+"""
+
+from repro.lorawan.device import EndDevice, UplinkTransmission
+from repro.lorawan.downlink import (
+    DownlinkScheduler,
+    build_downlink,
+    class_a_windows,
+    parse_downlink,
+)
+from repro.lorawan.duty_cycle import DutyCycleLimiter
+from repro.lorawan.gateway import CommodityGateway, GatewayReception
+from repro.lorawan.join import JoinAccept, JoinRequest, JoinServer, device_join
+from repro.lorawan.mac import MacFrame, MType, parse_mac_frame
+from repro.lorawan.regional import EU868, DataRate
+from repro.lorawan.security import SessionKeys, compute_uplink_mic, decrypt_frm_payload, encrypt_frm_payload
+
+__all__ = [
+    "CommodityGateway",
+    "DataRate",
+    "DownlinkScheduler",
+    "DutyCycleLimiter",
+    "EU868",
+    "EndDevice",
+    "GatewayReception",
+    "JoinAccept",
+    "JoinRequest",
+    "JoinServer",
+    "MacFrame",
+    "MType",
+    "SessionKeys",
+    "UplinkTransmission",
+    "build_downlink",
+    "class_a_windows",
+    "compute_uplink_mic",
+    "decrypt_frm_payload",
+    "device_join",
+    "encrypt_frm_payload",
+    "parse_downlink",
+    "parse_mac_frame",
+]

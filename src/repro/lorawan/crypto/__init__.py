@@ -1,0 +1,6 @@
+"""Pure-Python AES-128 and AES-CMAC used by LoRaWAN frame security."""
+
+from repro.lorawan.crypto.aes import aes128_decrypt_block, aes128_encrypt_block
+from repro.lorawan.crypto.cmac import aes_cmac
+
+__all__ = ["aes128_decrypt_block", "aes128_encrypt_block", "aes_cmac"]

@@ -1,0 +1,168 @@
+"""AES-128 block cipher, pure Python.
+
+LoRaWAN 1.0.2 protects every frame with AES-128: the MIC is an AES-CMAC
+and the payload is encrypted with an AES-CTR-style construction.  The
+frame delay attack *does not* break this protection -- the replayed frame
+passes MIC verification untouched -- which is exactly why the paper's
+PHY-layer FB defense is needed.  We implement the cipher from scratch (no
+crypto packages are available offline) so the end-to-end attack
+demonstration can show a cryptographically valid replay being accepted.
+
+This is a teaching/simulation implementation: correct (checked against
+FIPS-197 vectors in the tests) but not constant-time, and not intended to
+protect real secrets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+_INV_SBOX = bytes(256)
+_inv = bytearray(256)
+for i, v in enumerate(_SBOX):
+    _inv[v] = i
+_INV_SBOX = bytes(_inv)
+del _inv
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _expand_key(key: bytes) -> list[bytes]:
+    """AES-128 key schedule: 11 round keys of 16 bytes."""
+    if len(key) != 16:
+        raise ConfigurationError(f"AES-128 needs a 16-byte key, got {len(key)} bytes")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for round_index in range(10):
+        prev = words[-1]
+        rotated = prev[1:] + prev[:1]
+        substituted = bytes(_SBOX[b] for b in rotated)
+        mixed = bytes(
+            [substituted[0] ^ _RCON[round_index], substituted[1], substituted[2], substituted[3]]
+        )
+        base = words[-4]
+        new_word = bytes(a ^ b for a, b in zip(base, mixed))
+        words.append(new_word)
+        for _ in range(3):
+            base = words[-4]
+            prev = words[-1]
+            words.append(bytes(a ^ b for a, b in zip(base, prev)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray, box: bytes) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte (row r, col c) sits at index 4c + r.
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[-r:] + row[:-r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+        state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+        state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+        state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        state[4 * c + 0] = _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+        state[4 * c + 1] = _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+        state[4 * c + 2] = _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+        state[4 * c + 3] = _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+
+
+def aes128_encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise ConfigurationError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = _expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, 10):
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+def aes128_decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128."""
+    if len(block) != 16:
+        raise ConfigurationError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = _expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[10])
+    for round_index in range(9, 0, -1):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, round_keys[round_index])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)

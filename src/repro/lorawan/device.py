@@ -1,0 +1,207 @@
+"""A Class A LoRaWAN end device with sync-free timestamping support.
+
+The device runs *no* clock synchronization.  Readings are buffered with
+local-clock stamps; at transmit time each stamp becomes an elapsed-time
+field (paper Sec. 3.2).  The radio crystal's frequency bias rides on every
+emitted chirp -- the fingerprint SoftLoRa tracks.
+
+Timing model of one uplink: the application requests transmission at
+``t_request``; the radio emits the first preamble sample at
+``t_request + tx_latency`` where the latency is a few milliseconds with
+jitter (the paper cites ~3 ms total uncertainty for commodity stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.clock.clocks import DriftingClock, PerfectClock
+from repro.clock.oscillator import Oscillator
+from repro.constants import EU868_CENTER_FREQUENCY_HZ
+from repro.core.timestamping import DeviceRecordBuffer, ElapsedTimeCodec
+from repro.errors import ConfigurationError, DecodeError
+from repro.lorawan.duty_cycle import DutyCycleLimiter
+from repro.lorawan.mac import build_uplink
+from repro.lorawan.regional import EU868
+from repro.lorawan.security import SessionKeys
+from repro.phy.airtime import airtime_s
+from repro.phy.chirp import ChirpConfig
+from repro.phy.frame import PhyFrame, PhyTransmitter
+from repro.radio.geometry import Position
+
+
+def encode_sensor_payload(
+    values: list[float], elapsed_ticks: list[int], codec: ElapsedTimeCodec
+) -> bytes:
+    """Application payload: count | packed elapsed fields | int16 values.
+
+    Values are quantized to signed 16-bit sensor units; elapsed times use
+    the compact 18-bit fields of the sync-free scheme.
+    """
+    if len(values) != len(elapsed_ticks):
+        raise ConfigurationError(
+            f"{len(values)} values do not match {len(elapsed_ticks)} elapsed fields"
+        )
+    if len(values) > 255:
+        raise ConfigurationError(f"at most 255 readings per frame, got {len(values)}")
+    out = bytearray([len(values)])
+    out.extend(codec.pack(elapsed_ticks))
+    for value in values:
+        quantized = int(round(value))
+        if not -32768 <= quantized <= 32767:
+            raise ConfigurationError(f"sensor value {value} exceeds int16 range")
+        out.extend(int(quantized).to_bytes(2, "big", signed=True))
+    return bytes(out)
+
+
+def decode_sensor_payload(
+    payload: bytes, codec: ElapsedTimeCodec
+) -> tuple[list[float], list[int]]:
+    """Inverse of :func:`encode_sensor_payload`."""
+    if not payload:
+        raise DecodeError("empty sensor payload")
+    count = payload[0]
+    elapsed_bytes = (codec.bits * count + 7) // 8
+    expected = 1 + elapsed_bytes + 2 * count
+    if len(payload) != expected:
+        raise DecodeError(
+            f"sensor payload length {len(payload)} does not match {count} readings "
+            f"(expected {expected})"
+        )
+    ticks = codec.unpack(payload[1 : 1 + elapsed_bytes], count)
+    values = []
+    offset = 1 + elapsed_bytes
+    for i in range(count):
+        values.append(
+            float(int.from_bytes(payload[offset + 2 * i : offset + 2 * i + 2], "big", signed=True))
+        )
+    return values, ticks
+
+
+@dataclass
+class UplinkTransmission:
+    """Everything one uplink puts on the air, plus evaluation ground truth."""
+
+    device_name: str
+    dev_addr: int
+    mac_bytes: bytes
+    phy_frame: PhyFrame
+    request_time_s: float
+    emission_time_s: float
+    fb_hz: float
+    tx_power_dbm: float
+    spreading_factor: int
+    airtime_s: float
+    values: list[float] = field(default_factory=list)
+    elapsed_ticks: list[int] = field(default_factory=list)
+    true_event_times_s: list[float] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_time_s(self) -> float:
+        return self.emission_time_s + self.airtime_s
+
+
+@dataclass
+class EndDevice:
+    """A Class A end device with a drifting clock and a biased radio."""
+
+    name: str
+    dev_addr: int
+    keys: SessionKeys
+    radio_oscillator: Oscillator
+    clock: DriftingClock | PerfectClock
+    position: Position = Position(0.0, 0.0, 0.0)
+    tx_power_dbm: float = 14.0
+    spreading_factor: int = 7
+    coding_rate: int = 1
+    tx_latency_mean_s: float = 3e-3
+    tx_latency_jitter_s: float = 0.5e-3
+    carrier_hz: float = EU868_CENTER_FREQUENCY_HZ
+    temperature_c: float = 25.0
+    codec: ElapsedTimeCodec = field(default_factory=ElapsedTimeCodec)
+    duty_cycle: DutyCycleLimiter = field(default_factory=DutyCycleLimiter)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    fcnt: int = 0
+    _buffer: DeviceRecordBuffer = field(init=False)
+    _event_times: list[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dev_addr <= 0xFFFFFFFF:
+            raise ConfigurationError(f"DevAddr must fit 32 bits, got {self.dev_addr:#x}")
+        self._buffer = DeviceRecordBuffer(codec=self.codec)
+
+    @property
+    def fb_hz(self) -> float:
+        """Radio frequency bias at the current temperature."""
+        return self.radio_oscillator.frequency_offset_hz(
+            carrier_hz=self.carrier_hz, temperature_c=self.temperature_c
+        )
+
+    def take_reading(self, value: float, global_time_s: float) -> None:
+        """Record a sensor reading, stamped with the *local* clock."""
+        self._buffer.add(value, self.clock.read(global_time_s))
+        self._event_times.append(global_time_s)
+
+    @property
+    def pending_readings(self) -> int:
+        return len(self._buffer)
+
+    def transmit(self, global_time_s: float) -> UplinkTransmission:
+        """Flush buffered readings into one uplink frame.
+
+        ``global_time_s`` is the instant the application requests
+        transmission; emission follows after the radio latency.  The
+        elapsed-time fields are computed against the *local* clock at the
+        request instant, exactly as the paper prescribes.
+        """
+        local_now = self.clock.read(global_time_s)
+        values, ticks = self._buffer.flush(local_now)
+        true_times = list(self._event_times)
+        self._event_times.clear()
+        payload = encode_sensor_payload(values, ticks, self.codec)
+        mac_bytes = build_uplink(self.keys, self.dev_addr, self.fcnt, payload)
+        EU868.validate_uplink(self.spreading_factor, len(mac_bytes))
+        frame = PhyFrame(payload=mac_bytes, coding_rate=self.coding_rate)
+        on_air = airtime_s(
+            len(mac_bytes), self.spreading_factor, coding_rate=self.coding_rate
+        )
+        self.duty_cycle.register(global_time_s, on_air)
+        jitter = (
+            self.rng.normal(0.0, self.tx_latency_jitter_s) if self.tx_latency_jitter_s else 0.0
+        )
+        emission = global_time_s + max(self.tx_latency_mean_s + jitter, 0.0)
+        tx = UplinkTransmission(
+            device_name=self.name,
+            dev_addr=self.dev_addr,
+            mac_bytes=mac_bytes,
+            phy_frame=frame,
+            request_time_s=global_time_s,
+            emission_time_s=emission,
+            fb_hz=self.fb_hz,
+            tx_power_dbm=self.tx_power_dbm,
+            spreading_factor=self.spreading_factor,
+            airtime_s=on_air,
+            values=values,
+            elapsed_ticks=ticks,
+            true_event_times_s=true_times,
+        )
+        self.fcnt = (self.fcnt + 1) & 0xFFFF
+        return tx
+
+    def modulate(
+        self, tx: UplinkTransmission, config: ChirpConfig, phase: float | None = None
+    ) -> np.ndarray:
+        """Complex baseband waveform of an uplink, carrying this radio's FB."""
+        if config.spreading_factor != self.spreading_factor:
+            raise ConfigurationError(
+                f"chirp config SF{config.spreading_factor} does not match device "
+                f"SF{self.spreading_factor}"
+            )
+        if phase is None:
+            phase = float(self.rng.uniform(0.0, 2 * np.pi))
+        transmitter = PhyTransmitter(config, fb_hz=self.fb_hz)
+        return transmitter.modulate(tx.phy_frame, phase=phase)

@@ -1,0 +1,61 @@
+"""ETSI duty-cycle enforcement for EU 868 sub-bands.
+
+After each transmission a device must stay off the sub-band for
+``airtime · (1/duty − 1)`` seconds, which bounds the per-hour airtime to
+the duty-cycle fraction.  At SF12 with 30-byte frames this caps the
+device at roughly 24 frames/hour (paper Sec. 3.2) -- the budget that
+sync-session traffic would have to come out of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import EU868_DUTY_CYCLE_LIMIT
+from repro.errors import ConfigurationError, DutyCycleError
+
+
+@dataclass
+class DutyCycleLimiter:
+    """Per-sub-band transmit gate implementing the ETSI off-time rule."""
+
+    duty_cycle: float = EU868_DUTY_CYCLE_LIMIT
+    _not_before_s: dict[str, float] = field(default_factory=dict)
+    _airtime_total_s: dict[str, float] = field(default_factory=dict)
+    _tx_count: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.duty_cycle <= 1:
+            raise ConfigurationError(f"duty cycle must be in (0, 1], got {self.duty_cycle}")
+
+    def next_allowed_s(self, sub_band: str) -> float:
+        """Earliest instant a new transmission may start on the sub-band."""
+        return self._not_before_s.get(sub_band, 0.0)
+
+    def can_transmit(self, now_s: float, sub_band: str = "g2") -> bool:
+        return now_s >= self.next_allowed_s(sub_band)
+
+    def register(self, now_s: float, airtime_s: float, sub_band: str = "g2") -> None:
+        """Account a transmission starting at ``now_s``.
+
+        Raises :class:`DutyCycleError` if the sub-band is still in its
+        mandatory off period.
+        """
+        if airtime_s <= 0:
+            raise ConfigurationError(f"airtime must be positive, got {airtime_s}")
+        allowed = self.next_allowed_s(sub_band)
+        if now_s < allowed:
+            raise DutyCycleError(
+                f"sub-band {sub_band!r} blocked until t={allowed:.3f}s "
+                f"(attempted t={now_s:.3f}s)"
+            )
+        off_time = airtime_s * (1.0 / self.duty_cycle - 1.0)
+        self._not_before_s[sub_band] = now_s + airtime_s + off_time
+        self._airtime_total_s[sub_band] = self._airtime_total_s.get(sub_band, 0.0) + airtime_s
+        self._tx_count[sub_band] = self._tx_count.get(sub_band, 0) + 1
+
+    def airtime_spent_s(self, sub_band: str = "g2") -> float:
+        return self._airtime_total_s.get(sub_band, 0.0)
+
+    def transmissions(self, sub_band: str = "g2") -> int:
+        return self._tx_count.get(sub_band, 0)

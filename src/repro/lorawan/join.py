@@ -1,0 +1,178 @@
+"""Over-the-air activation (OTAA): join request / accept, key derivation.
+
+LoRaWAN 1.0.2 OTAA in the subset needed by the simulations:
+
+* **JoinRequest**: ``AppEUI(8) | DevEUI(8) | DevNonce(2)``, MIC'd with
+  the AppKey;
+* **JoinAccept**: ``AppNonce(3) | NetID(3) | DevAddr(4) | DLSettings(1)
+  | RxDelay(1)``, MIC'd then encrypted with the AppKey (the spec
+  encrypts with AES *decrypt* so devices only need the encrypt core --
+  reproduced faithfully);
+* **session key derivation**::
+
+      NwkSKey = aes128(AppKey, 0x01 | AppNonce | NetID | DevNonce | pad)
+      AppSKey = aes128(AppKey, 0x02 | AppNonce | NetID | DevNonce | pad)
+
+A replayed JoinRequest (reusing a DevNonce) must be rejected -- the one
+replay protection LoRaWAN does have at join time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, DecodeError, MicError
+from repro.lorawan.crypto.aes import aes128_decrypt_block, aes128_encrypt_block
+from repro.lorawan.crypto.cmac import aes_cmac
+from repro.lorawan.mac import MType
+from repro.lorawan.security import SessionKeys
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    app_eui: int
+    dev_eui: int
+    dev_nonce: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dev_nonce <= 0xFFFF:
+            raise ConfigurationError(f"DevNonce must fit 16 bits, got {self.dev_nonce}")
+
+    def to_bytes(self, app_key: bytes) -> bytes:
+        mhdr = int(MType.JOIN_REQUEST) << 5
+        msg = (
+            bytes([mhdr])
+            + self.app_eui.to_bytes(8, "little")
+            + self.dev_eui.to_bytes(8, "little")
+            + self.dev_nonce.to_bytes(2, "little")
+        )
+        return msg + aes_cmac(app_key, msg)[:4]
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, app_key: bytes) -> "JoinRequest":
+        if len(raw) != 23:
+            raise DecodeError(f"JoinRequest must be 23 bytes, got {len(raw)}")
+        msg, mic = raw[:-4], raw[-4:]
+        if aes_cmac(app_key, msg)[:4] != mic:
+            raise MicError("JoinRequest MIC mismatch")
+        if msg[0] >> 5 != MType.JOIN_REQUEST:
+            raise DecodeError("not a JoinRequest")
+        return cls(
+            app_eui=int.from_bytes(msg[1:9], "little"),
+            dev_eui=int.from_bytes(msg[9:17], "little"),
+            dev_nonce=int.from_bytes(msg[17:19], "little"),
+        )
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    app_nonce: int
+    net_id: int
+    dev_addr: int
+    rx_delay_s: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.app_nonce < (1 << 24):
+            raise ConfigurationError("AppNonce must fit 24 bits")
+        if not 0 <= self.net_id < (1 << 24):
+            raise ConfigurationError("NetID must fit 24 bits")
+
+    def _plaintext(self) -> bytes:
+        return (
+            self.app_nonce.to_bytes(3, "little")
+            + self.net_id.to_bytes(3, "little")
+            + self.dev_addr.to_bytes(4, "little")
+            + bytes([0x00, self.rx_delay_s & 0x0F])
+        )
+
+    def to_bytes(self, app_key: bytes) -> bytes:
+        mhdr = bytes([int(MType.JOIN_ACCEPT) << 5])
+        body = self._plaintext()
+        mic = aes_cmac(app_key, mhdr + body)[:4]
+        # The spec encrypts JoinAccept with aes128_decrypt so that end
+        # devices can recover it using their encrypt-only core.
+        padded = body + mic
+        if len(padded) % 16:
+            raise DecodeError("JoinAccept body must be a multiple of 16 bytes")
+        encrypted = b"".join(
+            aes128_decrypt_block(app_key, padded[i : i + 16]) for i in range(0, len(padded), 16)
+        )
+        return mhdr + encrypted
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, app_key: bytes) -> "JoinAccept":
+        if len(raw) != 17:
+            raise DecodeError(f"JoinAccept must be 17 bytes, got {len(raw)}")
+        mhdr, encrypted = raw[:1], raw[1:]
+        if mhdr[0] >> 5 != MType.JOIN_ACCEPT:
+            raise DecodeError("not a JoinAccept")
+        decrypted = b"".join(
+            aes128_encrypt_block(app_key, encrypted[i : i + 16])
+            for i in range(0, len(encrypted), 16)
+        )
+        body, mic = decrypted[:-4], decrypted[-4:]
+        if aes_cmac(app_key, mhdr + body)[:4] != mic:
+            raise MicError("JoinAccept MIC mismatch")
+        return cls(
+            app_nonce=int.from_bytes(body[0:3], "little"),
+            net_id=int.from_bytes(body[3:6], "little"),
+            dev_addr=int.from_bytes(body[6:10], "little"),
+            rx_delay_s=body[11] & 0x0F,
+        )
+
+
+def derive_session_keys(app_key: bytes, accept: JoinAccept, dev_nonce: int) -> SessionKeys:
+    """LoRaWAN 1.0.2 session-key derivation."""
+    suffix = (
+        accept.app_nonce.to_bytes(3, "little")
+        + accept.net_id.to_bytes(3, "little")
+        + dev_nonce.to_bytes(2, "little")
+    )
+    pad = bytes(16 - 1 - len(suffix))
+    nwk = aes128_encrypt_block(app_key, bytes([0x01]) + suffix + pad)
+    app = aes128_encrypt_block(app_key, bytes([0x02]) + suffix + pad)
+    return SessionKeys(nwk_skey=nwk, app_skey=app)
+
+
+@dataclass
+class JoinServer:
+    """Network-side join handling with DevNonce replay protection."""
+
+    app_key: bytes
+    net_id: int = 0x000013
+    _used_nonces: dict[int, set[int]] = field(default_factory=dict)
+    _next_addr: int = 0x26030000
+    _app_nonce: int = 0x100
+
+    def handle(self, raw_request: bytes) -> tuple[bytes, SessionKeys, int]:
+        """Process a JoinRequest; returns (accept bytes, keys, dev_addr).
+
+        Raises :class:`MicError` for forgeries and
+        :class:`DecodeError` for DevNonce replays.
+        """
+        request = JoinRequest.from_bytes(raw_request, self.app_key)
+        used = self._used_nonces.setdefault(request.dev_eui, set())
+        if request.dev_nonce in used:
+            raise DecodeError(
+                f"DevNonce {request.dev_nonce:#06x} already used by "
+                f"DevEUI {request.dev_eui:#018x} (join replay)"
+            )
+        used.add(request.dev_nonce)
+        dev_addr = self._next_addr
+        self._next_addr += 1
+        accept = JoinAccept(
+            app_nonce=self._app_nonce, net_id=self.net_id, dev_addr=dev_addr
+        )
+        self._app_nonce = (self._app_nonce + 1) % (1 << 24)
+        keys = derive_session_keys(self.app_key, accept, request.dev_nonce)
+        return accept.to_bytes(self.app_key), keys, dev_addr
+
+
+def device_join(
+    app_key: bytes, app_eui: int, dev_eui: int, dev_nonce: int, server: JoinServer
+) -> tuple[SessionKeys, int]:
+    """Device-side OTAA flow; returns (session keys, assigned DevAddr)."""
+    request = JoinRequest(app_eui=app_eui, dev_eui=dev_eui, dev_nonce=dev_nonce)
+    accept_bytes, _, _ = server.handle(request.to_bytes(app_key))
+    accept = JoinAccept.from_bytes(accept_bytes, app_key)
+    return derive_session_keys(app_key, accept, dev_nonce), accept.dev_addr

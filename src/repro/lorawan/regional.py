@@ -1,0 +1,87 @@
+"""EU 868 regional parameters: data rates, channels, dwell limits.
+
+The paper operates on an EU868 channel at 869.75 MHz with 125 kHz
+bandwidth; devices choose spreading factors 7-12 (higher SF = longer
+range, longer airtime, stricter duty-cycle pressure -- the crux of the
+Sec. 3.2 overhead argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import EU868_DUTY_CYCLE_LIMIT, LORA_BANDWIDTH_HZ
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataRate:
+    """One LoRaWAN data rate: SF/bandwidth pair plus payload cap."""
+
+    index: int
+    spreading_factor: int
+    bandwidth_hz: float
+    max_mac_payload: int
+
+    @property
+    def name(self) -> str:
+        return f"DR{self.index} (SF{self.spreading_factor}/{self.bandwidth_hz / 1e3:.0f}kHz)"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A regional uplink channel."""
+
+    frequency_hz: float
+    duty_cycle: float
+    sub_band: str
+
+
+class EU868:
+    """The EU 868 MHz channel plan (LoRaWAN 1.0.2 regional parameters)."""
+
+    DATA_RATES = {
+        0: DataRate(0, 12, LORA_BANDWIDTH_HZ, 51),
+        1: DataRate(1, 11, LORA_BANDWIDTH_HZ, 51),
+        2: DataRate(2, 10, LORA_BANDWIDTH_HZ, 51),
+        3: DataRate(3, 9, LORA_BANDWIDTH_HZ, 115),
+        4: DataRate(4, 8, LORA_BANDWIDTH_HZ, 242),
+        5: DataRate(5, 7, LORA_BANDWIDTH_HZ, 242),
+    }
+
+    #: Default join channels plus the paper's 869.75 MHz test channel.
+    CHANNELS = (
+        Channel(868.1e6, EU868_DUTY_CYCLE_LIMIT, "g1"),
+        Channel(868.3e6, EU868_DUTY_CYCLE_LIMIT, "g1"),
+        Channel(868.5e6, EU868_DUTY_CYCLE_LIMIT, "g1"),
+        Channel(869.75e6, EU868_DUTY_CYCLE_LIMIT, "g2"),
+    )
+
+    #: Maximum EIRP for the g1/g2 sub-bands (dBm).
+    MAX_TX_POWER_DBM = 14.0
+
+    @classmethod
+    def data_rate_for_sf(cls, spreading_factor: int) -> DataRate:
+        for dr in cls.DATA_RATES.values():
+            if dr.spreading_factor == spreading_factor:
+                return dr
+        raise ConfigurationError(
+            f"no EU868 data rate uses SF{spreading_factor} at 125 kHz"
+        )
+
+    @classmethod
+    def validate_uplink(cls, spreading_factor: int, mac_payload_len: int) -> None:
+        """Raise if a payload exceeds the data rate's regional cap."""
+        dr = cls.data_rate_for_sf(spreading_factor)
+        if mac_payload_len > dr.max_mac_payload:
+            raise ConfigurationError(
+                f"{mac_payload_len}-byte MAC payload exceeds {dr.name} cap of "
+                f"{dr.max_mac_payload} bytes"
+            )
+
+    @classmethod
+    def channel(cls, frequency_hz: float) -> Channel:
+        for ch in cls.CHANNELS:
+            if abs(ch.frequency_hz - frequency_hz) < 1e3:
+                return ch
+        raise ConfigurationError(f"no EU868 channel at {frequency_hz / 1e6:.3f} MHz")

@@ -1,0 +1,88 @@
+"""LoRa physical layer substrate: CSS chirps, coding chain, frames, airtime.
+
+This package implements the complex-baseband LoRa PHY the paper's
+algorithms operate on (paper Secs. 5.2, 6.1.1, 7.1):
+
+* :mod:`repro.phy.chirp` -- closed-form chirp synthesis with frequency bias,
+* :mod:`repro.phy.modulation` -- CSS symbol modulation and dechirp-FFT
+  demodulation,
+* :mod:`repro.phy.encoding` -- whitening, Hamming FEC, interleaving, Gray
+  mapping,
+* :mod:`repro.phy.frame` -- PHY frame assembly (preamble/sync/header/payload)
+  and the end-to-end transmitter/receiver pair,
+* :mod:`repro.phy.airtime` -- the Semtech time-on-air model,
+* :mod:`repro.phy.spectrum` -- spectrogram / envelope / power utilities.
+"""
+
+from repro.phy.airtime import (
+    AirtimeBreakdown,
+    airtime_s,
+    low_data_rate_optimize,
+    n_payload_symbols,
+    preamble_time_s,
+    symbol_time_s,
+)
+from repro.phy.chirp import (
+    ChirpConfig,
+    chirp_waveform,
+    downchirp,
+    instantaneous_frequency,
+    instantaneous_phase,
+    preamble_waveform,
+    upchirp,
+)
+from repro.phy.encoding import (
+    gray_decode,
+    gray_encode,
+    hamming_decode,
+    hamming_encode,
+    PayloadCodec,
+    whiten,
+)
+from repro.phy.frame import (
+    PhyFrame,
+    PhyHeader,
+    PhyReceiver,
+    PhyTransmitter,
+    crc16_ccitt,
+)
+from repro.phy.modulation import CssDemodulator, CssModulator
+from repro.phy.spectrum import (
+    hilbert_envelope,
+    measure_snr_db,
+    signal_power,
+    spectrogram,
+)
+
+__all__ = [
+    "AirtimeBreakdown",
+    "ChirpConfig",
+    "CssDemodulator",
+    "CssModulator",
+    "PayloadCodec",
+    "PhyFrame",
+    "PhyHeader",
+    "PhyReceiver",
+    "PhyTransmitter",
+    "airtime_s",
+    "chirp_waveform",
+    "crc16_ccitt",
+    "downchirp",
+    "gray_decode",
+    "gray_encode",
+    "hamming_decode",
+    "hamming_encode",
+    "hilbert_envelope",
+    "instantaneous_frequency",
+    "instantaneous_phase",
+    "low_data_rate_optimize",
+    "measure_snr_db",
+    "n_payload_symbols",
+    "preamble_time_s",
+    "preamble_waveform",
+    "signal_power",
+    "spectrogram",
+    "symbol_time_s",
+    "upchirp",
+    "whiten",
+]

@@ -1,0 +1,168 @@
+"""Semtech LoRa time-on-air model.
+
+Airtime drives three parts of the reproduction:
+
+* the jamming window model (Table 1: w3 tracks the legitimate frame time),
+* the duty-cycle budget (Sec. 3.2: 24 thirty-byte frames per hour at SF12),
+* the discrete-event simulator's transmission scheduling.
+
+Formulas follow the SX1276 datasheet (also used by the LoRaWAN regional
+parameters): a frame is ``n_preamble + 4.25`` preamble symbols followed by
+``8 + max(ceil((8·PL − 4·SF + 28 + 16·CRC − 20·IH) / (4·(SF − 2·DE))) ·
+(CR + 4), 0)`` payload symbols.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import (
+    LORA_BANDWIDTH_HZ,
+    MAX_SPREADING_FACTOR,
+    MIN_SPREADING_FACTOR,
+    SYNC_SYMBOLS,
+)
+from repro.errors import ConfigurationError
+
+
+def _check_sf(spreading_factor: int) -> None:
+    if not MIN_SPREADING_FACTOR <= spreading_factor <= MAX_SPREADING_FACTOR:
+        raise ConfigurationError(
+            f"spreading factor must be in [{MIN_SPREADING_FACTOR}, "
+            f"{MAX_SPREADING_FACTOR}], got {spreading_factor}"
+        )
+
+
+def symbol_time_s(spreading_factor: int, bandwidth_hz: float = LORA_BANDWIDTH_HZ) -> float:
+    """Duration of one CSS symbol (= one chirp), ``2^S / W`` seconds."""
+    _check_sf(spreading_factor)
+    return (1 << spreading_factor) / bandwidth_hz
+
+
+def low_data_rate_optimize(
+    spreading_factor: int, bandwidth_hz: float = LORA_BANDWIDTH_HZ
+) -> bool:
+    """Whether the LowDataRateOptimize flag is mandated (symbol > 16 ms)."""
+    return symbol_time_s(spreading_factor, bandwidth_hz) > 16e-3
+
+
+def preamble_time_s(
+    spreading_factor: int,
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ,
+    n_preamble: int = 8,
+) -> float:
+    """Time of the full preamble including the 4.25 sync symbols."""
+    if n_preamble < 1:
+        raise ConfigurationError(f"preamble length must be >= 1, got {n_preamble}")
+    return (n_preamble + SYNC_SYMBOLS) * symbol_time_s(spreading_factor, bandwidth_hz)
+
+
+def n_payload_symbols(
+    payload_len: int,
+    spreading_factor: int,
+    coding_rate: int = 1,
+    explicit_header: bool = True,
+    crc: bool = True,
+    ldro: bool | None = None,
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ,
+) -> int:
+    """Number of symbols in the payload part of a LoRa frame.
+
+    ``coding_rate`` is the CR index 1..4 meaning 4/5 .. 4/8.  ``ldro=None``
+    selects the flag automatically from the symbol time.
+    """
+    _check_sf(spreading_factor)
+    if payload_len < 0:
+        raise ConfigurationError(f"payload length must be >= 0, got {payload_len}")
+    if not 1 <= coding_rate <= 4:
+        raise ConfigurationError(f"coding rate index must be in [1, 4], got {coding_rate}")
+    if ldro is None:
+        ldro = low_data_rate_optimize(spreading_factor, bandwidth_hz)
+    de = 2 if ldro else 0
+    ih = 0 if explicit_header else 1
+    numerator = 8 * payload_len - 4 * spreading_factor + 28 + 16 * (1 if crc else 0) - 20 * ih
+    denominator = 4 * (spreading_factor - de)
+    extra = max(math.ceil(numerator / denominator) * (coding_rate + 4), 0)
+    return 8 + extra
+
+
+@dataclass(frozen=True)
+class AirtimeBreakdown:
+    """Per-segment timing of one LoRa frame, all in seconds."""
+
+    preamble_s: float
+    header_s: float
+    payload_s: float
+    symbol_s: float
+    n_payload_symbols: int
+
+    @property
+    def total_s(self) -> float:
+        return self.preamble_s + self.header_s + self.payload_s
+
+    @property
+    def header_end_s(self) -> float:
+        """Offset from frame start to the end of the PHY header region."""
+        return self.preamble_s + self.header_s
+
+
+def airtime_breakdown(
+    payload_len: int,
+    spreading_factor: int,
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ,
+    coding_rate: int = 1,
+    n_preamble: int = 8,
+    explicit_header: bool = True,
+    crc: bool = True,
+    ldro: bool | None = None,
+) -> AirtimeBreakdown:
+    """Time on air split into preamble / header / payload segments.
+
+    The PHY header occupies the first 8 payload-block symbols (they carry
+    the header at CR 4/8 together with the first payload nibbles); we
+    attribute those 8 symbols to the header segment, which is the region
+    whose corruption the RN2483 drops silently (paper Sec. 4.3).
+    """
+    t_sym = symbol_time_s(spreading_factor, bandwidth_hz)
+    n_sym = n_payload_symbols(
+        payload_len,
+        spreading_factor,
+        coding_rate=coding_rate,
+        explicit_header=explicit_header,
+        crc=crc,
+        ldro=ldro,
+        bandwidth_hz=bandwidth_hz,
+    )
+    header_symbols = 8 if explicit_header else 0
+    payload_symbols = n_sym - header_symbols
+    return AirtimeBreakdown(
+        preamble_s=preamble_time_s(spreading_factor, bandwidth_hz, n_preamble),
+        header_s=header_symbols * t_sym,
+        payload_s=payload_symbols * t_sym,
+        symbol_s=t_sym,
+        n_payload_symbols=n_sym,
+    )
+
+
+def airtime_s(
+    payload_len: int,
+    spreading_factor: int,
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ,
+    coding_rate: int = 1,
+    n_preamble: int = 8,
+    explicit_header: bool = True,
+    crc: bool = True,
+    ldro: bool | None = None,
+) -> float:
+    """Total time on air of one LoRa frame, in seconds."""
+    return airtime_breakdown(
+        payload_len,
+        spreading_factor,
+        bandwidth_hz,
+        coding_rate=coding_rate,
+        n_preamble=n_preamble,
+        explicit_header=explicit_header,
+        crc=crc,
+        ldro=ldro,
+    ).total_s

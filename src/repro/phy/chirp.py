@@ -1,0 +1,250 @@
+"""Closed-form LoRa CSS chirp synthesis at complex baseband.
+
+The paper models the received up chirp as ``I(t) = (A/2) cos Θ(t)`` and
+``Q(t) = (A/2) sin Θ(t)`` with the instantaneous angle (paper Eq. 5)::
+
+    Θ(t) = π W² / 2^S · t² − π W t + 2π δ t + θ,   δ = δTx − δRx
+
+where ``W`` is the channel bandwidth, ``S`` the spreading factor, ``δ`` the
+net frequency bias between transmitter and SDR receiver, and ``θ`` the
+unknown phase difference.  We synthesize the equivalent complex envelope
+``z(t) = A · e^{jΘ(t)}`` (so that ``I = Re z`` and ``Q = Im z`` carry the
+amplitude convention of the chosen ``A``) and sample it at the SDR rate.
+
+Data chirps (symbol ``k``) start at frequency ``−W/2 + k·W/2^S`` and wrap
+from ``+W/2`` back to ``−W/2`` once during the chirp; the phase is kept
+continuous across the wrap and across consecutive chirps.  A useful closed
+form used by :func:`preamble_waveform`: the phase accumulated over one full
+base chirp is exactly ``2π δ T`` (the quadratic and linear sweep terms
+cancel at ``t = T = 2^S / W``), so chirp-to-chirp phase advances only by
+the frequency-bias term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    LORA_BANDWIDTH_HZ,
+    MAX_SPREADING_FACTOR,
+    MIN_SPREADING_FACTOR,
+    RTL_SDR_SAMPLE_RATE_HZ,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChirpConfig:
+    """Static parameters of a LoRa channel as seen by the SDR receiver.
+
+    Parameters
+    ----------
+    spreading_factor:
+        LoRa spreading factor ``S``; an integer in [6, 12].
+    bandwidth_hz:
+        Channel bandwidth ``W``; the paper uses 125 kHz throughout.
+    sample_rate_hz:
+        Complex sample rate of the capture device; the RTL-SDR runs at
+        2.4 Msps.  Tests may use lower rates for speed.
+    """
+
+    spreading_factor: int
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ
+    sample_rate_hz: float = RTL_SDR_SAMPLE_RATE_HZ
+
+    def __post_init__(self) -> None:
+        if not MIN_SPREADING_FACTOR <= self.spreading_factor <= MAX_SPREADING_FACTOR:
+            raise ConfigurationError(
+                f"spreading factor must be in [{MIN_SPREADING_FACTOR}, "
+                f"{MAX_SPREADING_FACTOR}], got {self.spreading_factor}"
+            )
+        if self.bandwidth_hz <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth_hz}")
+        if self.sample_rate_hz < self.bandwidth_hz:
+            raise ConfigurationError(
+                "sample rate must be at least the channel bandwidth "
+                f"({self.sample_rate_hz} < {self.bandwidth_hz})"
+            )
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of distinct CSS symbols, ``2^S``."""
+        return 1 << self.spreading_factor
+
+    @property
+    def chirp_time_s(self) -> float:
+        """Duration of one chirp, ``2^S / W`` (paper Sec. 6.1.1)."""
+        return self.n_symbols / self.bandwidth_hz
+
+    @property
+    def samples_per_chirp(self) -> int:
+        """Number of complex samples covering one chirp."""
+        return int(round(self.chirp_time_s * self.sample_rate_hz))
+
+    @property
+    def symbol_bandwidth_hz(self) -> float:
+        """Frequency spacing between adjacent CSS symbols, ``W / 2^S``."""
+        return self.bandwidth_hz / self.n_symbols
+
+    def sample_times(self, n_chirps: float = 1.0) -> np.ndarray:
+        """Sample instants covering ``n_chirps`` chirps, starting at 0."""
+        n = int(round(self.samples_per_chirp * n_chirps))
+        return np.arange(n) / self.sample_rate_hz
+
+
+def instantaneous_phase(
+    t: np.ndarray,
+    config: ChirpConfig,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    symbol: int = 0,
+    down: bool = False,
+) -> np.ndarray:
+    """Instantaneous angle ``Θ(t)`` of a chirp at times ``t`` (seconds).
+
+    For ``symbol == 0`` and ``down=False`` this is exactly the paper's
+    Eq. 5.  For a data symbol ``k`` the start frequency is raised by
+    ``k·W/2^S`` and the sweep wraps once from ``+W/2`` to ``−W/2``; phase
+    continuity is preserved across the wrap.
+    """
+    w = config.bandwidth_hz
+    rate = w * w / config.n_symbols  # sweep rate W²/2^S, Hz per second
+    if down:
+        if symbol:
+            raise ConfigurationError("down chirps carry no data symbol in this model")
+        theta = -np.pi * rate * t * t + np.pi * w * t + 2 * np.pi * fb_hz * t + phase
+        return theta
+    k = int(symbol) % config.n_symbols
+    f0 = -w / 2.0 + k * config.symbol_bandwidth_hz
+    theta = 2 * np.pi * (f0 * t + 0.5 * rate * t * t + fb_hz * t) + phase
+    if k:
+        # Frequency reaches +W/2 at the fold instant; afterwards the sweep
+        # continues from −W/2, i.e. the instantaneous frequency drops by W.
+        t_fold = (config.n_symbols - k) / w
+        late = t >= t_fold
+        theta = np.where(late, theta - 2 * np.pi * w * (t - t_fold), theta)
+    return theta
+
+
+def instantaneous_frequency(
+    t: np.ndarray,
+    config: ChirpConfig,
+    fb_hz: float = 0.0,
+    symbol: int = 0,
+    down: bool = False,
+) -> np.ndarray:
+    """Instantaneous baseband frequency ``f(t)`` of a chirp (Hz)."""
+    w = config.bandwidth_hz
+    rate = w * w / config.n_symbols
+    if down:
+        return w / 2.0 - rate * t + fb_hz
+    k = int(symbol) % config.n_symbols
+    f0 = -w / 2.0 + k * config.symbol_bandwidth_hz
+    freq = f0 + rate * t + fb_hz
+    if k:
+        t_fold = (config.n_symbols - k) / w
+        freq = np.where(t >= t_fold, freq - w, freq)
+    return freq
+
+
+def chirp_waveform(
+    config: ChirpConfig,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    amplitude: float = 1.0,
+    symbol: int = 0,
+    down: bool = False,
+) -> np.ndarray:
+    """One sampled chirp as a complex envelope ``A·e^{jΘ(t)}``.
+
+    ``I(t)`` and ``Q(t)`` as defined by the paper are the real and
+    imaginary parts of the returned array.
+    """
+    t = config.sample_times()
+    theta = instantaneous_phase(t, config, fb_hz=fb_hz, phase=phase, symbol=symbol, down=down)
+    return amplitude * np.exp(1j * theta)
+
+
+def upchirp(
+    config: ChirpConfig,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    amplitude: float = 1.0,
+    symbol: int = 0,
+) -> np.ndarray:
+    """A single up chirp carrying ``symbol`` (0 for a preamble chirp)."""
+    return chirp_waveform(
+        config, fb_hz=fb_hz, phase=phase, amplitude=amplitude, symbol=symbol, down=False
+    )
+
+
+def downchirp(
+    config: ChirpConfig,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A single down chirp (used by the SFD and as the dechirp template)."""
+    return chirp_waveform(config, fb_hz=fb_hz, phase=phase, amplitude=amplitude, down=True)
+
+
+def chirp_end_phase(config: ChirpConfig, fb_hz: float = 0.0, phase: float = 0.0) -> float:
+    """Phase at the end of one full base chirp.
+
+    The quadratic and linear sweep terms of Θ(t) cancel exactly at
+    ``t = T = 2^S/W``, leaving ``Θ(T) = 2π δ T + θ``.
+    """
+    return 2 * np.pi * fb_hz * config.chirp_time_s + phase
+
+
+def preamble_waveform(
+    config: ChirpConfig,
+    n_chirps: int = 8,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """``n_chirps`` phase-continuous base up chirps (the LoRa preamble).
+
+    Phase continuity matters to the frequency-bias estimators: the second
+    preamble chirp starts at phase ``θ + 2πδT`` rather than at ``θ``.
+    """
+    if n_chirps < 1:
+        raise ConfigurationError(f"preamble needs at least one chirp, got {n_chirps}")
+    chunks = []
+    current_phase = phase
+    for _ in range(n_chirps):
+        chunks.append(upchirp(config, fb_hz=fb_hz, phase=current_phase, amplitude=amplitude))
+        current_phase = chirp_end_phase(config, fb_hz=fb_hz, phase=current_phase)
+    return np.concatenate(chunks)
+
+
+def preamble_at_times(
+    t: np.ndarray,
+    config: ChirpConfig,
+    n_chirps: int = 8,
+    fb_hz: float = 0.0,
+    phase: float = 0.0,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Evaluate a phase-continuous preamble at arbitrary times (seconds).
+
+    ``t`` is measured from the preamble onset; samples outside
+    ``[0, n_chirps·T)`` are zero.  Because the base chirp's sweep phase
+    accumulates exactly ``2πδT`` per period, the whole preamble reduces
+    to ``A·exp(j(Θ_base(t mod T) + 2πδt + θ))`` -- which is what this
+    evaluates.  Used to synthesize captures whose true onset lies
+    *between* ADC samples, the situation the paper's error-upper-bound
+    metric is defined for.
+    """
+    t = np.asarray(t, dtype=float)
+    w = config.bandwidth_hz
+    rate = w * w / config.n_symbols
+    period = config.chirp_time_s
+    u = np.mod(t, period)
+    theta = np.pi * rate * u * u - np.pi * w * u + 2 * np.pi * fb_hz * t + phase
+    waveform = amplitude * np.exp(1j * theta)
+    active = (t >= 0) & (t < n_chirps * period)
+    return np.where(active, waveform, 0.0 + 0.0j)

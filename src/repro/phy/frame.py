@@ -1,0 +1,338 @@
+"""LoRa PHY frame assembly and the end-to-end transmitter / receiver pair.
+
+A LoRa PHY frame is, on air::
+
+    [ preamble: N base up chirps ]
+    [ sync word: 2 modulated up chirps ]
+    [ SFD: 2.25 down chirps ]
+    [ PHY header: 8 symbols at CR 4/8 (explicit mode) ]
+    [ payload (+ CRC16) symbols at the frame's CR ]
+
+The transmitter keeps phase continuity across all segments (the phase a
+chirp accumulates over a full sweep is exactly ``2πδT``, see
+:mod:`repro.phy.chirp`).  The receiver is deliberately factored the way the
+SoftLoRa gateway uses it: frame-start sample index and frequency-bias
+estimate are *inputs* (produced by the paper's onset detector and FB
+estimators), after which demodulation is deterministic dechirp-FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, CrcError, DecodeError
+from repro.phy.chirp import (
+    ChirpConfig,
+    chirp_end_phase,
+    downchirp,
+    instantaneous_phase,
+    upchirp,
+)
+from repro.phy.encoding import PayloadCodec
+from repro.phy.modulation import CssDemodulator, CssModulator
+
+#: Number of down chirps in the start-of-frame delimiter.
+SFD_CHIRPS = 2.25
+
+#: Default LoRaWAN public sync word.
+DEFAULT_SYNC_WORD = 0x34
+
+#: The PHY header always uses the strongest coding rate.
+HEADER_CODING_RATE = 4
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over ``data`` (polynomial 0x1021)."""
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class PhyHeader:
+    """Explicit-mode PHY header: length, coding rate, CRC presence."""
+
+    payload_len: int
+    coding_rate: int = 1
+    has_crc: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_len <= 255:
+            raise ConfigurationError(f"payload length must fit a byte, got {self.payload_len}")
+        if not 1 <= self.coding_rate <= 4:
+            raise ConfigurationError(f"coding rate index must be in [1, 4], got {self.coding_rate}")
+
+    def to_bytes(self) -> bytes:
+        """Pack into 3 bytes: length, flags, checksum."""
+        flags = (self.coding_rate << 1) | (1 if self.has_crc else 0)
+        checksum = (self.payload_len ^ (flags << 3) ^ 0x5A) & 0xFF
+        return bytes([self.payload_len, flags, checksum])
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "PhyHeader":
+        """Unpack and verify the header checksum."""
+        if len(raw) < 3:
+            raise DecodeError(f"PHY header needs 3 bytes, got {len(raw)}")
+        payload_len, flags, checksum = raw[0], raw[1], raw[2]
+        if checksum != ((payload_len ^ (flags << 3) ^ 0x5A) & 0xFF):
+            raise CrcError("PHY header checksum mismatch")
+        coding_rate = (flags >> 1) & 0x7
+        if not 1 <= coding_rate <= 4:
+            raise DecodeError(f"PHY header carries invalid coding rate {coding_rate}")
+        return cls(payload_len=payload_len, coding_rate=coding_rate, has_crc=bool(flags & 1))
+
+
+@dataclass(frozen=True)
+class PhyFrame:
+    """A LoRa PHY frame ready for modulation."""
+
+    payload: bytes
+    coding_rate: int = 1
+    has_crc: bool = True
+    n_preamble: int = 8
+    sync_word: int = DEFAULT_SYNC_WORD
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > 255:
+            raise ConfigurationError(f"payload too long ({len(self.payload)} > 255 bytes)")
+        if not 0 <= self.sync_word <= 0xFF:
+            raise ConfigurationError(f"sync word must fit a byte, got {self.sync_word}")
+        if self.n_preamble < 1:
+            raise ConfigurationError(f"preamble length must be >= 1, got {self.n_preamble}")
+
+    @property
+    def header(self) -> PhyHeader:
+        return PhyHeader(
+            payload_len=len(self.payload), coding_rate=self.coding_rate, has_crc=self.has_crc
+        )
+
+    def sync_symbols(self, config: ChirpConfig) -> list[int]:
+        """The two sync-word chirp shifts (nibbles scaled by 8, like SX127x)."""
+        hi = ((self.sync_word >> 4) << 3) % config.n_symbols
+        lo = ((self.sync_word & 0xF) << 3) % config.n_symbols
+        return [hi, lo]
+
+    def payload_with_crc(self) -> bytes:
+        if not self.has_crc:
+            return self.payload
+        crc = crc16_ccitt(self.payload)
+        return self.payload + bytes([crc >> 8, crc & 0xFF])
+
+
+def sfd_n_samples(config: ChirpConfig) -> int:
+    """Samples occupied by the 2.25-chirp SFD."""
+    return int(round(SFD_CHIRPS * config.samples_per_chirp))
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Sample-index layout of a frame within its waveform."""
+
+    preamble_start: int
+    sync_start: int
+    sfd_start: int
+    header_start: int
+    payload_start: int
+    end: int
+
+    def shifted(self, offset: int) -> "FrameLayout":
+        return FrameLayout(
+            preamble_start=self.preamble_start + offset,
+            sync_start=self.sync_start + offset,
+            sfd_start=self.sfd_start + offset,
+            header_start=self.header_start + offset,
+            payload_start=self.payload_start + offset,
+            end=self.end + offset,
+        )
+
+
+def frame_layout(frame: PhyFrame, config: ChirpConfig, codec_factory=PayloadCodec) -> FrameLayout:
+    """Compute where each frame segment starts, in samples from frame start."""
+    spc = config.samples_per_chirp
+    preamble_start = 0
+    sync_start = frame.n_preamble * spc
+    sfd_start = sync_start + 2 * spc
+    header_start = sfd_start + sfd_n_samples(config)
+    header_codec = codec_factory(config.spreading_factor, HEADER_CODING_RATE)
+    n_header_symbols = header_codec.n_symbols(len(frame.header.to_bytes()))
+    payload_start = header_start + n_header_symbols * spc
+    payload_codec = codec_factory(config.spreading_factor, frame.coding_rate)
+    n_payload_symbols = payload_codec.n_symbols(len(frame.payload_with_crc()))
+    end = payload_start + n_payload_symbols * spc
+    return FrameLayout(
+        preamble_start=preamble_start,
+        sync_start=sync_start,
+        sfd_start=sfd_start,
+        header_start=header_start,
+        payload_start=payload_start,
+        end=end,
+    )
+
+
+class PhyTransmitter:
+    """Modulates :class:`PhyFrame` objects into complex baseband waveforms.
+
+    ``fb_hz`` models the transmitter oscillator's frequency bias (δTx in
+    the paper); every waveform it emits carries that bias.
+    """
+
+    def __init__(self, config: ChirpConfig, fb_hz: float = 0.0):
+        self.config = config
+        self.fb_hz = fb_hz
+        self._modulator = CssModulator(config)
+
+    def _sfd_waveform(self, phase: float, amplitude: float) -> tuple[np.ndarray, float]:
+        """The 2.25 down chirps; returns (waveform, end phase)."""
+        config = self.config
+        full = downchirp(config, fb_hz=self.fb_hz, phase=phase, amplitude=amplitude)
+        phase = chirp_end_phase(config, fb_hz=self.fb_hz, phase=phase)
+        full2 = downchirp(config, fb_hz=self.fb_hz, phase=phase, amplitude=amplitude)
+        phase = chirp_end_phase(config, fb_hz=self.fb_hz, phase=phase)
+        quarter_len = sfd_n_samples(config) - 2 * config.samples_per_chirp
+        t = np.arange(quarter_len) / config.sample_rate_hz
+        theta = instantaneous_phase(t, config, fb_hz=self.fb_hz, phase=phase, down=True)
+        quarter = amplitude * np.exp(1j * theta)
+        end_t = quarter_len / config.sample_rate_hz
+        end_phase = float(
+            instantaneous_phase(
+                np.array([end_t]), config, fb_hz=self.fb_hz, phase=phase, down=True
+            )[0]
+        )
+        return np.concatenate([full, full2, quarter]), end_phase
+
+    def modulate(self, frame: PhyFrame, phase: float = 0.0, amplitude: float = 1.0) -> np.ndarray:
+        """Full frame waveform at complex baseband."""
+        config = self.config
+        chunks: list[np.ndarray] = []
+        current = phase
+        for _ in range(frame.n_preamble):
+            chunks.append(
+                upchirp(config, fb_hz=self.fb_hz, phase=current, amplitude=amplitude)
+            )
+            current = chirp_end_phase(config, fb_hz=self.fb_hz, phase=current)
+        for symbol in frame.sync_symbols(config):
+            chunks.append(
+                upchirp(
+                    config, fb_hz=self.fb_hz, phase=current, amplitude=amplitude, symbol=symbol
+                )
+            )
+            current = chirp_end_phase(config, fb_hz=self.fb_hz, phase=current)
+        sfd, current = self._sfd_waveform(current, amplitude)
+        chunks.append(sfd)
+        header_codec = PayloadCodec(config.spreading_factor, HEADER_CODING_RATE)
+        header_symbols = header_codec.encode(frame.header.to_bytes())
+        chunks.append(
+            self._modulator.modulate(
+                header_symbols, fb_hz=self.fb_hz, phase=current, amplitude=amplitude
+            )
+        )
+        current = chirp_end_phase(config, fb_hz=self.fb_hz, phase=current)
+        for _ in range(len(header_symbols) - 1):
+            current = chirp_end_phase(config, fb_hz=self.fb_hz, phase=current)
+        payload_codec = PayloadCodec(config.spreading_factor, frame.coding_rate)
+        payload_symbols = payload_codec.encode(frame.payload_with_crc())
+        chunks.append(
+            self._modulator.modulate(
+                payload_symbols, fb_hz=self.fb_hz, phase=current, amplitude=amplitude
+            )
+        )
+        return np.concatenate(chunks)
+
+
+@dataclass
+class PhyDecodeResult:
+    """Outcome of a successful PHY decode."""
+
+    header: PhyHeader
+    payload: bytes
+    crc_ok: bool
+    corrected_codewords: int = 0
+    sync_symbols: list[int] = field(default_factory=list)
+
+
+class PhyReceiver:
+    """Demodulates frame waveforms given onset index and FB estimate.
+
+    This mirrors the SoftLoRa split of concerns: the gateway's commodity
+    LoRa chip does hardware demodulation, while the SDR path provides the
+    onset timestamp and the FB.  For the simulator we reuse the FB-corrected
+    dechirp demodulator as the "hardware" decode.
+    """
+
+    def __init__(self, config: ChirpConfig, sync_tolerance_bins: int = 2):
+        self.config = config
+        self.sync_tolerance_bins = sync_tolerance_bins
+        self._demodulator = CssDemodulator(config)
+
+    def _expect_sync(self, observed: list[int], frame_sync_word: int) -> bool:
+        expected_hi = ((frame_sync_word >> 4) << 3) % self.config.n_symbols
+        expected_lo = ((frame_sync_word & 0xF) << 3) % self.config.n_symbols
+        tol = self.sync_tolerance_bins
+        n = self.config.n_symbols
+
+        def close(a: int, b: int) -> bool:
+            d = abs(a - b)
+            return min(d, n - d) <= tol
+
+        return close(observed[0], expected_hi) and close(observed[1], expected_lo)
+
+    def decode(
+        self,
+        iq: np.ndarray,
+        onset_index: int,
+        fb_hz: float = 0.0,
+        n_preamble: int = 8,
+        sync_word: int = DEFAULT_SYNC_WORD,
+        check_sync: bool = True,
+    ) -> PhyDecodeResult:
+        """Decode a frame whose preamble starts at ``onset_index``.
+
+        Raises :class:`DecodeError` / :class:`CrcError` on failure, the
+        same conditions under which a commodity gateway raises (or
+        silently drops, see the jamming model) a reception.
+        """
+        spc = self.config.samples_per_chirp
+        sync_start = onset_index + n_preamble * spc
+        sync_obs = self._demodulator.symbols(iq[sync_start:], 2, fb_hz=fb_hz)
+        if check_sync and not self._expect_sync(sync_obs, sync_word):
+            raise DecodeError(f"sync word mismatch: observed symbols {sync_obs}")
+        header_start = sync_start + 2 * spc + sfd_n_samples(self.config)
+        header_codec = PayloadCodec(self.config.spreading_factor, HEADER_CODING_RATE)
+        n_header_symbols = header_codec.n_symbols(3)
+        header_syms = self._demodulator.symbols(iq[header_start:], n_header_symbols, fb_hz=fb_hz)
+        header_decoded = header_codec.decode(header_syms, 3)
+        header = PhyHeader.from_bytes(header_decoded.data)
+        payload_codec = PayloadCodec(self.config.spreading_factor, header.coding_rate)
+        n_bytes = header.payload_len + (2 if header.has_crc else 0)
+        n_payload_symbols = payload_codec.n_symbols(n_bytes)
+        payload_start = header_start + n_header_symbols * spc
+        payload_syms = self._demodulator.symbols(
+            iq[payload_start:], n_payload_symbols, fb_hz=fb_hz
+        )
+        decoded = payload_codec.decode(payload_syms, n_bytes)
+        if header.has_crc:
+            payload, crc_bytes = decoded.data[:-2], decoded.data[-2:]
+            expected = crc16_ccitt(payload)
+            observed = (crc_bytes[0] << 8) | crc_bytes[1]
+            if expected != observed:
+                raise CrcError(
+                    f"payload CRC mismatch: expected {expected:#06x}, got {observed:#06x}"
+                )
+            crc_ok = True
+        else:
+            payload, crc_ok = decoded.data, False
+        return PhyDecodeResult(
+            header=header,
+            payload=payload,
+            crc_ok=crc_ok,
+            corrected_codewords=decoded.corrected_codewords + header_decoded.corrected_codewords,
+            sync_symbols=sync_obs,
+        )

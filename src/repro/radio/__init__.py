@@ -1,0 +1,36 @@
+"""Radio propagation substrate: geometry, path loss, link budget, channel.
+
+Stands in for the paper's two physical deployments: a 190 m six-floor
+concrete building (Fig. 15) and a 1.07 km campus link (Sec. 8.2).  Models
+are calibrated so the surveyed SNR ranges of the paper are reproduced.
+"""
+
+from repro.radio.channel import (
+    LinkBudget,
+    Transmission,
+    amplitude_for_snr,
+    noise_floor_dbm,
+    propagation_delay_s,
+    resolve_collisions,
+)
+from repro.radio.geometry import Building, CampusLink, Position
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    IndoorMultiWallPathLoss,
+    LogDistancePathLoss,
+)
+
+__all__ = [
+    "Building",
+    "CampusLink",
+    "FreeSpacePathLoss",
+    "IndoorMultiWallPathLoss",
+    "LinkBudget",
+    "LogDistancePathLoss",
+    "Position",
+    "Transmission",
+    "amplitude_for_snr",
+    "noise_floor_dbm",
+    "propagation_delay_s",
+    "resolve_collisions",
+]

@@ -1,0 +1,148 @@
+"""Link budget, propagation delay, and collision resolution.
+
+Supports the two abstraction levels the experiments need:
+
+* **frame level** -- receptions carry powers and times; collisions resolve
+  with LoRa's capture effect (used by the discrete-event simulator and the
+  jamming model),
+* **waveform level** -- amplitudes are scaled so a synthesized baseband
+  trace exhibits the SNR the link budget predicts (used by the signal
+  processing experiments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.constants import (
+    LORA_BANDWIDTH_HZ,
+    SPEED_OF_LIGHT_M_S,
+    SX1276_NOISE_FIGURE_DB,
+    THERMAL_NOISE_DBM_PER_HZ,
+)
+from repro.errors import ConfigurationError
+from repro.radio.geometry import Position
+
+#: Minimum power advantage for the stronger of two co-SF frames to survive
+#: a collision (the LoRa capture effect).
+DEFAULT_CAPTURE_THRESHOLD_DB = 6.0
+
+
+def propagation_delay_s(tx: Position, rx: Position) -> float:
+    """One-way signal propagation time between two positions."""
+    return tx.distance_to(rx) / SPEED_OF_LIGHT_M_S
+
+
+def noise_floor_dbm(
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ,
+    noise_figure_db: float = SX1276_NOISE_FIGURE_DB,
+) -> float:
+    """Receiver noise floor: thermal density + bandwidth + noise figure.
+
+    For 125 kHz and a 6 dB NF this is about -117 dBm.
+    """
+    if bandwidth_hz <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Received power and SNR for a path-loss model and antenna gains."""
+
+    pathloss: Any
+    tx_antenna_gain_db: float = 0.0
+    rx_antenna_gain_db: float = 0.0
+    bandwidth_hz: float = LORA_BANDWIDTH_HZ
+    noise_figure_db: float = SX1276_NOISE_FIGURE_DB
+
+    def rx_power_dbm(self, tx_power_dbm: float, tx: Position, rx: Position, **loss_kwargs) -> float:
+        loss = self.pathloss.loss_db(tx, rx, **loss_kwargs)
+        return tx_power_dbm + self.tx_antenna_gain_db + self.rx_antenna_gain_db - loss
+
+    def snr_db(self, tx_power_dbm: float, tx: Position, rx: Position, **loss_kwargs) -> float:
+        floor = noise_floor_dbm(self.bandwidth_hz, self.noise_figure_db)
+        return self.rx_power_dbm(tx_power_dbm, tx, rx, **loss_kwargs) - floor
+
+
+def amplitude_for_snr(snr_db: float, noise_power: float = 1.0) -> float:
+    """Complex-envelope amplitude giving ``snr_db`` over a noise power.
+
+    For a constant-envelope chirp of amplitude A, signal power is A², so
+    ``A = sqrt(noise_power · 10^(SNR/10))``.
+    """
+    if noise_power <= 0:
+        raise ConfigurationError(f"noise power must be positive, got {noise_power}")
+    return math.sqrt(noise_power * 10.0 ** (snr_db / 10.0))
+
+
+@dataclass
+class Transmission:
+    """A frame-level transmission visible on the air interface."""
+
+    sender: str
+    start_time_s: float
+    airtime_s: float
+    rx_power_dbm: float
+    spreading_factor: int
+    payload: bytes = b""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_time_s(self) -> float:
+        return self.start_time_s + self.airtime_s
+
+    def overlaps(self, other: "Transmission") -> bool:
+        return self.start_time_s < other.end_time_s and other.start_time_s < self.end_time_s
+
+
+@dataclass(frozen=True)
+class ReceptionOutcome:
+    """Fate of one transmission after collision resolution."""
+
+    transmission: Transmission
+    delivered: bool
+    reason: str
+
+
+def resolve_collisions(
+    transmissions: list[Transmission],
+    capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB,
+    min_snr_db: dict[int, float] | None = None,
+    noise_floor: float | None = None,
+) -> list[ReceptionOutcome]:
+    """Resolve overlapping receptions at one gateway.
+
+    Rules (standard LoRa capture model):
+
+    * different spreading factors are quasi-orthogonal: no mutual loss,
+    * co-SF overlap: the stronger survives iff it exceeds every overlapping
+      co-SF rival by ``capture_threshold_db``; otherwise both are lost,
+    * optionally, frames below the SF's demodulation SNR floor are lost.
+    """
+    outcomes: list[ReceptionOutcome] = []
+    floor = noise_floor_dbm() if noise_floor is None else noise_floor
+    for tx in transmissions:
+        rivals = [
+            other
+            for other in transmissions
+            if other is not tx
+            and other.spreading_factor == tx.spreading_factor
+            and other.overlaps(tx)
+        ]
+        if min_snr_db is not None:
+            required = min_snr_db.get(tx.spreading_factor)
+            if required is not None and (tx.rx_power_dbm - floor) < required:
+                outcomes.append(ReceptionOutcome(tx, False, "below demodulation SNR floor"))
+                continue
+        if not rivals:
+            outcomes.append(ReceptionOutcome(tx, True, "clear channel"))
+            continue
+        strongest_rival = max(r.rx_power_dbm for r in rivals)
+        if tx.rx_power_dbm >= strongest_rival + capture_threshold_db:
+            outcomes.append(ReceptionOutcome(tx, True, "captured over weaker rivals"))
+        else:
+            outcomes.append(ReceptionOutcome(tx, False, "lost in co-SF collision"))
+    return outcomes

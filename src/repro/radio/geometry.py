@@ -1,0 +1,131 @@
+"""Deployment geometry: 3-D positions, the Fig. 15 building, the campus link.
+
+The paper's building is 190 m long with three sections (A, B, C) separated
+by two junctions (J), six floors, and survey positions named like "B2" on
+each floor.  :class:`Building` reproduces that layout so the SNR survey and
+the timing-error heat map can be regenerated position-by-position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in right-handed 3-D space, meters."""
+
+    x: float
+    y: float = 0.0
+    z: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        return math.sqrt(
+            (self.x - other.x) ** 2 + (self.y - other.y) ** 2 + (self.z - other.z) ** 2
+        )
+
+
+#: Survey column labels along the building's long axis, matching Fig. 15.
+BUILDING_COLUMNS = ("A1", "A2", "A3", "J1", "B1", "B2", "B3", "J2", "C1", "C2", "C3")
+
+
+@dataclass(frozen=True)
+class Building:
+    """The paper's six-floor, three-section, 190 m concrete building.
+
+    Columns run along the long axis in the order of
+    :data:`BUILDING_COLUMNS`; floors are numbered 1..6.  Positions are
+    placed at the column's center along x, mid-width along y, and
+    mid-floor height along z.
+    """
+
+    length_m: float = 190.0
+    width_m: float = 20.0
+    n_floors: int = 6
+    floor_height_m: float = 3.5
+
+    def __post_init__(self) -> None:
+        if self.n_floors < 1:
+            raise ConfigurationError(f"building needs >= 1 floor, got {self.n_floors}")
+        if self.length_m <= 0 or self.floor_height_m <= 0:
+            raise ConfigurationError("building dimensions must be positive")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return BUILDING_COLUMNS
+
+    def column_index(self, column: str) -> int:
+        try:
+            return BUILDING_COLUMNS.index(column)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown column {column!r}; valid: {', '.join(BUILDING_COLUMNS)}"
+            ) from None
+
+    def position(self, column: str, floor: int) -> Position:
+        """3-D position of a survey point like ``("B2", 4)``."""
+        if not 1 <= floor <= self.n_floors:
+            raise ConfigurationError(
+                f"floor must be in [1, {self.n_floors}], got {floor}"
+            )
+        idx = self.column_index(column)
+        n = len(BUILDING_COLUMNS)
+        x = (idx + 0.5) / n * self.length_m
+        z = (floor - 0.5) * self.floor_height_m
+        return Position(x=x, y=self.width_m / 2.0, z=z)
+
+    def floors_between(self, a: Position, b: Position) -> int:
+        """Number of concrete slabs a straight path penetrates."""
+        fa = int(a.z // self.floor_height_m)
+        fb = int(b.z // self.floor_height_m)
+        return abs(fa - fb)
+
+    def junctions_between(self, column_a: str, column_b: str) -> int:
+        """Number of section junctions between two survey columns."""
+        ia, ib = self.column_index(column_a), self.column_index(column_b)
+        lo, hi = min(ia, ib), max(ia, ib)
+        junction_indices = [i for i, name in enumerate(BUILDING_COLUMNS) if name.startswith("J")]
+        return sum(1 for j in junction_indices if lo < j < hi)
+
+    def survey_points(self) -> list[tuple[str, int]]:
+        """All (column, floor) survey labels, inaccessible spots excluded.
+
+        The paper notes C3 on floors 1 and 2 was not accessible.
+        """
+        points = []
+        for column in BUILDING_COLUMNS:
+            if column.startswith("J"):
+                continue
+            for floor in range(1, self.n_floors + 1):
+                if column == "C3" and floor in (1, 2):
+                    continue
+                points.append((column, floor))
+        return points
+
+
+@dataclass(frozen=True)
+class CampusLink:
+    """The Sec. 8.2 long-distance deployment: two sites 1.07 km apart.
+
+    Site A sits on a rooftop; Site B in an open staircase of another
+    building.  The one-way propagation time at this distance is 3.57 µs,
+    which the paper quotes as negligible for millisecond timestamping.
+    """
+
+    distance_m: float = 1070.0
+    site_a_height_m: float = 25.0
+    site_b_height_m: float = 10.0
+
+    @property
+    def site_a(self) -> Position:
+        return Position(x=0.0, y=0.0, z=self.site_a_height_m)
+
+    @property
+    def site_b(self) -> Position:
+        ground = math.sqrt(
+            max(self.distance_m**2 - (self.site_a_height_m - self.site_b_height_m) ** 2, 0.0)
+        )
+        return Position(x=ground, y=0.0, z=self.site_b_height_m)

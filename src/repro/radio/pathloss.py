@@ -1,0 +1,107 @@
+"""Path-loss models: free space, log-distance, and indoor multi-wall.
+
+Used to regenerate the paper's link conditions:
+
+* the campus link (Sec. 8.2) is near line-of-sight over 1.07 km,
+* the in-building survey (Fig. 15) shows SNR decaying from 13 dB near the
+  fixed node to -1 dB at the far end, driven by distance plus floor slabs
+  and section junction walls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import EU868_CENTER_FREQUENCY_HZ, SPEED_OF_LIGHT_M_S
+from repro.errors import ConfigurationError
+from repro.radio.geometry import Building, Position
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss:
+    """Friis free-space loss at a given carrier."""
+
+    carrier_hz: float = EU868_CENTER_FREQUENCY_HZ
+
+    def loss_db(self, tx: Position, rx: Position) -> float:
+        distance = max(tx.distance_to(rx), 1.0)
+        return 20.0 * math.log10(4.0 * math.pi * distance * self.carrier_hz / SPEED_OF_LIGHT_M_S)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance model with optional deterministic per-link shadowing.
+
+    ``PL(d) = PL(d0) + 10·n·log10(d/d0) + X``, where X is a shadowing term
+    drawn from N(0, σ²) using a hash of the endpoint pair, so a given link
+    always sees the same shadowing (links don't flicker between calls).
+    """
+
+    exponent: float = 2.8
+    reference_distance_m: float = 1.0
+    reference_loss_db: float | None = None
+    shadowing_sigma_db: float = 0.0
+    carrier_hz: float = EU868_CENTER_FREQUENCY_HZ
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError(f"path-loss exponent must be positive, got {self.exponent}")
+        if self.reference_distance_m <= 0:
+            raise ConfigurationError("reference distance must be positive")
+
+    def _reference_loss(self) -> float:
+        if self.reference_loss_db is not None:
+            return self.reference_loss_db
+        return FreeSpacePathLoss(self.carrier_hz).loss_db(
+            Position(0.0), Position(self.reference_distance_m)
+        )
+
+    def _shadowing(self, tx: Position, rx: Position) -> float:
+        if self.shadowing_sigma_db == 0.0:
+            return 0.0
+        key = hash(
+            (round(tx.x, 3), round(tx.y, 3), round(tx.z, 3),
+             round(rx.x, 3), round(rx.y, 3), round(rx.z, 3), self.seed)
+        ) & 0xFFFFFFFF
+        rng = np.random.default_rng(key)
+        return float(rng.normal(0.0, self.shadowing_sigma_db))
+
+    def loss_db(self, tx: Position, rx: Position) -> float:
+        distance = max(tx.distance_to(rx), self.reference_distance_m)
+        loss = self._reference_loss() + 10.0 * self.exponent * math.log10(
+            distance / self.reference_distance_m
+        )
+        return loss + self._shadowing(tx, rx)
+
+
+@dataclass(frozen=True)
+class IndoorMultiWallPathLoss:
+    """Indoor model: log-distance plus per-floor and per-junction losses.
+
+    ``floor_loss_db`` charges each concrete slab on the straight path;
+    ``junction_loss_db`` charges each section junction crossed along the
+    building's long axis (the junctions in Fig. 15 visibly knock the SNR
+    down between sections).
+    """
+
+    building: Building
+    base: LogDistancePathLoss = LogDistancePathLoss(exponent=2.2)
+    floor_loss_db: float = 4.0
+    junction_loss_db: float = 3.0
+
+    def loss_db(
+        self,
+        tx: Position,
+        rx: Position,
+        tx_column: str | None = None,
+        rx_column: str | None = None,
+    ) -> float:
+        loss = self.base.loss_db(tx, rx)
+        loss += self.floor_loss_db * self.building.floors_between(tx, rx)
+        if tx_column is not None and rx_column is not None:
+            loss += self.junction_loss_db * self.building.junctions_between(tx_column, rx_column)
+        return loss

@@ -1,0 +1,26 @@
+"""SDR receiver substrate: I/Q capture, mixer bias, ADC, and noise models.
+
+Models the RTL-SDR receive chain of Fig. 5 in the paper at complex
+baseband: the self-generated carriers' frequency bias (δRx) and phase
+(θRx) become a complex rotation of the incoming waveform, the low-pass
+filters select the baseband term, and the ADCs sample (and, optionally,
+quantize to the dongle's 8 bits).
+"""
+
+from repro.sdr.iq import IQTrace
+from repro.sdr.noise import (
+    RealNoiseModel,
+    add_noise_for_snr,
+    complex_awgn,
+    noise_power_for_snr,
+)
+from repro.sdr.receiver import SdrReceiver
+
+__all__ = [
+    "IQTrace",
+    "RealNoiseModel",
+    "SdrReceiver",
+    "add_noise_for_snr",
+    "complex_awgn",
+    "noise_power_for_snr",
+]

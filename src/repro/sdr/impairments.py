@@ -1,0 +1,100 @@
+"""Front-end impairments of cheap SDR receivers.
+
+The RTL-SDR class of dongles exhibits three well-known analog warts that
+a defense keying on sub-ppm frequency features must tolerate:
+
+* **DC offset** -- a spurious spike at 0 Hz from LO leakage,
+* **IQ imbalance** -- gain/phase mismatch between the I and Q paths,
+  creating an image of the signal mirrored across DC,
+* **phase noise** -- a random walk of the LO phase, spreading every
+  tone's skirt.
+
+These transforms are applied to captures in the robustness tests: the
+least-squares FB estimator must hold its resolution under realistic
+impairment levels, because the replay detector's guard band is sized
+from that resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def apply_dc_offset(samples: np.ndarray, offset: complex) -> np.ndarray:
+    """Add a constant complex DC term (LO leakage)."""
+    return np.asarray(samples, dtype=complex) + offset
+
+
+def apply_iq_imbalance(
+    samples: np.ndarray,
+    gain_mismatch_db: float = 0.5,
+    phase_mismatch_deg: float = 2.0,
+) -> np.ndarray:
+    """Apply gain/phase mismatch between the I and Q paths.
+
+    Standard model: ``y = α·x + β·conj(x)`` with
+
+        α = (1 + g·e^{jφ}) / 2,   β = (1 − g·e^{jφ}) / 2
+
+    where ``g`` is the linear gain ratio and φ the phase error.  β sets
+    the image-rejection ratio; perfect balance gives β = 0.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    g = 10.0 ** (gain_mismatch_db / 20.0)
+    phi = np.deg2rad(phase_mismatch_deg)
+    alpha = (1.0 + g * np.exp(1j * phi)) / 2.0
+    beta = (1.0 - g * np.exp(1j * phi)) / 2.0
+    return alpha * samples + beta * np.conj(samples)
+
+
+def image_rejection_ratio_db(
+    gain_mismatch_db: float, phase_mismatch_deg: float
+) -> float:
+    """IRR implied by an imbalance setting: ``|α|²/|β|²`` in dB."""
+    g = 10.0 ** (gain_mismatch_db / 20.0)
+    phi = np.deg2rad(phase_mismatch_deg)
+    alpha = (1.0 + g * np.exp(1j * phi)) / 2.0
+    beta = (1.0 - g * np.exp(1j * phi)) / 2.0
+    if abs(beta) == 0:
+        return float("inf")
+    return float(20.0 * np.log10(abs(alpha) / abs(beta)))
+
+
+def apply_phase_noise(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    linewidth_hz: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Multiply by a Wiener-process LO phase (Lorentzian line shape).
+
+    ``linewidth_hz`` is the -3 dB two-sided linewidth; the per-sample
+    phase increment variance is ``2π·linewidth/fs``.
+    """
+    if linewidth_hz < 0:
+        raise ConfigurationError(f"linewidth must be >= 0, got {linewidth_hz}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    samples = np.asarray(samples, dtype=complex)
+    if linewidth_hz == 0:
+        return samples.copy()
+    sigma = np.sqrt(2.0 * np.pi * linewidth_hz / sample_rate_hz)
+    phase_walk = np.cumsum(rng.normal(0.0, sigma, len(samples)))
+    return samples * np.exp(1j * phase_walk)
+
+
+def apply_rtl_sdr_impairments(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    rng: np.random.Generator,
+    dc_offset: complex = 0.02 + 0.015j,
+    gain_mismatch_db: float = 0.4,
+    phase_mismatch_deg: float = 1.5,
+    linewidth_hz: float = 30.0,
+) -> np.ndarray:
+    """A representative RTL-SDR impairment stack at typical levels."""
+    out = apply_iq_imbalance(samples, gain_mismatch_db, phase_mismatch_deg)
+    out = apply_phase_noise(out, sample_rate_hz, linewidth_hz, rng)
+    return apply_dc_offset(out, dc_offset)

@@ -1,0 +1,131 @@
+"""The SDR receiver model: mixer bias, low-pass selection, ADC capture.
+
+Following the paper's Fig. 5 analysis, the receive chain reduces at
+complex baseband to::
+
+    z_rx(t) = z_tx(t) · e^{−j(2π δRx t + θRx)} + noise
+
+followed by sampling and (for an RTL-SDR) 8-bit quantization.  The
+transmitter's bias δTx lives inside ``z_tx`` (see
+:class:`repro.phy.frame.PhyTransmitter`), so the captured trace carries
+the net bias ``δ = δTx − δRx`` exactly as in paper Eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import RTL_SDR_ADC_BITS, RTL_SDR_SAMPLE_RATE_HZ
+from repro.errors import ConfigurationError
+from repro.sdr.iq import IQTrace
+from repro.sdr.noise import RealNoiseModel, complex_awgn
+
+
+@dataclass
+class SdrReceiver:
+    """A low-cost listen-only SDR receiver (RTL-SDR class).
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        ADC rate; 2.4 Msps for the paper's dongle.
+    fb_hz:
+        Receiver oscillator frequency bias δRx (Hz at the carrier).
+    phase:
+        Mixer phase θRx.
+    noise_power:
+        Mean power of the receiver's own noise floor added to every
+        capture (0 disables).
+    adc_bits:
+        When set, I and Q are quantized to this many bits over
+        ``adc_full_scale``; ``None`` keeps ideal samples.
+    adc_full_scale:
+        Clipping amplitude of the ADC input.
+    """
+
+    sample_rate_hz: float = RTL_SDR_SAMPLE_RATE_HZ
+    fb_hz: float = 0.0
+    phase: float = 0.0
+    noise_power: float = 0.0
+    adc_bits: int | None = None
+    adc_full_scale: float = 4.0
+    noise_model: RealNoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError(f"sample rate must be positive, got {self.sample_rate_hz}")
+        if self.noise_power < 0:
+            raise ConfigurationError(f"noise power must be >= 0, got {self.noise_power}")
+        if self.adc_bits is not None and not 1 <= self.adc_bits <= 16:
+            raise ConfigurationError(f"ADC bits must be in [1, 16], got {self.adc_bits}")
+
+    def _mix(self, waveform: np.ndarray, start_time_s: float) -> np.ndarray:
+        """Apply the receiver LO offset −(2πδRx·t + θRx).
+
+        The LO runs continuously, so the rotation depends on absolute
+        capture time, not on time since capture start.
+        """
+        if self.fb_hz == 0.0 and self.phase == 0.0:
+            return np.asarray(waveform, dtype=complex)
+        t = start_time_s + np.arange(len(waveform)) / self.sample_rate_hz
+        return waveform * np.exp(-1j * (2 * np.pi * self.fb_hz * t + self.phase))
+
+    def _quantize(self, samples: np.ndarray) -> np.ndarray:
+        if self.adc_bits is None:
+            return samples
+        levels = (1 << (self.adc_bits - 1)) - 1
+        scale = self.adc_full_scale
+        i = np.clip(samples.real, -scale, scale)
+        q = np.clip(samples.imag, -scale, scale)
+        i = np.round(i / scale * levels) / levels * scale
+        q = np.round(q / scale * levels) / levels * scale
+        return i + 1j * q
+
+    def capture(
+        self,
+        waveform: np.ndarray,
+        start_time_s: float = 0.0,
+        rng: np.random.Generator | None = None,
+        metadata: dict | None = None,
+    ) -> IQTrace:
+        """Capture a waveform already sampled at this receiver's rate.
+
+        Adds mixer rotation, the receiver noise floor, and optional ADC
+        quantization; returns an :class:`IQTrace` stamped with the capture
+        start time.
+        """
+        mixed = self._mix(np.asarray(waveform, dtype=complex), start_time_s)
+        if self.noise_power > 0:
+            if rng is None:
+                raise ConfigurationError("a random generator is required to add receiver noise")
+            if self.noise_model is None:
+                mixed = mixed + complex_awgn(len(mixed), self.noise_power, rng)
+            else:
+                mixed = mixed + self.noise_model.generate(len(mixed), self.noise_power, rng)
+        quantized = self._quantize(mixed)
+        return IQTrace(
+            samples=quantized,
+            sample_rate_hz=self.sample_rate_hz,
+            start_time_s=start_time_s,
+            metadata=metadata or {},
+        )
+
+    @classmethod
+    def rtl_sdr(
+        cls,
+        fb_hz: float = 0.0,
+        phase: float = 0.0,
+        noise_power: float = 0.0,
+        noise_model: RealNoiseModel | None = None,
+    ) -> "SdrReceiver":
+        """Factory configured like the paper's RTL2832U dongle."""
+        return cls(
+            sample_rate_hz=RTL_SDR_SAMPLE_RATE_HZ,
+            fb_hz=fb_hz,
+            phase=phase,
+            noise_power=noise_power,
+            adc_bits=RTL_SDR_ADC_BITS,
+            noise_model=noise_model,
+        )

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate: event queue, world wiring, scenarios."""
+
+from repro.sim.events import Simulator
+from repro.sim.network import FbMeasurementModel, LoRaWanWorld, WorldEvent
+from repro.sim.rng import RngStreams
+from repro.sim.scenarios import (
+    BuildingScenario,
+    CampusScenario,
+    build_building_scenario,
+    build_campus_scenario,
+    build_fleet,
+)
+
+__all__ = [
+    "BuildingScenario",
+    "CampusScenario",
+    "FbMeasurementModel",
+    "LoRaWanWorld",
+    "RngStreams",
+    "Simulator",
+    "WorldEvent",
+    "build_building_scenario",
+    "build_campus_scenario",
+    "build_fleet",
+]

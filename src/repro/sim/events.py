@@ -1,0 +1,85 @@
+"""A minimal discrete-event simulator (heap-based event queue)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time_s: float
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+
+class Simulator:
+    """Executes callbacks in global-time order.
+
+    Events scheduled at equal times run in scheduling order (stable FIFO
+    tie-break), which keeps attack orchestration deterministic.
+    """
+
+    def __init__(self, start_time_s: float = 0.0):
+        self._now = start_time_s
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def schedule(self, time_s: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``time_s`` (never in the past)."""
+        if time_s < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_s:.6f}s; simulation time is {self._now:.6f}s"
+            )
+        heapq.heappush(self._queue, _Event(time_s, next(self._counter), callback, args))
+
+    def schedule_in(self, delay_s: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule relative to the current simulation time."""
+        if delay_s < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay_s}")
+        self.schedule(self._now + delay_s, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time_s
+        event.callback(*event.args)
+        self._processed += 1
+        return True
+
+    def run_until(self, time_s: float) -> None:
+        """Run all events with time <= ``time_s``; advance the clock to it."""
+        while self._queue and self._queue[0].time_s <= time_s:
+            self.step()
+        self._now = max(self._now, time_s)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events processed."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted; runaway schedule?"
+                )
+        return count

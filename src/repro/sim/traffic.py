@@ -1,0 +1,108 @@
+"""Uplink traffic generation and ALOHA collision accounting.
+
+Class A LoRaWAN is pure ALOHA: devices transmit whenever they have data,
+with no carrier sensing.  For fleet simulations this module generates
+periodic-with-jitter reporting schedules and resolves which uplinks
+survive co-SF collisions at the gateway (capture effect), so detection
+experiments can run under realistic channel contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radio.channel import (
+    ReceptionOutcome,
+    Transmission,
+    resolve_collisions,
+)
+
+
+@dataclass(frozen=True)
+class ScheduledUplink:
+    """One planned uplink of a device."""
+
+    device_name: str
+    request_time_s: float
+
+
+@dataclass
+class PeriodicTrafficModel:
+    """Periodic reporting with uniform jitter (the common sensor pattern).
+
+    Each device reports every ``period_s`` seconds, each report jittered
+    by up to ``jitter_s`` -- the jitter is what desynchronizes the fleet
+    and keeps ALOHA workable.
+    """
+
+    period_s: float
+    jitter_s: float
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period_s}")
+        if not 0 <= self.jitter_s < self.period_s:
+            raise ConfigurationError(
+                f"jitter must be in [0, period), got {self.jitter_s}"
+            )
+
+    def schedule(
+        self, device_names: list[str], duration_s: float, start_s: float = 0.0
+    ) -> list[ScheduledUplink]:
+        """All uplinks of the fleet over a duration, time-ordered."""
+        uplinks = []
+        for name in device_names:
+            phase = float(self.rng.uniform(0.0, self.period_s))
+            t = start_s + phase
+            while t < start_s + duration_s:
+                jitter = float(self.rng.uniform(0.0, self.jitter_s)) if self.jitter_s else 0.0
+                uplinks.append(ScheduledUplink(device_name=name, request_time_s=t + jitter))
+                t += self.period_s
+        uplinks.sort(key=lambda u: u.request_time_s)
+        return uplinks
+
+
+@dataclass
+class AlohaChannel:
+    """Collision accounting over a window of frame-level transmissions."""
+
+    capture_threshold_db: float = 6.0
+    transmissions: list[Transmission] = field(default_factory=list)
+
+    def offer(self, transmission: Transmission) -> None:
+        self.transmissions.append(transmission)
+
+    def resolve(self) -> list[ReceptionOutcome]:
+        """Resolve all offered transmissions with the capture model."""
+        return resolve_collisions(
+            self.transmissions, capture_threshold_db=self.capture_threshold_db
+        )
+
+    def delivery_ratio(self) -> float:
+        outcomes = self.resolve()
+        if not outcomes:
+            return float("nan")
+        return sum(1 for o in outcomes if o.delivered) / len(outcomes)
+
+    def collision_count(self) -> int:
+        return sum(1 for o in self.resolve() if not o.delivered)
+
+
+def offered_load_erlangs(
+    n_devices: int, period_s: float, frame_airtime_s: float
+) -> float:
+    """Channel load G: fraction of time the fleet keeps the channel busy."""
+    if period_s <= 0 or frame_airtime_s <= 0:
+        raise ConfigurationError("period and airtime must be positive")
+    return n_devices * frame_airtime_s / period_s
+
+
+def pure_aloha_success_probability(load_erlangs: float) -> float:
+    """Classic pure-ALOHA throughput bound: ``exp(-2G)`` per frame."""
+    if load_erlangs < 0:
+        raise ConfigurationError(f"load must be >= 0, got {load_erlangs}")
+    return float(np.exp(-2.0 * load_erlangs))

@@ -1,0 +1,29 @@
+"""Shared fixtures: fast chirp configs and seeded generators.
+
+Tests default to SF7 at 0.5 Msps so the suite stays quick; the benchmark
+harness uses the paper's 2.4 Msps / SF12 settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.chirp import ChirpConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def fast_config() -> ChirpConfig:
+    """SF7 at 0.5 Msps: 512 samples per chirp, integral chirp period."""
+    return ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6)
+
+
+@pytest.fixture
+def rtl_config() -> ChirpConfig:
+    """The paper's capture setting: SF7 at the RTL-SDR's 2.4 Msps."""
+    return ChirpConfig(spreading_factor=7, sample_rate_hz=2.4e6)

@@ -1,0 +1,111 @@
+"""Tests for metrics and report formatting (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    DetectionStats,
+    detection_stats,
+    fb_error_hz,
+    timing_error_s,
+    timing_error_upper_bound_s,
+)
+from repro.analysis.report import format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestTimingMetrics:
+    def test_plain_error(self):
+        assert timing_error_s(10.0, 9.5) == 0.5
+        assert timing_error_s(9.5, 10.0) == 0.5
+
+    def test_upper_bound_exceeds_plain_error(self):
+        ts = 1e-6
+        for detected, truth in ((10.0, 10.0000007), (5.0, 4.9999993)):
+            plain = timing_error_s(detected, truth)
+            bound = timing_error_upper_bound_s(detected, truth, ts)
+            assert bound >= plain
+
+    def test_upper_bound_exact_detection(self):
+        # Detecting the sample just below the true onset: the bound is
+        # one full sample period (truth could be anywhere in the gap).
+        ts = 1.0
+        assert timing_error_upper_bound_s(3.0, 3.0, ts) == pytest.approx(1.0)
+
+    def test_upper_bound_mid_interval(self):
+        ts = 1.0
+        # truth at 3.5, detected at 3.0: interval [3, 4], worst case 1.0.
+        assert timing_error_upper_bound_s(3.0, 3.5, ts) == pytest.approx(1.0)
+
+    def test_upper_bound_distant_detection(self):
+        ts = 1.0
+        assert timing_error_upper_bound_s(10.0, 3.5, ts) == pytest.approx(7.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            timing_error_upper_bound_s(1.0, 1.0, 0.0)
+
+    def test_fb_error(self):
+        assert fb_error_hz(-20000.0, -20100.0) == 100.0
+
+
+class TestDetectionStats:
+    def test_perfect_detection(self):
+        stats = detection_stats([True, True, False, False], [True, True, False, False])
+        assert stats.detection_rate == 1.0
+        assert stats.false_alarm_rate == 0.0
+        assert stats.precision == 1.0
+        assert stats.accuracy == 1.0
+
+    def test_mixed_outcomes(self):
+        labels = [True, True, False, False, False]
+        predictions = [True, False, True, False, False]
+        stats = detection_stats(labels, predictions)
+        assert stats.true_positives == 1
+        assert stats.false_negatives == 1
+        assert stats.false_positives == 1
+        assert stats.true_negatives == 2
+        assert stats.detection_rate == pytest.approx(0.5)
+        assert stats.false_alarm_rate == pytest.approx(1 / 3)
+
+    def test_empty_edge_cases(self):
+        stats = detection_stats([], [])
+        assert stats.total == 0
+        assert stats.detection_rate != stats.detection_rate  # NaN
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            detection_stats([True], [])
+
+    def test_dataclass_direct(self):
+        stats = DetectionStats(
+            true_positives=8, false_positives=0, true_negatives=90, false_negatives=2
+        )
+        assert stats.detection_rate == pytest.approx(0.8)
+        assert stats.total == 100
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_table_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1234.5678], [0.0001234], [float("nan")]])
+        assert "1.23e+03" in table
+        assert "nan" in table
+
+    def test_series(self):
+        series = format_series("snr", "err", [(0, 1.0), (5, 0.5)])
+        assert "snr" in series and "err" in series
+        assert len(series.splitlines()) == 4

@@ -1,0 +1,272 @@
+"""Tests for the frame delay attack substrate (repro.attack)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.delay_attack import FrameDelayAttack
+from repro.attack.eavesdropper import Eavesdropper
+from repro.attack.jammer import (
+    JammingOutcome,
+    JammingWindowModel,
+    JammingWindows,
+    RN2483_MEASURED_WINDOWS,
+    StealthyJammer,
+)
+from repro.attack.replayer import Replayer
+from repro.clock.clocks import DriftingClock
+from repro.clock.oscillator import Oscillator
+from repro.constants import SINGLE_USRP_REPLAY_FB_RANGE_HZ
+from repro.errors import ConfigurationError
+from repro.lorawan.device import EndDevice
+from repro.lorawan.security import SessionKeys
+from repro.phy.airtime import symbol_time_s
+from repro.sdr.iq import IQTrace
+from repro.sdr.receiver import SdrReceiver
+
+
+def make_uplink(sf=7, seed=5):
+    rng = np.random.default_rng(seed)
+    device = EndDevice(
+        name="victim",
+        dev_addr=0x26010001,
+        keys=SessionKeys.derive_for_test(0x26010001),
+        radio_oscillator=Oscillator.lora_end_device(rng),
+        clock=DriftingClock(drift_ppm=40.0),
+        spreading_factor=sf,
+        rng=rng,
+    )
+    device.take_reading(20.0, 50.0)
+    return device, device.transmit(60.0)
+
+
+class TestJammingWindows:
+    def test_classification_regions(self):
+        windows = JammingWindows(w1_s=5e-3, w2_s=28e-3, w3_s=141e-3)
+        assert windows.classify(2e-3) is JammingOutcome.JAMMER_ONLY
+        assert windows.classify(10e-3) is JammingOutcome.SILENT_DROP
+        assert windows.classify(100e-3) is JammingOutcome.CRC_ALERT
+        assert windows.classify(200e-3) is JammingOutcome.BOTH_DECODED
+
+    def test_boundaries_inclusive(self):
+        windows = JammingWindows(w1_s=5e-3, w2_s=28e-3, w3_s=141e-3)
+        assert windows.classify(5e-3) is JammingOutcome.JAMMER_ONLY
+        assert windows.classify(28e-3) is JammingOutcome.SILENT_DROP
+        assert windows.classify(141e-3) is JammingOutcome.CRC_ALERT
+
+    def test_effective_window(self):
+        windows = JammingWindows(w1_s=5e-3, w2_s=28e-3, w3_s=141e-3)
+        assert windows.effective_window_s == (5e-3, 28e-3)
+        assert windows.effective_width_s == pytest.approx(23e-3)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JammingWindows(w1_s=10e-3, w2_s=5e-3, w3_s=20e-3)
+
+    def test_negative_onset_rejected(self):
+        windows = JammingWindows(w1_s=1e-3, w2_s=2e-3, w3_s=3e-3)
+        with pytest.raises(ConfigurationError):
+            windows.classify(-1e-3)
+
+
+class TestMeasuredTable:
+    def test_all_six_rows_present(self):
+        assert len(RN2483_MEASURED_WINDOWS) == 6
+
+    def test_w1_is_about_five_chirps_everywhere(self):
+        # Paper Sec. 4.3: jamming must start after the 5th chirp.
+        for (sf, _), windows in RN2483_MEASURED_WINDOWS.items():
+            chirps = windows.w1_s / symbol_time_s(sf)
+            assert 4.0 <= chirps <= 6.5
+
+    def test_w2_grows_with_spreading_factor(self):
+        w2 = {sf: RN2483_MEASURED_WINDOWS[(sf, 30)].w2_s for sf in (7, 8, 9)}
+        assert w2[7] < w2[8] < w2[9]
+        # "increases exponentially": roughly doubling per SF step.
+        assert 1.5 < w2[8] / w2[7] < 2.5
+        assert 1.5 < w2[9] / w2[8] < 2.5
+
+    def test_w2_grows_with_payload(self):
+        values = [RN2483_MEASURED_WINDOWS[(7, p)].w2_s for p in (10, 20, 30, 40)]
+        assert values == sorted(values)
+
+    def test_w3_minus_w2_roughly_constant(self):
+        gaps = [w.w3_s - w.w2_s for w in RN2483_MEASURED_WINDOWS.values()]
+        assert max(gaps) - min(gaps) < 0.02  # within 20 ms of each other
+
+
+class TestJammingWindowModel:
+    def test_tracks_measured_w1(self):
+        model = JammingWindowModel()
+        for (sf, payload), measured in RN2483_MEASURED_WINDOWS.items():
+            predicted = model.windows(sf, payload)
+            assert predicted.w1_s == pytest.approx(measured.w1_s, rel=0.35)
+
+    def test_tracks_measured_w2_within_25_percent(self):
+        model = JammingWindowModel()
+        for (sf, payload), measured in RN2483_MEASURED_WINDOWS.items():
+            predicted = model.windows(sf, payload)
+            assert predicted.w2_s == pytest.approx(measured.w2_s, rel=0.25)
+
+    def test_tracks_measured_w3_within_15_percent(self):
+        model = JammingWindowModel()
+        for (sf, payload), measured in RN2483_MEASURED_WINDOWS.items():
+            predicted = model.windows(sf, payload)
+            assert predicted.w3_s == pytest.approx(measured.w3_s, rel=0.15)
+
+    def test_measured_or_modelled_prefers_table(self):
+        model = JammingWindowModel()
+        assert model.measured_or_modelled(7, 10) == RN2483_MEASURED_WINDOWS[(7, 10)]
+        # A row outside the table falls back to the model.
+        fallback = model.measured_or_modelled(10, 25)
+        assert fallback.w1_s > 0
+
+
+class TestStealthyJammer:
+    def test_onset_inside_effective_window(self):
+        jammer = StealthyJammer()
+        for payload in (10, 20, 30, 40):
+            offset = jammer.choose_onset_offset_s(7, payload)
+            windows = jammer.windows_for(7, payload)
+            assert windows.w1_s < offset < windows.w2_s
+
+    def test_outcome_is_silent_drop(self):
+        jammer = StealthyJammer()
+        onset, outcome = jammer.jam(7, 30, frame_start_s=100.0)
+        assert outcome is JammingOutcome.SILENT_DROP
+        assert onset > 100.0
+
+    def test_randomized_aim(self):
+        jammer = StealthyJammer(rng=np.random.default_rng(4))
+        offsets = {jammer.choose_onset_offset_s(7, 30) for _ in range(10)}
+        assert len(offsets) > 1
+
+    def test_too_early_aim_would_relock(self):
+        # Aiming before w1 gives the gateway the jammer's own frame.
+        windows = StealthyJammer().windows_for(7, 30)
+        assert windows.classify(windows.w1_s / 2) is JammingOutcome.JAMMER_ONLY
+
+    def test_invalid_aim(self):
+        with pytest.raises(ConfigurationError):
+            StealthyJammer(aim=1.5)
+
+
+class TestReplayer:
+    def test_single_usrp_offset_in_paper_range(self, rng):
+        lo, hi = SINGLE_USRP_REPLAY_FB_RANGE_HZ
+        for _ in range(20):
+            replayer = Replayer.single_usrp(rng)
+            assert lo <= replayer.chain_fb_offset_hz <= hi
+
+    def test_dual_usrp_offset_near_2khz(self, rng):
+        offsets = [Replayer.dual_usrp(rng).chain_fb_offset_hz for _ in range(50)]
+        assert -2400.0 <= np.mean(offsets) <= -1600.0
+
+    def test_replay_shifts_frequency(self, fast_config, rng):
+        from repro.core.freq_bias import LeastSquaresFbEstimator
+        from repro.phy.chirp import upchirp
+
+        fb = -20e3
+        chirp = upchirp(fast_config, fb_hz=fb)
+        trace = IQTrace(chirp, fast_config.sample_rate_hz)
+        replayer = Replayer(chain_fb_offset_hz=-600.0)
+        replayed = replayer.replay(trace, delay_s=10.0)
+        estimate = LeastSquaresFbEstimator(fast_config).estimate(replayed.samples)
+        assert estimate.fb_hz == pytest.approx(fb - 600.0, abs=5.0)
+
+    def test_replay_applies_gain(self, fast_config):
+        trace = IQTrace(np.ones(64, dtype=complex), fast_config.sample_rate_hz)
+        replayed = Replayer(chain_fb_offset_hz=0.0, gain_db=6.0).replay(trace, 1.0)
+        assert np.abs(replayed.samples[0]) == pytest.approx(10 ** (6 / 20))
+
+    def test_replay_timing_and_metadata(self, fast_config):
+        trace = IQTrace(np.ones(8, dtype=complex), fast_config.sample_rate_hz, start_time_s=50.0)
+        replayed = Replayer().replay(trace, delay_s=30.0)
+        assert replayed.start_time_s == 80.0
+        assert replayed.metadata["replayed"] is True
+
+    def test_non_positive_delay_rejected(self, fast_config):
+        trace = IQTrace(np.ones(8, dtype=complex), fast_config.sample_rate_hz)
+        with pytest.raises(ConfigurationError):
+            Replayer().replay(trace, delay_s=0.0)
+
+
+class TestEavesdropper:
+    def test_records_waveform(self, fast_config, rng):
+        eave = Eavesdropper(receiver=SdrReceiver(sample_rate_hz=fast_config.sample_rate_hz))
+        wave = np.ones(128, dtype=complex)
+        trace = eave.record(wave, start_time_s=5.0, rng=rng)
+        assert len(trace) == 128
+        assert trace.start_time_s == 5.0
+        assert eave.last_recording is trace
+
+    def test_jamming_residue_added(self, fast_config, rng):
+        eave = Eavesdropper(receiver=SdrReceiver(sample_rate_hz=fast_config.sample_rate_hz))
+        wave = np.zeros(50_000, dtype=complex)
+        trace = eave.record(wave, 0.0, rng, jamming_power=0.25)
+        assert trace.power() == pytest.approx(0.25, rel=0.1)
+
+    def test_no_recording_yet(self, fast_config):
+        eave = Eavesdropper(receiver=SdrReceiver(sample_rate_hz=1e6))
+        with pytest.raises(ConfigurationError):
+            _ = eave.last_recording
+
+    def test_negative_jamming_power_rejected(self, rng):
+        eave = Eavesdropper(receiver=SdrReceiver(sample_rate_hz=1e6))
+        with pytest.raises(ConfigurationError):
+            eave.record(np.zeros(8, dtype=complex), 0.0, rng, jamming_power=-1.0)
+
+
+class TestFrameDelayAttack:
+    def test_frame_level_execution(self, rng):
+        _, uplink = make_uplink()
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(), replayer=Replayer.single_usrp(rng)
+        )
+        outcome = attack.execute(uplink, delay_s=30.0)
+        assert outcome.stealthy
+        assert outcome.replayed.arrival_time_s == pytest.approx(
+            uplink.emission_time_s + 30.0
+        )
+        assert outcome.replayed.mac_bytes == uplink.mac_bytes
+        assert outcome.replayed.fb_hz == pytest.approx(
+            uplink.fb_hz + attack.replayer.chain_fb_offset_hz
+        )
+
+    def test_waveform_level_execution(self, fast_config, rng):
+        device, uplink = make_uplink(sf=7)
+        wave = device.modulate(uplink, fast_config)
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(),
+            replayer=Replayer.single_usrp(rng),
+            eavesdropper=Eavesdropper(
+                receiver=SdrReceiver(sample_rate_hz=fast_config.sample_rate_hz)
+            ),
+        )
+        outcome = attack.execute(uplink, delay_s=12.0, waveform=wave)
+        assert outcome.recording is not None
+        assert outcome.replayed_trace is not None
+        assert outcome.replayed_trace.start_time_s == pytest.approx(
+            uplink.emission_time_s + 12.0
+        )
+
+    def test_waveform_without_eavesdropper_rejected(self, rng):
+        _, uplink = make_uplink()
+        attack = FrameDelayAttack(jammer=StealthyJammer(), replayer=Replayer())
+        with pytest.raises(ConfigurationError):
+            attack.execute(uplink, delay_s=5.0, waveform=np.zeros(8, dtype=complex))
+
+    def test_non_positive_delay_rejected(self, rng):
+        _, uplink = make_uplink()
+        attack = FrameDelayAttack(jammer=StealthyJammer(), replayer=Replayer())
+        with pytest.raises(ConfigurationError):
+            attack.execute(uplink, delay_s=-1.0)
+
+    def test_jam_onset_in_effective_window(self, rng):
+        _, uplink = make_uplink()
+        attack = FrameDelayAttack(jammer=StealthyJammer(), replayer=Replayer())
+        outcome = attack.execute(uplink, delay_s=5.0)
+        offset = outcome.jam_onset_s - uplink.emission_time_s
+        windows = attack.jammer.windows_for(
+            uplink.spreading_factor, len(uplink.mac_bytes)
+        )
+        assert windows.w1_s < offset < windows.w2_s

@@ -1,0 +1,89 @@
+"""Tests for adversary-side device fingerprinting (paper Sec. 4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.fingerprint import DeviceFingerprinter, DeviceObservation
+from repro.errors import ConfigurationError, EstimationError
+
+
+def enroll_fleet(fingerprinter, fleet, rng, frames=5):
+    for name, fb, rssi in fleet:
+        for _ in range(frames):
+            fingerprinter.enroll(
+                name,
+                DeviceObservation(
+                    fb_hz=fb + float(rng.normal(0, 30.0)),
+                    rssi_dbm=rssi + float(rng.normal(0, 0.5)),
+                ),
+            )
+
+
+class TestFingerprinter:
+    FLEET = [
+        ("node-a", -20000.0, -80.0),
+        ("node-b", -23000.0, -85.0),
+        ("node-c", -17500.0, -95.0),
+    ]
+
+    def test_identifies_distinct_devices(self, rng):
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, self.FLEET, rng)
+        for name, fb, rssi in self.FLEET:
+            observation = DeviceObservation(fb_hz=fb + 20.0, rssi_dbm=rssi + 0.3)
+            assert fp.identify(observation) == name
+
+    def test_fb_twins_ambiguous_by_fb_alone(self, rng):
+        # Nodes 3/8/14 of Fig. 13 share similar FBs: FB-only
+        # identification must refuse to answer...
+        twins = [("twin-1", -21000.0, -75.0), ("twin-2", -21050.0, -95.0)]
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, twins, rng)
+        assert fp.identify_by_fb_only(-21020.0) is None
+
+    def test_fb_twins_resolved_with_rssi(self, rng):
+        # ...while the joint (FB, RSSI) fingerprint separates them, as
+        # the paper suggests (location sets the received strength).
+        twins = [("twin-1", -21000.0, -75.0), ("twin-2", -21050.0, -95.0)]
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, twins, rng)
+        assert fp.identify(DeviceObservation(-21020.0, -75.5)) == "twin-1"
+        assert fp.identify(DeviceObservation(-21030.0, -94.5)) == "twin-2"
+
+    def test_single_enrolled_device(self):
+        fp = DeviceFingerprinter()
+        fp.enroll("only", DeviceObservation(-20000.0, -80.0))
+        assert fp.identify(DeviceObservation(-25000.0, -60.0)) == "only"
+
+    def test_exact_match_wins_outright(self, rng):
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, self.FLEET, rng, frames=1)
+        fb, rssi = fp._centroid("node-b")
+        assert fp.identify(DeviceObservation(fb, rssi)) == "node-b"
+
+    def test_unenrolled_rejected(self):
+        with pytest.raises(EstimationError):
+            DeviceFingerprinter().identify(DeviceObservation(0.0, 0.0))
+        with pytest.raises(EstimationError):
+            DeviceFingerprinter().identify_by_fb_only(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DeviceFingerprinter(fb_scale_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            DeviceFingerprinter(ambiguity_margin=0.5)
+
+    def test_enrolled_listing(self, rng):
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, self.FLEET, rng, frames=1)
+        assert fp.enrolled() == ["node-a", "node-b", "node-c"]
+
+    def test_defense_asymmetry_documented(self, rng):
+        # The attacker needs distinctiveness; the defense does not.  Two
+        # FB-identical devices defeat the fingerprinter yet each is still
+        # protected by per-node FB *change* detection (covered in
+        # test_integration.TestMultiDeviceStory).
+        clones = [("c1", -21000.0, -80.0), ("c2", -21000.0, -80.0)]
+        fp = DeviceFingerprinter()
+        enroll_fleet(fp, clones, rng)
+        assert fp.identify(DeviceObservation(-21000.0, -80.0)) is None

@@ -1,0 +1,197 @@
+"""Tests for the clock substrate (repro.clock)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clock.clocks import DriftingClock, GpsClock, PerfectClock
+from repro.clock.oscillator import Oscillator
+from repro.clock.sync import (
+    SyncBasedTimestamping,
+    duty_cycle_frame_budget,
+    elapsed_time_bits_needed,
+    elapsed_time_capacity_s,
+    max_buffer_time_s,
+    required_sync_interval_s,
+    sync_sessions_per_hour,
+    timestamp_payload_overhead,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOscillator:
+    def test_static_bias_at_turnover(self):
+        osc = Oscillator(bias_ppm=25.0)
+        assert osc.bias_at(25.0) == pytest.approx(25.0)
+
+    def test_temperature_curve_is_parabolic(self):
+        osc = Oscillator(bias_ppm=0.0, temp_coeff_ppm_per_c2=-0.034)
+        assert osc.bias_at(35.0) == pytest.approx(-3.4)
+        assert osc.bias_at(15.0) == pytest.approx(-3.4)
+
+    def test_aging(self):
+        osc = Oscillator(bias_ppm=1.0, aging_ppm_per_year=2.0)
+        assert osc.bias_at(25.0, age_years=3.0) == pytest.approx(7.0)
+
+    def test_frequency_offset_at_carrier(self):
+        osc = Oscillator(bias_ppm=-26.2)
+        fb = osc.frequency_offset_hz(carrier_hz=869.75e6)
+        assert fb == pytest.approx(-26.2e-6 * 869.75e6)
+
+    def test_lora_end_device_fb_in_paper_range(self, rng):
+        # Fig. 13: net FBs between -25 and -17 kHz at 869.75 MHz.
+        for _ in range(50):
+            osc = Oscillator.lora_end_device(rng)
+            fb = osc.frequency_offset_hz()
+            assert -25e3 <= fb <= -17e3
+
+    def test_usrp_tcxo_in_paper_range(self, rng):
+        for _ in range(50):
+            fb = Oscillator.usrp_tcxo(rng).frequency_offset_hz()
+            assert -743.0 <= fb <= -543.0
+
+    def test_typical_mcu_crystal_range(self, rng):
+        for _ in range(50):
+            bias = abs(Oscillator.typical_mcu_crystal(rng).bias_ppm)
+            assert 30.0 <= bias <= 50.0
+
+    def test_invalid_fb_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            Oscillator.lora_end_device(rng, fb_range_hz=(5.0, -5.0))
+
+
+class TestClocks:
+    def test_perfect_clock_identity(self):
+        clock = PerfectClock()
+        assert clock.read(123.45) == 123.45
+        assert clock.global_from_local(5.0) == 5.0
+        assert clock.elapsed(1.0, 3.0) == 2.0
+
+    def test_gps_clock_jitter_bounded(self):
+        clock = GpsClock(jitter_s=50e-9, rng=np.random.default_rng(1))
+        errors = [abs(clock.read(10.0) - 10.0) for _ in range(200)]
+        assert max(errors) < 1e-6
+        assert np.mean(errors) > 0
+
+    def test_gps_clock_zero_jitter_needs_no_rng(self):
+        assert GpsClock(jitter_s=0.0).read(7.0) == 7.0
+
+    def test_gps_clock_jitter_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            GpsClock(jitter_s=1e-9)
+
+    def test_drifting_clock_rate(self):
+        clock = DriftingClock(drift_ppm=40.0)
+        # After 250 s the clock has drifted exactly 10 ms (paper Sec. 3.2).
+        assert clock.error_at(250.0) == pytest.approx(10e-3)
+
+    def test_drifting_clock_negative_drift(self):
+        clock = DriftingClock(drift_ppm=-40.0)
+        assert clock.error_at(250.0) == pytest.approx(-10e-3)
+
+    def test_global_from_local_inverts_read(self):
+        clock = DriftingClock(drift_ppm=33.0, anchor_global_s=5.0, anchor_local_s=6.0)
+        for t in (0.0, 17.3, 9999.9):
+            assert clock.global_from_local(clock.read(t)) == pytest.approx(t)
+
+    def test_elapsed_scales_with_rate(self):
+        clock = DriftingClock(drift_ppm=100.0)
+        assert clock.elapsed(0.0, 1000.0) == pytest.approx(1000.0 * (1 + 1e-4))
+
+    def test_synchronize_resets_error(self):
+        clock = DriftingClock(drift_ppm=40.0)
+        assert abs(clock.error_at(1000.0)) > 1e-3
+        clock.synchronize(1000.0)
+        assert clock.error_at(1000.0) == pytest.approx(0.0, abs=1e-12)
+        assert clock.sync_count == 1
+
+    def test_synchronize_with_residual(self):
+        clock = DriftingClock(drift_ppm=0.0)
+        clock.synchronize(10.0, residual_error_s=2e-3)
+        assert clock.error_at(10.0) == pytest.approx(2e-3)
+
+
+class TestSyncArithmetic:
+    def test_paper_sync_sessions_per_hour(self):
+        # 40 ppm, sub-10 ms  ->  14.4 sessions/hour (paper says 14).
+        assert sync_sessions_per_hour(10e-3, 40.0) == pytest.approx(14.4)
+
+    def test_sync_interval(self):
+        assert required_sync_interval_s(10e-3, 40.0) == pytest.approx(250.0)
+
+    def test_zero_drift_needs_no_syncs(self):
+        assert math.isinf(required_sync_interval_s(1e-3, 0.0))
+        assert sync_sessions_per_hour(1e-3, 0.0) == 0.0
+
+    def test_paper_duty_cycle_budget(self):
+        # SF12, 30 B, no LDRO: 1.483 s airtime -> 24 frames/hour at 1%.
+        assert duty_cycle_frame_budget(1.4828) == 24
+
+    def test_paper_timestamp_overhead(self):
+        assert timestamp_payload_overhead(8, 30) == pytest.approx(8 / 30)
+
+    def test_paper_buffer_time(self):
+        # 10 ms at 40 ppm -> 250 s ~ 4.1 minutes.
+        assert max_buffer_time_s(10e-3, 40.0) == pytest.approx(250.0)
+
+    def test_paper_elapsed_bits(self):
+        assert elapsed_time_bits_needed(250.0, 1e-3) == 18
+
+    def test_elapsed_capacity(self):
+        assert elapsed_time_capacity_s(18, 1e-3) == pytest.approx(262.143)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            required_sync_interval_s(-1.0, 40.0)
+        with pytest.raises(ConfigurationError):
+            duty_cycle_frame_budget(0.0)
+        with pytest.raises(ConfigurationError):
+            timestamp_payload_overhead(31, 30)
+        with pytest.raises(ConfigurationError):
+            elapsed_time_bits_needed(0.0)
+
+
+class TestSyncBasedTimestamping:
+    def test_error_bounded_by_drift_times_interval(self, rng):
+        clock = DriftingClock(drift_ppm=40.0)
+        baseline = SyncBasedTimestamping(
+            clock=clock, sync_interval_s=250.0, sync_accuracy_s=0.0, rng=rng
+        )
+        for t in np.arange(0.0, 3600.0, 10.0):
+            baseline.timestamp(float(t))
+        assert baseline.max_abs_error_s() <= 10e-3 + 1e-9
+
+    def test_sparser_syncs_mean_larger_errors(self, rng):
+        def worst(interval):
+            clock = DriftingClock(drift_ppm=40.0)
+            baseline = SyncBasedTimestamping(
+                clock=clock, sync_interval_s=interval, sync_accuracy_s=0.0, rng=rng
+            )
+            for t in np.arange(0.0, 3600.0, 10.0):
+                baseline.timestamp(float(t))
+            return baseline.max_abs_error_s()
+
+        assert worst(1000.0) > worst(100.0)
+
+    def test_airtime_accounting(self, rng):
+        clock = DriftingClock(drift_ppm=40.0)
+        baseline = SyncBasedTimestamping(
+            clock=clock, sync_interval_s=600.0, sync_accuracy_s=0.0, rng=rng
+        )
+        for t in np.arange(0.0, 3600.0, 60.0):
+            baseline.timestamp(float(t))
+        assert clock.sync_count >= 6
+        assert baseline.sync_airtime_spent_s == pytest.approx(
+            clock.sync_count * baseline.sync_session_airtime_s
+        )
+
+    def test_no_records_raises(self, rng):
+        baseline = SyncBasedTimestamping(
+            clock=DriftingClock(drift_ppm=1.0),
+            sync_interval_s=10.0,
+            sync_accuracy_s=0.0,
+            rng=rng,
+        )
+        with pytest.raises(ConfigurationError):
+            baseline.max_abs_error_s()

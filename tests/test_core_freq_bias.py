@@ -1,0 +1,169 @@
+"""Tests for FB estimation (repro.core.freq_bias) -- paper Sec. 7.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.freq_bias import (
+    LeastSquaresFbEstimator,
+    LinearRegressionFbEstimator,
+    estimate_amplitude,
+)
+from repro.errors import ConfigurationError, EstimationError
+from repro.experiments.common import synthesize_capture
+from repro.phy.chirp import ChirpConfig, upchirp
+from repro.sdr.noise import complex_awgn, noise_power_for_snr
+
+
+def clean_chirp(config, fb_hz, phase=0.9, amplitude=1.0):
+    return upchirp(config, fb_hz=fb_hz, phase=phase, amplitude=amplitude)
+
+
+class TestLinearRegression:
+    def test_exact_on_clean_chirp(self, fast_config):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        for fb in (-25e3, -17e3, 0.0, 10e3):
+            estimate = estimator.estimate(clean_chirp(fast_config, fb))
+            assert estimate.fb_hz == pytest.approx(fb, abs=1.0)
+
+    def test_phase_recovered(self, fast_config):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        estimate = estimator.estimate(clean_chirp(fast_config, -5e3, phase=1.7))
+        assert estimate.phase == pytest.approx(1.7, abs=0.01)
+
+    def test_accurate_at_high_snr(self, fast_config, rng):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        chirp = clean_chirp(fast_config, -22.8e3)
+        noisy = chirp + complex_awgn(len(chirp), noise_power_for_snr(1.0, 25.0), rng)
+        assert estimator.estimate(noisy).fb_hz == pytest.approx(-22.8e3, abs=100.0)
+
+    def test_fails_at_very_low_snr(self, fast_config, rng):
+        # Sec. 7.1.1: inverse-tangent rectification breaks at low SNR.
+        estimator = LinearRegressionFbEstimator(fast_config)
+        chirp = clean_chirp(fast_config, -22.8e3)
+        noisy = chirp + complex_awgn(len(chirp), noise_power_for_snr(1.0, -20.0), rng)
+        error = abs(estimator.estimate(noisy).fb_hz - (-22.8e3))
+        assert error > 1e3
+
+    def test_residual_is_linear(self, fast_config):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        residual = estimator.linear_residual(clean_chirp(fast_config, -10e3))
+        t = fast_config.sample_times()
+        slope, intercept = np.polyfit(t, residual, 1)
+        fitted = slope * t + intercept
+        assert np.max(np.abs(residual - fitted)) < 0.01
+
+    def test_diagnostics_rmse(self, fast_config):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        estimate = estimator.estimate(clean_chirp(fast_config, -10e3))
+        assert estimate.diagnostics["fit_rmse_rad"] < 1e-6
+
+    def test_short_input_rejected(self, fast_config):
+        estimator = LinearRegressionFbEstimator(fast_config)
+        with pytest.raises(EstimationError):
+            estimator.estimate(np.zeros(10, dtype=complex))
+
+
+class TestLeastSquares:
+    def test_exact_on_clean_chirp(self, fast_config):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        for fb in (-24e3, -18e3, 5e3):
+            estimate = estimator.estimate(clean_chirp(fast_config, fb))
+            assert estimate.fb_hz == pytest.approx(fb, abs=0.5)
+
+    def test_robust_at_low_snr(self, fast_config, rng):
+        # Sec. 7.1.2: still works below the demodulation limit.  SF7 at
+        # -18 dB full-band corresponds to roughly the paper's regime.
+        estimator = LeastSquaresFbEstimator(fast_config)
+        chirp = clean_chirp(fast_config, -21e3)
+        errors = []
+        for _ in range(5):
+            noisy = chirp + complex_awgn(len(chirp), noise_power_for_snr(1.0, -18.0), rng)
+            errors.append(abs(estimator.estimate(noisy).fb_hz + 21e3))
+        assert np.median(errors) < 120.0  # the paper's resolution
+
+    def test_sf12_resolution_at_minus25db(self, rng):
+        # Fig. 14: below 120 Hz at -25 dB with the paper's SF12 default.
+        config = ChirpConfig(spreading_factor=12, sample_rate_hz=0.5e6)
+        estimator = LeastSquaresFbEstimator(config)
+        chirp = clean_chirp(config, -22e3)
+        noisy = chirp + complex_awgn(len(chirp), noise_power_for_snr(1.0, -25.0), rng)
+        assert abs(estimator.estimate(noisy).fb_hz + 22e3) < 120.0
+
+    def test_beats_linear_regression_at_low_snr(self, fast_config, rng):
+        chirp = clean_chirp(fast_config, -20e3)
+        noisy = chirp + complex_awgn(len(chirp), noise_power_for_snr(1.0, -15.0), rng)
+        ls_error = abs(LeastSquaresFbEstimator(fast_config).estimate(noisy).fb_hz + 20e3)
+        lr_error = abs(LinearRegressionFbEstimator(fast_config).estimate(noisy).fb_hz + 20e3)
+        assert ls_error < lr_error
+
+    def test_de_matches_dechirp(self, rng):
+        # The differential-evolution solver (the paper's) and the fast
+        # dechirp reduction optimize the same objective.
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=0.25e6)
+        chirp = clean_chirp(config, -7.5e3, phase=2.0)
+        noise_power = noise_power_for_snr(1.0, 5.0)
+        noisy = chirp + complex_awgn(len(chirp), noise_power, rng)
+        de = LeastSquaresFbEstimator(config, search_range_hz=(-20e3, 20e3), method="de")
+        fast = LeastSquaresFbEstimator(config, search_range_hz=(-20e3, 20e3))
+        fb_de = de.estimate(noisy, noise_power=noise_power).fb_hz
+        fb_fast = fast.estimate(noisy).fb_hz
+        assert fb_de == pytest.approx(fb_fast, abs=2.0)
+
+    def test_phase_estimate_consistent(self, fast_config):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        estimate = estimator.estimate(clean_chirp(fast_config, -3e3, phase=0.8))
+        assert estimate.phase == pytest.approx(0.8, abs=0.05)
+
+    def test_search_range_respected(self, fast_config):
+        estimator = LeastSquaresFbEstimator(fast_config, search_range_hz=(-5e3, 5e3))
+        estimate = estimator.estimate(clean_chirp(fast_config, -2e3))
+        assert -5e3 <= estimate.fb_hz <= 5e3
+
+    def test_slicing_offset_biases_by_sweep_rate(self, fast_config):
+        # A slice starting ε late reads δ + rate·ε: the quantitative link
+        # between PHY timestamping accuracy and FB accuracy.
+        estimator = LeastSquaresFbEstimator(fast_config)
+        two_chirps = np.concatenate(
+            [clean_chirp(fast_config, -10e3), clean_chirp(fast_config, -10e3)]
+        )
+        offset = 5
+        estimate = estimator.estimate(two_chirps[offset : offset + fast_config.samples_per_chirp])
+        rate = fast_config.bandwidth_hz**2 / fast_config.n_symbols
+        expected_bias = rate * offset / fast_config.sample_rate_hz
+        assert estimate.fb_hz - (-10e3) == pytest.approx(expected_bias, rel=0.1)
+
+    def test_invalid_construction(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            LeastSquaresFbEstimator(fast_config, search_range_hz=(5e3, -5e3))
+        with pytest.raises(ConfigurationError):
+            LeastSquaresFbEstimator(fast_config, method="magic")
+        with pytest.raises(ConfigurationError):
+            LeastSquaresFbEstimator(fast_config, zero_pad_factor=0)
+
+    def test_short_input_rejected(self, fast_config):
+        with pytest.raises(EstimationError):
+            LeastSquaresFbEstimator(fast_config).estimate(np.zeros(4, dtype=complex))
+
+
+class TestAmplitudeEstimation:
+    def test_recovers_amplitude(self, fast_config, rng):
+        # E[I² + Q²] = A² + noise power (paper Sec. 7.1.2).
+        amplitude, noise_power = 1.6, 0.9
+        chirp = clean_chirp(fast_config, -10e3, amplitude=amplitude)
+        noisy = chirp + complex_awgn(len(chirp), noise_power, rng)
+        estimated = estimate_amplitude(noisy, noise_power)
+        assert estimated == pytest.approx(amplitude, rel=0.05)
+
+    def test_zero_noise(self, fast_config):
+        chirp = clean_chirp(fast_config, 0.0, amplitude=2.0)
+        assert estimate_amplitude(chirp, 0.0) == pytest.approx(2.0)
+
+    def test_noise_dominates_clamps_to_zero(self, rng):
+        noise = complex_awgn(4096, 1.0, rng)
+        assert estimate_amplitude(noise, 2.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            estimate_amplitude(np.array([]), 0.0)
+        with pytest.raises(ConfigurationError):
+            estimate_amplitude(np.ones(4), -1.0)

@@ -1,0 +1,47 @@
+"""Tests for the production FilteredAicDetector pipeline."""
+
+import pytest
+
+from repro.analysis.metrics import timing_error_s
+from repro.core.onset import AicDetector, FilteredAicDetector
+from repro.experiments.common import synthesize_capture
+
+
+class TestFilteredAicDetector:
+    def test_matches_plain_aic_at_high_snr(self, rtl_config, rng):
+        capture = synthesize_capture(rtl_config, rng, snr_db=25.0, fb_hz=-20e3)
+        plain = AicDetector().detect(capture.trace, component="i")
+        filtered = FilteredAicDetector().detect(capture.trace)
+        assert abs(filtered.index - plain.index) < 30  # both within ~12 µs
+
+    def test_beats_plain_aic_at_low_snr(self, rtl_config, rng):
+        plain_errors, filtered_errors = [], []
+        for _ in range(4):
+            capture = synthesize_capture(rtl_config, rng, snr_db=-10.0, fb_hz=-20e3)
+            plain = AicDetector().detect(capture.trace, component="i")
+            filtered = FilteredAicDetector().detect(capture.trace)
+            plain_errors.append(timing_error_s(plain.time_s, capture.true_onset_time_s))
+            filtered_errors.append(
+                timing_error_s(filtered.time_s, capture.true_onset_time_s)
+            )
+        assert sum(filtered_errors) < sum(plain_errors)
+
+    def test_reports_detector_name_and_cutoff(self, fast_config, rng):
+        capture = synthesize_capture(fast_config, rng, snr_db=15.0, fb_hz=-20e3)
+        onset = FilteredAicDetector(cutoff_hz=90e3).detect(capture.trace)
+        assert onset.detector == "filtered_aic"
+        assert onset.diagnostics["cutoff_hz"] == 90e3
+
+    def test_microsecond_accuracy_in_building_snr_range(self, rtl_config, rng):
+        # The Fig. 15 operating condition: SNR >= -1 dB, sub-10 µs errors.
+        for snr in (-1.0, 5.0, 13.0):
+            capture = synthesize_capture(rtl_config, rng, snr_db=snr, fb_hz=-22e3)
+            onset = FilteredAicDetector().detect(capture.trace)
+            error = timing_error_s(onset.time_s, capture.true_onset_time_s)
+            assert error < 10e-6, f"{error * 1e6:.1f} µs at {snr} dB"
+
+    def test_custom_inner_detector(self, fast_config, rng):
+        capture = synthesize_capture(fast_config, rng, snr_db=15.0, fb_hz=-20e3)
+        inner = AicDetector(margin_fraction=0.05)
+        onset = FilteredAicDetector(aic=inner).detect(capture.trace)
+        assert abs(onset.index - capture.true_onset_index_float) < 20

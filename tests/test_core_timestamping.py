@@ -1,0 +1,160 @@
+"""Tests for sync-free timestamping (repro.core.timestamping)."""
+
+import pytest
+
+from repro.clock.clocks import DriftingClock
+from repro.core.timestamping import (
+    DeviceRecordBuffer,
+    ElapsedTimeCodec,
+    SyncFreeTimestamper,
+)
+from repro.errors import ConfigurationError
+
+
+class TestElapsedTimeCodec:
+    def test_paper_defaults(self):
+        codec = ElapsedTimeCodec()
+        assert codec.bits == 18
+        assert codec.resolution_s == 1e-3
+        # 18 bits at 1 ms covers the paper's ~4.1-minute buffer window.
+        assert codec.capacity_s == pytest.approx(262.143)
+
+    def test_encode_decode_roundtrip(self):
+        codec = ElapsedTimeCodec()
+        for elapsed in (0.0, 0.001, 1.5, 123.456, 262.143):
+            ticks = codec.encode(elapsed)
+            assert codec.decode(ticks) == pytest.approx(elapsed, abs=codec.resolution_s / 2)
+
+    def test_quantization_rounds_to_nearest(self):
+        codec = ElapsedTimeCodec()
+        assert codec.encode(0.0014) == 1
+        assert codec.encode(0.0016) == 2
+
+    def test_over_capacity_raises(self):
+        codec = ElapsedTimeCodec()
+        with pytest.raises(ConfigurationError):
+            codec.encode(300.0)
+
+    def test_negative_elapsed_raises(self):
+        with pytest.raises(ConfigurationError):
+            ElapsedTimeCodec().encode(-0.1)
+
+    def test_decode_range_checked(self):
+        codec = ElapsedTimeCodec()
+        with pytest.raises(ConfigurationError):
+            codec.decode(-1)
+        with pytest.raises(ConfigurationError):
+            codec.decode(1 << 18)
+
+    def test_pack_unpack_roundtrip(self):
+        codec = ElapsedTimeCodec()
+        ticks = [0, 1, 262143, 12345, 77]
+        packed = codec.pack(ticks)
+        assert len(packed) == (18 * 5 + 7) // 8
+        assert codec.unpack(packed, 5) == ticks
+
+    def test_pack_empty(self):
+        codec = ElapsedTimeCodec()
+        assert codec.pack([]) == b""
+        assert codec.unpack(b"", 0) == []
+
+    def test_unpack_short_buffer_raises(self):
+        codec = ElapsedTimeCodec()
+        with pytest.raises(ConfigurationError):
+            codec.unpack(b"\x00", 2)
+
+    def test_pack_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            ElapsedTimeCodec().pack([1 << 18])
+
+    def test_custom_width(self):
+        codec = ElapsedTimeCodec(bits=10, resolution_s=0.1)
+        assert codec.capacity_s == pytest.approx(102.3)
+        assert codec.unpack(codec.pack([1023, 0, 512]), 3) == [1023, 0, 512]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ElapsedTimeCodec(bits=0)
+        with pytest.raises(ConfigurationError):
+            ElapsedTimeCodec(resolution_s=0.0)
+
+    def test_byte_savings_vs_full_timestamp(self):
+        # Sec. 3.2: 18 bits vs an 8-byte timestamp.
+        codec = ElapsedTimeCodec()
+        assert codec.bits < 8 * 8
+
+
+class TestSyncFreeTimestamper:
+    def test_reconstruction(self):
+        timestamper = SyncFreeTimestamper()
+        codec = timestamper.codec
+        readings = timestamper.reconstruct(
+            arrival_time_s=1000.0,
+            elapsed_ticks=[codec.encode(10.0), codec.encode(0.5)],
+            values=[21.5, 22.0],
+        )
+        assert readings[0].global_time_s == pytest.approx(990.0)
+        assert readings[1].global_time_s == pytest.approx(999.5)
+        assert readings[0].value == 21.5
+
+    def test_latency_compensation(self):
+        timestamper = SyncFreeTimestamper(tx_latency_s=3e-3)
+        reading = timestamper.reconstruct(100.0, [0])[0]
+        assert reading.global_time_s == pytest.approx(100.0 - 3e-3)
+
+    def test_values_default_to_nan(self):
+        reading = SyncFreeTimestamper().reconstruct(10.0, [0])[0]
+        assert reading.value != reading.value  # NaN
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            SyncFreeTimestamper().reconstruct(10.0, [0, 1], values=[1.0])
+
+
+class TestDeviceRecordBuffer:
+    def test_elapsed_computed_against_local_clock(self):
+        # The same drifting clock stamps and flushes, so absolute clock
+        # error cancels; only drift over the buffer interval remains.
+        clock = DriftingClock(drift_ppm=40.0, anchor_local_s=500.0)
+        buffer = DeviceRecordBuffer()
+        t_event, t_flush = 1000.0, 1060.0
+        buffer.add(7.0, clock.read(t_event))
+        values, ticks = buffer.flush(clock.read(t_flush))
+        elapsed = buffer.codec.decode(ticks[0])
+        true_elapsed = t_flush - t_event
+        drift_error = abs(elapsed - true_elapsed)
+        assert drift_error < true_elapsed * 50e-6 + buffer.codec.resolution_s
+
+    def test_flush_clears(self):
+        buffer = DeviceRecordBuffer()
+        buffer.add(1.0, 0.0)
+        buffer.flush(1.0)
+        assert len(buffer) == 0
+
+    def test_multiple_records_order_preserved(self):
+        buffer = DeviceRecordBuffer()
+        buffer.add(1.0, 10.0)
+        buffer.add(2.0, 20.0)
+        values, ticks = buffer.flush(30.0)
+        assert values == [1.0, 2.0]
+        assert buffer.codec.decode(ticks[0]) == pytest.approx(20.0)
+        assert buffer.codec.decode(ticks[1]) == pytest.approx(10.0)
+
+    def test_future_record_raises_on_flush(self):
+        buffer = DeviceRecordBuffer()
+        buffer.add(1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            buffer.flush(50.0)
+
+    def test_end_to_end_accuracy_within_paper_budget(self):
+        # Device stamps -> elapsed fields -> gateway reconstruction: the
+        # total error stays within quantization + drift (~ms scale).
+        clock = DriftingClock(drift_ppm=40.0)
+        buffer = DeviceRecordBuffer()
+        timestamper = SyncFreeTimestamper()
+        t_event, t_send = 2000.0, 2100.0
+        buffer.add(42.0, clock.read(t_event))
+        values, ticks = buffer.flush(clock.read(t_send))
+        # Arrival == send time here (propagation is microseconds).
+        reading = timestamper.reconstruct(t_send, ticks, values)[0]
+        assert abs(reading.global_time_s - t_event) < 10e-3

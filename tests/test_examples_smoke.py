@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs and prints its story."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "reception status : accepted" in out
+        assert "reconstructed timestamps" in out
+
+    def test_frame_delay_attack(self, capsys):
+        load_example("frame_delay_attack").main()
+        out = capsys.readouterr().out
+        assert "silent_drop" in out
+        assert "spoofed by +120.0 s" in out
+        assert "replay_detected" in out
+
+    def test_sync_vs_syncfree(self, capsys):
+        load_example("sync_vs_syncfree").main()
+        out = capsys.readouterr().out
+        assert "18-bit elapsed time" in out
+        assert "simulated accuracy" in out
+
+    def test_fleet_monitoring(self, capsys):
+        load_example("fleet_monitoring").main()
+        out = capsys.readouterr().out
+        assert "learned FB profiles" in out
+        assert "0 missed" in out
+        assert "false alarms    : 0" in out
+
+    @pytest.mark.slow
+    def test_campus_link(self, capsys):
+        load_example("campus_link").main()
+        out = capsys.readouterr().out
+        assert "3.57" in out
+
+    @pytest.mark.slow
+    def test_building_survey(self, capsys):
+        load_example("building_survey").main()
+        out = capsys.readouterr().out
+        assert "SNR survey" in out
+        assert "worst timing error" in out

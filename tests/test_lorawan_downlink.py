@@ -1,0 +1,118 @@
+"""Tests for downlinks, Class A windows, and the downlink scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError, MicError
+from repro.lorawan.downlink import (
+    RX1_DELAY_S,
+    RX2_DELAY_S,
+    DownlinkScheduler,
+    build_downlink,
+    class_a_windows,
+    parse_downlink,
+)
+from repro.lorawan.mac import MType
+from repro.lorawan.security import SessionKeys
+
+DEV = 0x26031234
+KEYS = SessionKeys.derive_for_test(DEV)
+
+
+class TestDownlinkFrames:
+    def test_roundtrip(self):
+        raw = build_downlink(KEYS, DEV, 3, b"config update", fport=5)
+        frame = parse_downlink(raw, KEYS)
+        assert frame.mtype is MType.UNCONFIRMED_DOWN
+        assert frame.dev_addr == DEV
+        assert frame.fcnt == 3
+        assert frame.fport == 5
+        assert frame.frm_payload == b"config update"
+
+    def test_ack_bit(self):
+        raw = build_downlink(KEYS, DEV, 1, ack=True)
+        frame = parse_downlink(raw, KEYS)
+        assert frame.fctrl & 0x20
+
+    def test_confirmed_type(self):
+        raw = build_downlink(KEYS, DEV, 1, confirmed=True)
+        assert parse_downlink(raw, KEYS).mtype is MType.CONFIRMED_DOWN
+
+    def test_payload_encrypted_on_wire(self):
+        raw = build_downlink(KEYS, DEV, 1, b"secret")
+        assert b"secret" not in raw
+
+    def test_tampering_detected(self):
+        raw = bytearray(build_downlink(KEYS, DEV, 1, b"payload"))
+        raw[10] ^= 0x01
+        with pytest.raises(MicError):
+            parse_downlink(bytes(raw), KEYS)
+
+    def test_wrong_keys_rejected(self):
+        raw = build_downlink(KEYS, DEV, 1, b"x")
+        with pytest.raises(MicError):
+            parse_downlink(raw, SessionKeys.derive_for_test(0xBEEF))
+
+    def test_uplink_bytes_rejected(self):
+        from repro.lorawan.mac import build_uplink
+
+        raw = build_uplink(KEYS, DEV, 1, b"x")
+        with pytest.raises(DecodeError):
+            parse_downlink(raw, KEYS)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(DecodeError):
+            parse_downlink(b"\x60\x01", KEYS)
+
+    def test_uplink_downlink_keystreams_differ(self):
+        from repro.lorawan.mac import build_uplink, parse_mac_frame
+
+        up = parse_mac_frame(build_uplink(KEYS, DEV, 9, b"same payload"))
+        down_raw = build_downlink(KEYS, DEV, 9, b"same payload")
+        down_cipher = down_raw[9:-4]
+        assert up.frm_payload != down_cipher
+
+
+class TestClassAWindows:
+    def test_window_timing(self):
+        rx1, rx2 = class_a_windows(uplink_end_s=100.0)
+        assert rx1.opens_at_s == 100.0 + RX1_DELAY_S
+        assert rx2.opens_at_s == 100.0 + RX2_DELAY_S
+        assert rx1.which == "RX1" and rx2.which == "RX2"
+
+    def test_contains(self):
+        rx1, _ = class_a_windows(0.0)
+        assert rx1.contains(rx1.opens_at_s)
+        assert rx1.contains(rx1.closes_at_s)
+        assert not rx1.contains(rx1.closes_at_s + 0.01)
+
+
+class TestDownlinkScheduler:
+    def test_idle_scheduler_hits_rx1(self):
+        scheduler = DownlinkScheduler()
+        window = scheduler.schedule(uplink_end_s=50.0, airtime_s=0.05)
+        assert window is not None and window.which == "RX1"
+
+    def test_busy_scheduler_falls_back_to_rx2(self):
+        scheduler = DownlinkScheduler(duty_cycle=0.10)
+        first = scheduler.schedule(uplink_end_s=50.0, airtime_s=0.1)
+        assert first.which == "RX1"
+        # A second uplink ending at nearly the same time: the chain is in
+        # its off-period through RX1 but free again by RX2.
+        second = scheduler.schedule(uplink_end_s=50.2, airtime_s=0.1)
+        assert second is not None and second.which == "RX2"
+
+    def test_saturated_scheduler_misses(self):
+        scheduler = DownlinkScheduler(duty_cycle=0.01)  # 99x off-time
+        assert scheduler.schedule(40.0, 0.5) is not None
+        # The chain is blocked for ~50 s: the next ack misses both windows.
+        assert scheduler.schedule(41.0, 0.5) is None
+
+    def test_airtime_accounting(self):
+        scheduler = DownlinkScheduler()
+        scheduler.schedule(10.0, 0.05)
+        scheduler.schedule(100.0, 0.05)
+        assert scheduler.airtime_spent_s == pytest.approx(0.10)
+
+    def test_invalid_airtime(self):
+        with pytest.raises(ConfigurationError):
+            DownlinkScheduler().schedule(0.0, 0.0)

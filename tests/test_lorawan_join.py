@@ -1,0 +1,130 @@
+"""Tests for OTAA join (repro.lorawan.join)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError, MicError
+from repro.lorawan.join import (
+    JoinAccept,
+    JoinRequest,
+    JoinServer,
+    derive_session_keys,
+    device_join,
+)
+
+APP_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class TestJoinRequest:
+    def test_roundtrip(self):
+        request = JoinRequest(app_eui=0xA1, dev_eui=0xB2, dev_nonce=0x1234)
+        raw = request.to_bytes(APP_KEY)
+        assert len(raw) == 23
+        assert JoinRequest.from_bytes(raw, APP_KEY) == request
+
+    def test_forged_mic_rejected(self):
+        raw = bytearray(JoinRequest(1, 2, 3).to_bytes(APP_KEY))
+        raw[-1] ^= 0xFF
+        with pytest.raises(MicError):
+            JoinRequest.from_bytes(bytes(raw), APP_KEY)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DecodeError):
+            JoinRequest.from_bytes(b"\x00" * 10, APP_KEY)
+
+    def test_nonce_range(self):
+        with pytest.raises(ConfigurationError):
+            JoinRequest(1, 2, 0x10000)
+
+
+class TestJoinAccept:
+    def test_roundtrip(self):
+        accept = JoinAccept(app_nonce=0x1234, net_id=0x13, dev_addr=0x26030001)
+        raw = accept.to_bytes(APP_KEY)
+        assert len(raw) == 17
+        recovered = JoinAccept.from_bytes(raw, APP_KEY)
+        assert recovered == accept
+
+    def test_on_wire_form_is_encrypted(self):
+        accept = JoinAccept(app_nonce=0x1234, net_id=0x13, dev_addr=0x26030001)
+        raw = accept.to_bytes(APP_KEY)
+        assert (0x26030001).to_bytes(4, "little") not in raw
+
+    def test_wrong_key_rejected(self):
+        accept = JoinAccept(app_nonce=0x1, net_id=0x2, dev_addr=0x3)
+        with pytest.raises(MicError):
+            JoinAccept.from_bytes(accept.to_bytes(APP_KEY), b"\x42" * 16)
+
+    def test_field_ranges(self):
+        with pytest.raises(ConfigurationError):
+            JoinAccept(app_nonce=1 << 24, net_id=0, dev_addr=0)
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        accept = JoinAccept(app_nonce=5, net_id=6, dev_addr=7)
+        a = derive_session_keys(APP_KEY, accept, dev_nonce=9)
+        b = derive_session_keys(APP_KEY, accept, dev_nonce=9)
+        assert a == b
+
+    def test_nonce_changes_keys(self):
+        accept = JoinAccept(app_nonce=5, net_id=6, dev_addr=7)
+        a = derive_session_keys(APP_KEY, accept, dev_nonce=9)
+        b = derive_session_keys(APP_KEY, accept, dev_nonce=10)
+        assert a != b
+
+    def test_nwk_app_keys_differ(self):
+        accept = JoinAccept(app_nonce=5, net_id=6, dev_addr=7)
+        keys = derive_session_keys(APP_KEY, accept, dev_nonce=9)
+        assert keys.nwk_skey != keys.app_skey
+
+
+class TestJoinServer:
+    def test_full_join_flow(self):
+        server = JoinServer(app_key=APP_KEY)
+        keys, dev_addr = device_join(APP_KEY, 0xA, 0xB, dev_nonce=0x42, server=server)
+        assert dev_addr >= 0x26030000
+        # Device and server derive identical session keys.
+        raw = JoinRequest(0xA, 0xB, 0x43).to_bytes(APP_KEY)
+        _, server_keys, _ = server.handle(raw)
+        assert len(server_keys.nwk_skey) == 16
+
+    def test_devnonce_replay_rejected(self):
+        server = JoinServer(app_key=APP_KEY)
+        raw = JoinRequest(0xA, 0xB, 0x42).to_bytes(APP_KEY)
+        server.handle(raw)
+        with pytest.raises(DecodeError):
+            server.handle(raw)
+
+    def test_nonces_tracked_per_device(self):
+        server = JoinServer(app_key=APP_KEY)
+        server.handle(JoinRequest(0xA, 0xB, 0x42).to_bytes(APP_KEY))
+        # Same nonce from a different DevEUI is fine.
+        server.handle(JoinRequest(0xA, 0xC, 0x42).to_bytes(APP_KEY))
+
+    def test_unique_addresses(self):
+        server = JoinServer(app_key=APP_KEY)
+        _, addr1 = device_join(APP_KEY, 0xA, 0xB, 1, server)
+        _, addr2 = device_join(APP_KEY, 0xA, 0xC, 1, server)
+        assert addr1 != addr2
+
+    def test_forged_request_rejected(self):
+        server = JoinServer(app_key=APP_KEY)
+        raw = JoinRequest(0xA, 0xB, 1).to_bytes(b"\x00" * 16)  # wrong key
+        with pytest.raises(MicError):
+            server.handle(raw)
+
+    def test_device_server_key_agreement(self):
+        # The essential OTAA property: both ends independently derive the
+        # same session keys and can exchange a MIC'd frame.
+        from repro.lorawan.mac import build_uplink, verify_and_decrypt
+
+        server = JoinServer(app_key=APP_KEY)
+        request = JoinRequest(0xA, 0xD, 0x77)
+        accept_bytes, server_keys, dev_addr = server.handle(request.to_bytes(APP_KEY))
+        from repro.lorawan.join import JoinAccept as JA
+
+        accept = JA.from_bytes(accept_bytes, APP_KEY)
+        device_keys = derive_session_keys(APP_KEY, accept, 0x77)
+        assert device_keys == server_keys
+        frame = build_uplink(device_keys, dev_addr, 0, b"joined!")
+        assert verify_and_decrypt(frame, server_keys).frm_payload == b"joined!"

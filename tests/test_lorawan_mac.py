@@ -1,0 +1,179 @@
+"""Tests for MAC frames, duty cycle, and regional parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError, DutyCycleError, MicError
+from repro.lorawan.duty_cycle import DutyCycleLimiter
+from repro.lorawan.mac import (
+    FrameCounterValidator,
+    MType,
+    build_uplink,
+    parse_mac_frame,
+    verify_and_decrypt,
+)
+from repro.lorawan.regional import EU868
+from repro.lorawan.security import SessionKeys
+
+DEV = 0x26010203
+KEYS = SessionKeys.derive_for_test(DEV)
+
+
+class TestMacFrames:
+    def test_build_parse_roundtrip(self):
+        raw = build_uplink(KEYS, DEV, 7, b"payload!", fport=2)
+        frame = parse_mac_frame(raw)
+        assert frame.mtype is MType.UNCONFIRMED_UP
+        assert frame.dev_addr == DEV
+        assert frame.fcnt == 7
+        assert frame.fport == 2
+        assert len(frame.mic) == 4
+
+    def test_payload_is_encrypted_on_wire(self):
+        raw = build_uplink(KEYS, DEV, 7, b"secret sensor data")
+        frame = parse_mac_frame(raw)
+        assert frame.frm_payload != b"secret sensor data"
+
+    def test_verify_and_decrypt(self):
+        raw = build_uplink(KEYS, DEV, 9, b"plaintext here")
+        frame = verify_and_decrypt(raw, KEYS)
+        assert frame.frm_payload == b"plaintext here"
+
+    def test_confirmed_uplink_type(self):
+        raw = build_uplink(KEYS, DEV, 1, b"x", confirmed=True)
+        assert parse_mac_frame(raw).mtype is MType.CONFIRMED_UP
+
+    def test_fopts_carried(self):
+        raw = build_uplink(KEYS, DEV, 1, b"x", fopts=b"\x02\x30")
+        frame = parse_mac_frame(raw)
+        assert frame.fopts == b"\x02\x30"
+
+    def test_tampered_frame_fails_mic(self):
+        raw = bytearray(build_uplink(KEYS, DEV, 3, b"data"))
+        raw[-6] ^= 0xFF  # flip payload bits, keep MIC
+        with pytest.raises(MicError):
+            verify_and_decrypt(bytes(raw), KEYS)
+
+    def test_replayed_bytes_still_verify(self):
+        # The frame delay attack's central premise: an untouched replay
+        # passes MIC verification.
+        raw = build_uplink(KEYS, DEV, 4, b"data")
+        assert verify_and_decrypt(raw, KEYS).frm_payload == b"data"
+        assert verify_and_decrypt(raw, KEYS).frm_payload == b"data"
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(DecodeError):
+            parse_mac_frame(b"\x40\x01\x02")
+
+    def test_downlink_type_rejected(self):
+        raw = bytearray(build_uplink(KEYS, DEV, 1, b"x"))
+        raw[0] = MType.UNCONFIRMED_DOWN << 5
+        with pytest.raises(DecodeError):
+            parse_mac_frame(bytes(raw))
+
+    def test_wrong_keys_fail(self):
+        raw = build_uplink(KEYS, DEV, 1, b"x")
+        with pytest.raises(MicError):
+            verify_and_decrypt(raw, SessionKeys.derive_for_test(0xDEAD))
+
+
+class TestFrameCounter:
+    def test_monotone_accepted(self):
+        validator = FrameCounterValidator()
+        assert validator.validate(DEV, 1)
+        assert validator.validate(DEV, 2)
+        assert validator.validate(DEV, 10)
+
+    def test_replay_of_old_counter_rejected(self):
+        validator = FrameCounterValidator()
+        validator.validate(DEV, 5)
+        assert not validator.validate(DEV, 5)
+        assert not validator.validate(DEV, 4)
+
+    def test_delayed_frame_with_fresh_counter_accepted(self):
+        # The frame delay attack: the original frame never arrived, so
+        # its counter is still "fresh" when the replay shows up late.
+        validator = FrameCounterValidator()
+        validator.validate(DEV, 7)
+        assert validator.validate(DEV, 8)
+
+    def test_gap_limit(self):
+        validator = FrameCounterValidator(max_gap=100)
+        validator.validate(DEV, 1)
+        assert not validator.validate(DEV, 200)
+
+    def test_per_device_isolation(self):
+        validator = FrameCounterValidator()
+        validator.validate(1, 50)
+        assert validator.validate(2, 1)
+        assert validator.last_seen(1) == 50
+        assert validator.last_seen(3) is None
+
+
+class TestDutyCycle:
+    def test_off_time_enforced(self):
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        limiter.register(0.0, 1.0)
+        # 1 s airtime at 1% -> 99 s off time.
+        assert not limiter.can_transmit(50.0)
+        assert limiter.can_transmit(100.0)
+        assert limiter.next_allowed_s("g2") == pytest.approx(100.0)
+
+    def test_violation_raises(self):
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        limiter.register(0.0, 1.0)
+        with pytest.raises(DutyCycleError):
+            limiter.register(10.0, 1.0)
+
+    def test_sub_bands_independent(self):
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        limiter.register(0.0, 1.0, sub_band="g1")
+        limiter.register(0.0, 1.0, sub_band="g2")  # no error
+        assert limiter.airtime_spent_s("g1") == 1.0
+        assert limiter.transmissions("g2") == 1
+
+    def test_hourly_budget_matches_paper(self):
+        # 24 SF12 30-byte frames back-to-back fit one hour at 1%.
+        limiter = DutyCycleLimiter(duty_cycle=0.01)
+        airtime = 1.4828
+        t, sent = 0.0, 0
+        while t < 3600.0:
+            if limiter.can_transmit(t):
+                limiter.register(t, airtime)
+                sent += 1
+            t = limiter.next_allowed_s("g2")
+        assert 23 <= sent <= 25
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleLimiter(duty_cycle=0.0)
+
+    def test_invalid_airtime(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleLimiter().register(0.0, 0.0)
+
+
+class TestRegional:
+    def test_data_rate_lookup(self):
+        dr = EU868.data_rate_for_sf(12)
+        assert dr.index == 0
+        assert dr.max_mac_payload == 51
+
+    def test_unknown_sf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EU868.data_rate_for_sf(6)
+
+    def test_payload_cap_enforced(self):
+        EU868.validate_uplink(7, 200)  # fine at DR5
+        with pytest.raises(ConfigurationError):
+            EU868.validate_uplink(12, 60)  # over DR0's 51-byte cap
+
+    def test_channel_plan_contains_paper_channel(self):
+        channel = EU868.channel(869.75e6)
+        assert channel.sub_band == "g2"
+
+    def test_unknown_channel(self):
+        with pytest.raises(ConfigurationError):
+            EU868.channel(900e6)
+
+    def test_data_rate_names(self):
+        assert "SF12" in EU868.DATA_RATES[0].name

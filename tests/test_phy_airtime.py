@@ -1,0 +1,117 @@
+"""Tests for the Semtech time-on-air model (repro.phy.airtime)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.airtime import (
+    airtime_breakdown,
+    airtime_s,
+    low_data_rate_optimize,
+    n_payload_symbols,
+    preamble_time_s,
+    symbol_time_s,
+)
+
+
+class TestSymbolTime:
+    @pytest.mark.parametrize(
+        "sf,expected_ms", [(7, 1.024), (8, 2.048), (9, 4.096), (12, 32.768)]
+    )
+    def test_matches_table1_chirp_times(self, sf, expected_ms):
+        assert symbol_time_s(sf) == pytest.approx(expected_ms * 1e-3)
+
+    def test_invalid_sf(self):
+        with pytest.raises(ConfigurationError):
+            symbol_time_s(13)
+
+
+class TestPreambleTime:
+    @pytest.mark.parametrize("sf,expected_ms", [(7, 8.2), (8, 16.4), (9, 32.8)])
+    def test_matches_table1_preamble_times(self, sf, expected_ms):
+        # Table 1 lists the 8-chirp programmed preamble (without the 4.25
+        # sync symbols) as "preamble time".
+        programmed = 8 * symbol_time_s(sf)
+        assert programmed == pytest.approx(expected_ms * 1e-3, rel=0.01)
+        # Our full preamble includes the 4.25 sync symbols on top.
+        assert preamble_time_s(sf) == pytest.approx((8 + 4.25) * symbol_time_s(sf))
+
+    def test_rejects_zero_preamble(self):
+        with pytest.raises(ConfigurationError):
+            preamble_time_s(7, n_preamble=0)
+
+
+class TestPayloadSymbols:
+    def test_known_value_sf7_10bytes(self):
+        # 8 + ceil((80 - 28 + 28 + 16)/28)*5 = 8 + ceil(96/28)*5 = 28
+        assert n_payload_symbols(10, 7) == 28
+
+    def test_known_value_sf7_30bytes(self):
+        assert n_payload_symbols(30, 7) == 58
+
+    def test_implicit_header_shortens(self):
+        explicit = n_payload_symbols(20, 7, explicit_header=True)
+        implicit = n_payload_symbols(20, 7, explicit_header=False)
+        assert implicit <= explicit
+
+    def test_crc_adds_symbols_or_keeps_equal(self):
+        with_crc = n_payload_symbols(10, 7, crc=True)
+        without = n_payload_symbols(10, 7, crc=False)
+        assert with_crc >= without
+
+    def test_ldro_auto_enabled_at_sf12(self):
+        assert low_data_rate_optimize(12) is True
+        assert low_data_rate_optimize(7) is False
+
+    def test_ldro_increases_symbol_count(self):
+        assert n_payload_symbols(30, 12, ldro=True) >= n_payload_symbols(30, 12, ldro=False)
+
+    def test_monotone_in_payload(self):
+        previous = 0
+        for payload in range(0, 120, 10):
+            current = n_payload_symbols(payload, 9)
+            assert current >= previous
+            previous = current
+
+    def test_higher_coding_rate_never_shrinks(self):
+        for cr in range(1, 4):
+            assert n_payload_symbols(30, 8, coding_rate=cr + 1) >= n_payload_symbols(
+                30, 8, coding_rate=cr
+            )
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            n_payload_symbols(-1, 7)
+
+    def test_bad_coding_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            n_payload_symbols(10, 7, coding_rate=5)
+
+
+class TestAirtime:
+    def test_paper_sf12_budget_number(self):
+        # Paper Sec. 3.2: a 30-byte SF12 frame allows ~24 frames/hour at
+        # 1% duty -> airtime ~1.48 s (computed without LDRO).
+        assert airtime_s(30, 12, ldro=False) == pytest.approx(1.4828, rel=1e-3)
+
+    def test_sf7_30bytes(self):
+        # preamble 12.25 syms + 58 payload syms, all at 1.024 ms.
+        assert airtime_s(30, 7) == pytest.approx((12.25 + 58) * 1.024e-3)
+
+    def test_monotone_in_spreading_factor(self):
+        times = [airtime_s(30, sf) for sf in range(7, 13)]
+        assert times == sorted(times)
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = airtime_breakdown(30, 9)
+        assert breakdown.total_s == pytest.approx(airtime_s(30, 9))
+
+    def test_breakdown_header_region(self):
+        breakdown = airtime_breakdown(30, 7)
+        assert breakdown.header_s == pytest.approx(8 * 1.024e-3)
+        assert breakdown.header_end_s == pytest.approx(
+            breakdown.preamble_s + breakdown.header_s
+        )
+
+    def test_breakdown_symbol_count_consistent(self):
+        breakdown = airtime_breakdown(42, 8, coding_rate=2)
+        assert breakdown.n_payload_symbols == n_payload_symbols(42, 8, coding_rate=2)

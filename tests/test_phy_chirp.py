@@ -1,0 +1,202 @@
+"""Tests for LoRa chirp synthesis (repro.phy.chirp)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.chirp import (
+    ChirpConfig,
+    chirp_end_phase,
+    chirp_waveform,
+    downchirp,
+    instantaneous_frequency,
+    instantaneous_phase,
+    preamble_at_times,
+    preamble_waveform,
+    upchirp,
+)
+
+
+class TestChirpConfig:
+    def test_chirp_time_matches_paper(self):
+        # SF7 at 125 kHz: 2^7 / 125e3 = 1.024 ms (paper Sec. 6.1.1).
+        config = ChirpConfig(spreading_factor=7)
+        assert config.chirp_time_s == pytest.approx(1.024e-3)
+
+    def test_sf12_chirp_time(self):
+        config = ChirpConfig(spreading_factor=12)
+        assert config.chirp_time_s == pytest.approx(32.768e-3)
+
+    def test_samples_per_chirp_at_rtl_rate(self):
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=2.4e6)
+        assert config.samples_per_chirp == 2458  # round(1.024 ms * 2.4 Msps)
+
+    def test_n_symbols(self):
+        assert ChirpConfig(spreading_factor=9).n_symbols == 512
+
+    def test_symbol_bandwidth(self):
+        config = ChirpConfig(spreading_factor=7)
+        assert config.symbol_bandwidth_hz == pytest.approx(125e3 / 128)
+
+    @pytest.mark.parametrize("sf", [5, 13, 0, -1])
+    def test_invalid_spreading_factor_rejected(self, sf):
+        with pytest.raises(ConfigurationError):
+            ChirpConfig(spreading_factor=sf)
+
+    def test_sample_rate_below_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChirpConfig(spreading_factor=7, sample_rate_hz=100e3)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChirpConfig(spreading_factor=7, bandwidth_hz=-1.0)
+
+    def test_sample_times_length(self, fast_config):
+        assert len(fast_config.sample_times()) == fast_config.samples_per_chirp
+        assert len(fast_config.sample_times(2.0)) == 2 * fast_config.samples_per_chirp
+
+
+class TestInstantaneousPhase:
+    def test_matches_paper_equation_for_base_chirp(self, fast_config):
+        # Θ(t) = πW²/2^S·t² − πWt + 2πδt + θ  (paper Eq. 5)
+        t = fast_config.sample_times()
+        w = fast_config.bandwidth_hz
+        s = fast_config.n_symbols
+        delta, theta = -20e3, 1.2345
+        expected = np.pi * w**2 / s * t**2 - np.pi * w * t + 2 * np.pi * delta * t + theta
+        actual = instantaneous_phase(t, fast_config, fb_hz=delta, phase=theta)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12)
+
+    def test_phase_continuous_across_symbol_fold(self, fast_config):
+        # Evaluate densely around the fold instant of a data symbol.
+        symbol = 40
+        t_fold = (fast_config.n_symbols - symbol) / fast_config.bandwidth_hz
+        t = np.linspace(t_fold - 1e-6, t_fold + 1e-6, 1001)
+        theta = instantaneous_phase(t, fast_config, symbol=symbol)
+        steps = np.abs(np.diff(theta))
+        assert steps.max() < 0.1  # no 2πW·dt-scale jump
+
+    def test_down_chirp_rejects_symbols(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            instantaneous_phase(
+                fast_config.sample_times(), fast_config, symbol=3, down=True
+            )
+
+
+class TestInstantaneousFrequency:
+    def test_sweeps_full_bandwidth(self, fast_config):
+        t = fast_config.sample_times()
+        f = instantaneous_frequency(t, fast_config)
+        w = fast_config.bandwidth_hz
+        assert f[0] == pytest.approx(-w / 2)
+        assert f[-1] == pytest.approx(w / 2, rel=1e-2)
+
+    def test_down_chirp_sweeps_downward(self, fast_config):
+        t = fast_config.sample_times()
+        f = instantaneous_frequency(t, fast_config, down=True)
+        assert f[0] == pytest.approx(fast_config.bandwidth_hz / 2)
+        assert np.all(np.diff(f) < 0)
+
+    def test_fb_shifts_frequency_uniformly(self, fast_config):
+        t = fast_config.sample_times()
+        base = instantaneous_frequency(t, fast_config)
+        shifted = instantaneous_frequency(t, fast_config, fb_hz=5e3)
+        np.testing.assert_allclose(shifted - base, 5e3)
+
+    def test_symbol_fold_wraps_frequency(self, fast_config):
+        symbol = 100
+        t = fast_config.sample_times()
+        f = instantaneous_frequency(t, fast_config, symbol=symbol)
+        w = fast_config.bandwidth_hz
+        assert f.max() <= w / 2 + 1.0
+        assert f.min() >= -w / 2 - 1.0
+
+
+class TestWaveforms:
+    def test_constant_envelope(self, fast_config):
+        z = upchirp(fast_config, fb_hz=-20e3, phase=0.7, amplitude=2.5)
+        np.testing.assert_allclose(np.abs(z), 2.5, rtol=1e-12)
+
+    def test_i_q_are_cos_sin_of_theta(self, fast_config):
+        t = fast_config.sample_times()
+        theta = instantaneous_phase(t, fast_config, fb_hz=1e3, phase=0.3)
+        z = upchirp(fast_config, fb_hz=1e3, phase=0.3)
+        np.testing.assert_allclose(z.real, np.cos(theta), atol=1e-12)
+        np.testing.assert_allclose(z.imag, np.sin(theta), atol=1e-12)
+
+    def test_symbol_zero_equals_base_chirp(self, fast_config):
+        np.testing.assert_allclose(
+            upchirp(fast_config, symbol=0), chirp_waveform(fast_config), atol=1e-12
+        )
+
+    def test_distinct_symbols_are_nearly_orthogonal(self, fast_config):
+        a = upchirp(fast_config, symbol=10)
+        b = upchirp(fast_config, symbol=90)
+        n = len(a)
+        correlation = abs(np.vdot(a, b)) / n
+        assert correlation < 0.05
+
+    def test_downchirp_is_conjugate_of_upchirp_at_zero_phase(self, fast_config):
+        up = upchirp(fast_config)
+        down = downchirp(fast_config)
+        # conj(up) sweeps +W/2 -> -W/2 with opposite phase sign; they agree
+        # up to the constant -πW t + ... structure; verify via product:
+        # up * down should be a tone-free slow phase if down = conj(up).
+        np.testing.assert_allclose(down, np.conj(up) * np.exp(2j * np.angle(up[0])), atol=1e-6)
+
+
+class TestChirpEndPhase:
+    def test_closed_form_matches_dense_evaluation(self, fast_config):
+        delta, theta = -17.3e3, 0.9
+        t_end = np.array([fast_config.chirp_time_s])
+        direct = instantaneous_phase(t_end, fast_config, fb_hz=delta, phase=theta)[0]
+        closed = chirp_end_phase(fast_config, fb_hz=delta, phase=theta)
+        # Equal modulo 2π.
+        assert abs((direct - closed + np.pi) % (2 * np.pi) - np.pi) < 1e-6
+
+    def test_zero_fb_preserves_phase(self, fast_config):
+        assert chirp_end_phase(fast_config, fb_hz=0.0, phase=1.1) == pytest.approx(1.1)
+
+
+class TestPreamble:
+    def test_length(self, fast_config):
+        p = preamble_waveform(fast_config, n_chirps=8)
+        assert len(p) == 8 * fast_config.samples_per_chirp
+
+    def test_rejects_empty_preamble(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            preamble_waveform(fast_config, n_chirps=0)
+
+    def test_phase_continuity_between_chirps(self, fast_config):
+        # The phase VALUE is continuous across the boundary even though
+        # the instantaneous frequency wraps from +W/2 back to −W/2.  The
+        # per-sample phase steps on each side must match the frequencies
+        # on each side of the wrap.
+        delta = 3e3
+        p = preamble_waveform(fast_config, n_chirps=2, fb_hz=delta, phase=0.0)
+        spc = fast_config.samples_per_chirp
+        fs = fast_config.sample_rate_hz
+        w = fast_config.bandwidth_hz
+        last_step = np.angle(p[spc - 1] / p[spc - 2])
+        first_step = np.angle(p[spc + 1] / p[spc])
+        assert last_step == pytest.approx(2 * np.pi * (w / 2 + delta) / fs, abs=0.05)
+        assert first_step == pytest.approx(2 * np.pi * (-w / 2 + delta) / fs, abs=0.05)
+
+    def test_preamble_at_times_matches_sampled_synthesis(self, fast_config):
+        delta, theta = -11e3, 2.2
+        direct = preamble_waveform(fast_config, n_chirps=3, fb_hz=delta, phase=theta)
+        t = np.arange(len(direct)) / fast_config.sample_rate_hz
+        evaluated = preamble_at_times(t, fast_config, n_chirps=3, fb_hz=delta, phase=theta)
+        np.testing.assert_allclose(evaluated, direct, atol=1e-9)
+
+    def test_preamble_at_times_zero_outside_support(self, fast_config):
+        t = np.array([-1e-6, -1e-9, 3 * fast_config.chirp_time_s + 1e-9])
+        z = preamble_at_times(t, fast_config, n_chirps=3)
+        np.testing.assert_array_equal(z, 0)
+
+    def test_fractional_onset_shifts_waveform(self, fast_config):
+        fs = fast_config.sample_rate_hz
+        t = np.arange(4 * fast_config.samples_per_chirp) / fs
+        a = preamble_at_times(t - 10.0 / fs, fast_config)
+        b = preamble_at_times(t - 10.5 / fs, fast_config)
+        assert not np.allclose(a, b)

@@ -1,0 +1,182 @@
+"""Tests for the LoRa coding chain (repro.phy.encoding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.encoding import (
+    DecodedPayload,
+    PayloadCodec,
+    deinterleave_block,
+    gray_decode,
+    gray_encode,
+    hamming_decode,
+    hamming_encode,
+    interleave_block,
+    whiten,
+)
+
+
+class TestGray:
+    def test_roundtrip_all_12bit_values(self):
+        for value in range(4096):
+            assert gray_decode(gray_encode(value)) == value
+
+    def test_adjacent_values_differ_in_one_bit(self):
+        for value in range(1, 1024):
+            diff = gray_encode(value) ^ gray_encode(value - 1)
+            assert bin(diff).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gray_encode(-1)
+        with pytest.raises(ConfigurationError):
+            gray_decode(-1)
+
+
+class TestWhitening:
+    def test_involution(self):
+        data = bytes(range(64))
+        assert whiten(whiten(data)) == data
+
+    def test_changes_data(self):
+        data = b"\x00" * 32
+        assert whiten(data) != data
+
+    def test_empty(self):
+        assert whiten(b"") == b""
+
+    def test_balances_zero_runs(self):
+        whitened = whiten(b"\x00" * 256)
+        ones = sum(bin(b).count("1") for b in whitened)
+        assert 0.35 < ones / (256 * 8) < 0.65
+
+
+class TestHamming:
+    @pytest.mark.parametrize("cr", [1, 2, 3, 4])
+    def test_clean_roundtrip(self, cr):
+        for nibble in range(16):
+            codeword = hamming_encode(nibble, cr)
+            decoded, flagged = hamming_decode(codeword, cr)
+            assert decoded == nibble
+            assert not flagged
+
+    @pytest.mark.parametrize("cr", [3, 4])
+    def test_single_bit_error_corrected(self, cr):
+        width = 4 + cr
+        for nibble in range(16):
+            codeword = hamming_encode(nibble, cr)
+            for bit in range(min(width, 7 if cr == 3 else 8)):
+                corrupted = codeword ^ (1 << bit)
+                decoded, changed = hamming_decode(corrupted, cr)
+                assert decoded == nibble, f"nibble {nibble} bit {bit}"
+                assert changed
+
+    def test_cr1_detects_single_error(self):
+        codeword = hamming_encode(0xA, 1)
+        _, flagged = hamming_decode(codeword ^ 0x1, 1)
+        assert flagged
+
+    def test_cr4_detects_double_error(self):
+        codeword = hamming_encode(0x5, 4)
+        corrupted = codeword ^ 0b11  # two data bits flipped
+        with pytest.raises(DecodeError):
+            hamming_decode(corrupted, 4)
+
+    def test_invalid_nibble_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hamming_encode(16, 1)
+
+    def test_invalid_cr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hamming_encode(1, 0)
+        with pytest.raises(ConfigurationError):
+            hamming_decode(0, 5)
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("sf,cr", [(7, 1), (7, 4), (9, 2), (12, 4)])
+    def test_roundtrip(self, sf, cr):
+        codewords = [(i * 37 + 5) % (1 << (4 + cr)) for i in range(sf)]
+        symbols = interleave_block(codewords, sf, cr)
+        assert len(symbols) == 4 + cr
+        assert deinterleave_block(symbols, sf, cr) == codewords
+
+    def test_symbol_values_fit_spreading_factor(self):
+        sf, cr = 7, 4
+        codewords = [0xFF] * sf
+        for symbol in interleave_block(codewords, sf, cr):
+            assert 0 <= symbol < (1 << sf)
+
+    def test_single_symbol_corruption_touches_one_bit_per_codeword(self):
+        sf, cr = 8, 4
+        codewords = [(i * 11) % 256 for i in range(sf)]
+        symbols = interleave_block(codewords, sf, cr)
+        symbols[3] ^= (1 << sf) - 1  # clobber one whole symbol
+        damaged = deinterleave_block(symbols, sf, cr)
+        for original, got in zip(codewords, damaged):
+            assert bin(original ^ got).count("1") <= 1
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleave_block([0, 1], 7, 1)
+        with pytest.raises(ConfigurationError):
+            deinterleave_block([0, 1], 7, 1)
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("sf,cr", [(7, 1), (7, 4), (8, 2), (10, 3), (12, 4)])
+    def test_roundtrip(self, sf, cr):
+        codec = PayloadCodec(sf, cr)
+        data = bytes((i * 13 + 7) % 256 for i in range(23))
+        symbols = codec.encode(data)
+        decoded = codec.decode(symbols, len(data))
+        assert decoded.data == data
+        assert decoded.corrected_codewords == 0
+
+    def test_empty_payload(self):
+        codec = PayloadCodec(7, 1)
+        assert codec.encode(b"") == []
+        assert codec.decode([], 0).data == b""
+
+    def test_symbol_count_prediction(self):
+        codec = PayloadCodec(7, 4)
+        data = bytes(10)
+        assert len(codec.encode(data)) == codec.n_symbols(10)
+
+    def test_burst_symbol_error_corrected_at_cr4(self):
+        codec = PayloadCodec(7, 4)
+        data = bytes(range(14))
+        symbols = codec.encode(data)
+        symbols[0] ^= 0x55  # burst damage to one symbol
+        decoded = codec.decode(symbols, len(data))
+        assert decoded.data == data
+        assert decoded.corrected_codewords > 0
+
+    def test_cr1_flags_but_cannot_correct(self):
+        codec = PayloadCodec(7, 1)
+        data = bytes(range(14))
+        symbols = codec.encode(data)
+        symbols[1] ^= 0x01
+        decoded = codec.decode(symbols, len(data))
+        assert decoded.flagged_codewords > 0 or decoded.data != data
+
+    def test_too_few_symbols_raises(self):
+        codec = PayloadCodec(7, 1)
+        with pytest.raises(DecodeError):
+            codec.decode([0, 1, 2], 20)
+
+    def test_whitening_disabled_roundtrip(self):
+        codec = PayloadCodec(8, 2, whitening=False)
+        data = b"hello world bytes"
+        assert codec.decode(codec.encode(data), len(data)).data == data
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            PayloadCodec(7, 0)
+        with pytest.raises(ConfigurationError):
+            PayloadCodec(13, 1)
+
+    def test_decode_returns_dataclass(self):
+        codec = PayloadCodec(7, 1)
+        result = codec.decode(codec.encode(b"ab"), 2)
+        assert isinstance(result, DecodedPayload)

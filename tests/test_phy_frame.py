@@ -1,0 +1,171 @@
+"""Tests for PHY frame assembly and decode (repro.phy.frame)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, CrcError, DecodeError
+from repro.phy.chirp import ChirpConfig
+from repro.phy.frame import (
+    PhyFrame,
+    PhyHeader,
+    PhyReceiver,
+    PhyTransmitter,
+    crc16_ccitt,
+    frame_layout,
+    sfd_n_samples,
+)
+from repro.sdr.noise import add_noise_for_snr
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_detects_change(self):
+        assert crc16_ccitt(b"hello") != crc16_ccitt(b"hellp")
+
+
+class TestPhyHeader:
+    def test_roundtrip(self):
+        header = PhyHeader(payload_len=42, coding_rate=3, has_crc=True)
+        assert PhyHeader.from_bytes(header.to_bytes()) == header
+
+    def test_checksum_detects_corruption(self):
+        raw = bytearray(PhyHeader(payload_len=10).to_bytes())
+        raw[0] ^= 0xFF
+        with pytest.raises(CrcError):
+            PhyHeader.from_bytes(bytes(raw))
+
+    def test_short_input(self):
+        with pytest.raises(DecodeError):
+            PhyHeader.from_bytes(b"\x01")
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            PhyHeader(payload_len=300)
+        with pytest.raises(ConfigurationError):
+            PhyHeader(payload_len=1, coding_rate=0)
+
+
+class TestPhyFrame:
+    def test_payload_with_crc_appends_two_bytes(self):
+        frame = PhyFrame(payload=b"abc")
+        assert len(frame.payload_with_crc()) == 5
+
+    def test_no_crc_mode(self):
+        frame = PhyFrame(payload=b"abc", has_crc=False)
+        assert frame.payload_with_crc() == b"abc"
+
+    def test_sync_symbols_derived_from_sync_word(self, fast_config):
+        frame = PhyFrame(payload=b"", sync_word=0x34)
+        hi, lo = frame.sync_symbols(fast_config)
+        assert hi == (3 << 3) % 128
+        assert lo == (4 << 3) % 128
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhyFrame(payload=bytes(256))
+
+
+class TestFrameLayout:
+    def test_monotone_segments(self, fast_config):
+        frame = PhyFrame(payload=b"0123456789")
+        layout = frame_layout(frame, fast_config)
+        assert (
+            layout.preamble_start
+            < layout.sync_start
+            < layout.sfd_start
+            < layout.header_start
+            < layout.payload_start
+            < layout.end
+        )
+
+    def test_layout_matches_waveform_length(self, fast_config):
+        frame = PhyFrame(payload=b"payload bytes!")
+        layout = frame_layout(frame, fast_config)
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        assert len(wave) == layout.end
+
+    def test_shift(self, fast_config):
+        frame = PhyFrame(payload=b"x")
+        layout = frame_layout(frame, fast_config)
+        shifted = layout.shifted(100)
+        assert shifted.preamble_start == 100
+        assert shifted.end == layout.end + 100
+
+    def test_sfd_length(self, fast_config):
+        assert sfd_n_samples(fast_config) == int(round(2.25 * fast_config.samples_per_chirp))
+
+
+class TestEndToEnd:
+    def test_clean_roundtrip(self, fast_config):
+        frame = PhyFrame(payload=b"the quick brown fox")
+        wave = PhyTransmitter(fast_config).modulate(frame, phase=0.3)
+        result = PhyReceiver(fast_config).decode(wave, onset_index=0)
+        assert result.payload == frame.payload
+        assert result.crc_ok
+        assert result.header.payload_len == len(frame.payload)
+
+    def test_roundtrip_with_fb(self, fast_config):
+        frame = PhyFrame(payload=b"biased transmitter")
+        wave = PhyTransmitter(fast_config, fb_hz=-21e3).modulate(frame, phase=2.0)
+        result = PhyReceiver(fast_config).decode(wave, onset_index=0, fb_hz=-21e3)
+        assert result.payload == frame.payload
+
+    def test_roundtrip_with_noise_and_offset(self, fast_config, rng):
+        frame = PhyFrame(payload=b"noisy but fine", coding_rate=2)
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        padded = np.concatenate([np.zeros(777, dtype=complex), wave])
+        noisy = add_noise_for_snr(padded, snr_db=10.0, rng=rng)
+        result = PhyReceiver(fast_config).decode(noisy, onset_index=777)
+        assert result.payload == frame.payload
+
+    def test_sync_word_mismatch_raises(self, fast_config):
+        frame = PhyFrame(payload=b"zzz", sync_word=0x12)
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        with pytest.raises(DecodeError):
+            PhyReceiver(fast_config).decode(wave, onset_index=0, sync_word=0x34)
+
+    def test_sync_check_can_be_disabled(self, fast_config):
+        frame = PhyFrame(payload=b"zzz", sync_word=0x12)
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        result = PhyReceiver(fast_config).decode(
+            wave, onset_index=0, sync_word=0x34, check_sync=False
+        )
+        assert result.payload == frame.payload
+
+    def test_corrupted_payload_raises_crc_error(self, fast_config):
+        frame = PhyFrame(payload=b"integrity matters here")
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        layout = frame_layout(frame, fast_config)
+        corrupted = wave.copy()
+        # Zero several payload chirps: enough symbol damage to defeat CR1.
+        corrupted[layout.payload_start : layout.payload_start + 3 * fast_config.samples_per_chirp] = 0
+        with pytest.raises((CrcError, DecodeError)):
+            PhyReceiver(fast_config).decode(corrupted, onset_index=0)
+
+    def test_corrupted_header_raises(self, fast_config):
+        frame = PhyFrame(payload=b"header gone")
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        layout = frame_layout(frame, fast_config)
+        corrupted = wave.copy()
+        corrupted[layout.header_start : layout.payload_start] = 0
+        with pytest.raises(DecodeError):
+            PhyReceiver(fast_config).decode(corrupted, onset_index=0)
+
+    @pytest.mark.parametrize("cr", [1, 2, 3, 4])
+    def test_all_coding_rates(self, fast_config, cr):
+        frame = PhyFrame(payload=b"cr sweep", coding_rate=cr)
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        assert PhyReceiver(fast_config).decode(wave, onset_index=0).payload == frame.payload
+
+    def test_empty_payload_frame(self, fast_config):
+        frame = PhyFrame(payload=b"")
+        wave = PhyTransmitter(fast_config).modulate(frame)
+        result = PhyReceiver(fast_config).decode(wave, onset_index=0)
+        assert result.payload == b""
+        assert result.crc_ok

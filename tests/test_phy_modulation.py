@@ -1,0 +1,123 @@
+"""Tests for CSS modulation/demodulation (repro.phy.modulation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModulationError
+from repro.phy.chirp import ChirpConfig
+from repro.phy.modulation import CssDemodulator, CssModulator
+from repro.sdr.noise import add_noise_for_snr
+
+
+@pytest.fixture
+def mod(fast_config):
+    return CssModulator(fast_config)
+
+
+@pytest.fixture
+def dem(fast_config):
+    return CssDemodulator(fast_config)
+
+
+class TestModulator:
+    def test_waveform_length(self, fast_config, mod):
+        wave = mod.modulate([0, 1, 2, 3])
+        assert len(wave) == 4 * fast_config.samples_per_chirp
+
+    def test_empty_symbol_list(self, mod):
+        assert len(mod.modulate([])) == 0
+
+    def test_out_of_range_symbol_rejected(self, fast_config, mod):
+        with pytest.raises(ModulationError):
+            mod.modulate([fast_config.n_symbols])
+        with pytest.raises(ModulationError):
+            mod.modulate([-1])
+
+    def test_constant_envelope(self, mod):
+        wave = mod.modulate([5, 77, 12], amplitude=1.5)
+        np.testing.assert_allclose(np.abs(wave), 1.5, rtol=1e-12)
+
+
+class TestDemodulator:
+    def test_roundtrip_clean(self, mod, dem, rng):
+        symbols = [int(s) for s in rng.integers(0, 128, 30)]
+        wave = mod.modulate(symbols)
+        assert dem.symbols(wave, 30) == symbols
+
+    def test_roundtrip_all_corner_symbols(self, fast_config, mod, dem):
+        symbols = [0, 1, 63, 64, 126, 127]
+        wave = mod.modulate(symbols)
+        assert dem.symbols(wave, len(symbols)) == symbols
+
+    def test_roundtrip_with_fb_correction(self, mod, dem, rng):
+        symbols = [int(s) for s in rng.integers(0, 128, 20)]
+        wave = mod.modulate(symbols, fb_hz=-22.8e3, phase=1.0)
+        assert dem.symbols(wave, 20, fb_hz=-22.8e3) == symbols
+
+    def test_uncorrected_large_fb_breaks_demodulation(self, mod, dem, rng):
+        symbols = [int(s) for s in rng.integers(0, 128, 20)]
+        wave = mod.modulate(symbols, fb_hz=-22.8e3)
+        wrong = dem.symbols(wave, 20, fb_hz=0.0)
+        errors = sum(1 for a, b in zip(wrong, symbols) if a != b)
+        assert errors > 10  # a 23 kHz offset shifts ~23 bins
+
+    def test_small_residual_fb_tolerated(self, fast_config, mod, dem, rng):
+        # Residual below half a bin (W/2^S/2 ~ 488 Hz at SF7) is harmless.
+        symbols = [int(s) for s in rng.integers(0, 128, 20)]
+        wave = mod.modulate(symbols, fb_hz=300.0)
+        assert dem.symbols(wave, 20, fb_hz=0.0) == symbols
+
+    def test_roundtrip_under_noise(self, mod, dem, rng):
+        symbols = [int(s) for s in rng.integers(0, 128, 20)]
+        wave = mod.modulate(symbols)
+        noisy = add_noise_for_snr(wave, snr_db=0.0, rng=rng)
+        assert dem.symbols(noisy, 20) == symbols
+
+    def test_roundtrip_at_demod_floor(self, mod, dem, rng):
+        # SF7's datasheet floor is -7.5 dB; full-band SNR at 0.5 Msps has
+        # 6 dB margin over the 125 kHz in-band definition, so test -5 dB.
+        symbols = [int(s) for s in rng.integers(0, 128, 10)]
+        wave = mod.modulate(symbols)
+        noisy = add_noise_for_snr(wave, snr_db=-5.0, rng=rng)
+        decoded = dem.symbols(noisy, 10)
+        errors = sum(1 for a, b in zip(decoded, symbols) if a != b)
+        assert errors <= 1
+
+    def test_short_input_rejected(self, fast_config, dem):
+        with pytest.raises(ModulationError):
+            dem.demodulate_chirp(np.zeros(10, dtype=complex))
+        with pytest.raises(ModulationError):
+            dem.demodulate(np.zeros(fast_config.samples_per_chirp, dtype=complex), 2)
+
+    def test_decision_margin_high_when_clean(self, mod, dem):
+        # Symbol 0 dechirps to a single on-bin tone: near-infinite margin.
+        result0 = dem.demodulate_chirp(mod.modulate([0]))
+        assert result0.value == 0
+        assert result0.decision_margin > 100.0
+        # A folded symbol splits into two rectangular segments whose sinc
+        # leakage bounds the margin, but the decision still clears it.
+        result42 = dem.demodulate_chirp(mod.modulate([42]))
+        assert result42.value == 42
+        assert result42.decision_margin > 1.5
+
+    def test_demodulate_returns_metadata(self, mod, dem):
+        wave = mod.modulate([7, 8])
+        results = dem.demodulate(wave, 2)
+        assert [r.value for r in results] == [7, 8]
+        assert all(r.magnitude > 0 for r in results)
+
+
+class TestAcrossConfigurations:
+    @pytest.mark.parametrize("sf", [7, 8, 9, 10])
+    def test_roundtrip_each_sf(self, sf, rng):
+        config = ChirpConfig(spreading_factor=sf, sample_rate_hz=0.5e6)
+        mod, dem = CssModulator(config), CssDemodulator(config)
+        symbols = [int(s) for s in rng.integers(0, config.n_symbols, 8)]
+        assert dem.symbols(mod.modulate(symbols), 8) == symbols
+
+    @pytest.mark.parametrize("fs", [0.25e6, 1.0e6, 2.4e6])
+    def test_roundtrip_each_sample_rate(self, fs, rng):
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=fs)
+        mod, dem = CssModulator(config), CssDemodulator(config)
+        symbols = [int(s) for s in rng.integers(0, 128, 8)]
+        assert dem.symbols(mod.modulate(symbols), 8) == symbols

@@ -1,0 +1,97 @@
+"""Tests for spectral utilities (repro.phy.spectrum)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.chirp import ChirpConfig, upchirp
+from repro.phy.spectrum import (
+    hilbert_envelope,
+    measure_snr_db,
+    signal_power,
+    snr_db,
+    snr_from_db,
+    spectrogram,
+)
+from repro.sdr.noise import complex_awgn
+
+
+class TestSpectrogram:
+    def test_paper_fig6_frame_count(self):
+        # 2^S-point Kaiser window with 16-point overlap over an SF7 chirp
+        # at 2.4 Msps yields ~20 PSDs (paper Fig. 6).
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=2.4e6)
+        spec = spectrogram(upchirp(config, amplitude=2.0), config)
+        assert 19 <= len(spec.times_s) <= 22
+
+    def test_time_resolution_too_coarse_for_timestamping(self):
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=2.4e6)
+        spec = spectrogram(upchirp(config), config)
+        assert spec.time_resolution_s > 40e-6  # paper: ~50 µs
+
+    def test_energy_tracks_the_sweep(self, fast_config):
+        spec = spectrogram(upchirp(fast_config), fast_config, noverlap=0)
+        peak_freqs = spec.frequencies_hz[np.argmax(spec.power, axis=0)]
+        # Instantaneous frequency rises with time for an up chirp.
+        assert peak_freqs[-1] > peak_freqs[0]
+
+    def test_frequencies_sorted(self, fast_config):
+        spec = spectrogram(upchirp(fast_config), fast_config)
+        assert np.all(np.diff(spec.frequencies_hz) > 0)
+
+    def test_invalid_overlap(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            spectrogram(upchirp(fast_config), fast_config, nperseg=64, noverlap=64)
+
+    def test_invalid_nperseg(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            spectrogram(upchirp(fast_config), fast_config, nperseg=1)
+
+
+class TestEnvelope:
+    def test_real_tone_envelope_constant(self):
+        t = np.arange(4096) / 4096
+        x = 1.7 * np.cos(2 * np.pi * 100 * t)
+        env = hilbert_envelope(x)
+        interior = env[200:-200]
+        np.testing.assert_allclose(interior, 1.7, rtol=0.02)
+
+    def test_complex_input_returns_magnitude(self):
+        z = np.array([3 + 4j, 1 + 0j])
+        np.testing.assert_allclose(hilbert_envelope(z), [5.0, 1.0])
+
+    def test_step_visible_in_envelope(self, rng):
+        x = np.concatenate([np.zeros(500), np.cos(np.linspace(0, 300, 2000))])
+        env = hilbert_envelope(x)
+        assert env[:400].mean() < 0.1
+        assert env[700:].mean() > 0.5
+
+
+class TestPowerAndSnr:
+    def test_signal_power_constant_envelope(self, fast_config):
+        assert signal_power(upchirp(fast_config, amplitude=2.0)) == pytest.approx(4.0)
+
+    def test_signal_power_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            signal_power(np.array([]))
+
+    def test_snr_db_roundtrip(self):
+        assert snr_from_db(snr_db(10.0, 1.0)) == pytest.approx(10.0)
+
+    def test_snr_db_invalid(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(0.0, 1.0)
+
+    def test_measure_snr_recovers_truth(self, fast_config, rng):
+        target = 7.0
+        chirp = upchirp(fast_config)
+        noise_power = signal_power(chirp) / snr_from_db(target)
+        noisy = chirp + complex_awgn(len(chirp), noise_power, rng)
+        measured = measure_snr_db(noisy, noise_power)
+        assert measured == pytest.approx(target, abs=1.5)
+
+    def test_measure_snr_all_noise_is_minus_inf(self, rng):
+        noise = complex_awgn(4096, 1.0, rng)
+        assert measure_snr_db(noise, 1.05) in (float("-inf"),) or measure_snr_db(
+            noise, 1.05
+        ) < -5

@@ -1,0 +1,189 @@
+"""Second property-test suite: system-level invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attack.jammer import JammingOutcome, JammingWindowModel, JammingWindows
+from repro.clock.clocks import DriftingClock
+from repro.clock.oscillator import Oscillator
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.core.timestamping import ElapsedTimeCodec
+from repro.lorawan.device import decode_sensor_payload, encode_sensor_payload
+from repro.lorawan.duty_cycle import DutyCycleLimiter
+from repro.phy.chirp import ChirpConfig, upchirp
+from repro.radio.channel import Transmission, resolve_collisions
+from repro.sdr.iq import IQTrace
+
+_SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+_CONFIG = ChirpConfig(spreading_factor=7, sample_rate_hz=0.25e6)
+
+
+class TestJammingWindowProperties:
+    @given(
+        sf=st.integers(7, 12),
+        payload=st.integers(0, 200),
+    )
+    def test_model_windows_always_ordered(self, sf, payload):
+        windows = JammingWindowModel().windows(sf, payload)
+        assert 0 < windows.w1_s < windows.w2_s < windows.w3_s
+
+    @given(
+        sf=st.integers(7, 12),
+        payload=st.integers(0, 200),
+        offset_fraction=st.floats(0.0, 3.0, allow_nan=False),
+    )
+    def test_classification_total_and_ordered(self, sf, payload, offset_fraction):
+        windows = JammingWindowModel().windows(sf, payload)
+        offset = offset_fraction * windows.w3_s
+        outcome = windows.classify(offset)
+        # The outcome regions partition [0, inf) in a fixed order.
+        order = [
+            JammingOutcome.JAMMER_ONLY,
+            JammingOutcome.SILENT_DROP,
+            JammingOutcome.CRC_ALERT,
+            JammingOutcome.BOTH_DECODED,
+        ]
+        boundaries = [windows.w1_s, windows.w2_s, windows.w3_s, float("inf")]
+        expected_index = next(i for i, b in enumerate(boundaries) if offset <= b)
+        assert outcome is order[expected_index]
+
+    @given(sf=st.integers(7, 12), p1=st.integers(0, 100), p2=st.integers(101, 200))
+    def test_w2_monotone_in_payload(self, sf, p1, p2):
+        model = JammingWindowModel()
+        assert model.windows(sf, p1).w2_s <= model.windows(sf, p2).w2_s
+
+
+class TestDutyCycleProperties:
+    @given(
+        airtimes=st.lists(st.floats(0.01, 2.0, allow_nan=False), min_size=1, max_size=10),
+        duty=st.sampled_from([0.001, 0.01, 0.1]),
+    )
+    def test_long_run_airtime_never_exceeds_duty_budget(self, airtimes, duty):
+        limiter = DutyCycleLimiter(duty_cycle=duty)
+        t = 0.0
+        for airtime in airtimes:
+            t = max(t, limiter.next_allowed_s("g2"))
+            limiter.register(t, airtime)
+        window_end = limiter.next_allowed_s("g2")
+        # Spent airtime over the enforced horizon respects the duty cycle.
+        assert limiter.airtime_spent_s("g2") <= duty * window_end + 1e-9
+
+
+class TestClockProperties:
+    @given(
+        drift_ppm=st.floats(-100.0, 100.0, allow_nan=False),
+        t1=st.floats(0.0, 1e6, allow_nan=False),
+        t2=st.floats(0.0, 1e6, allow_nan=False),
+    )
+    def test_read_is_monotone_and_invertible(self, drift_ppm, t1, t2):
+        clock = DriftingClock(drift_ppm=drift_ppm)
+        if t1 < t2:
+            assert clock.read(t1) < clock.read(t2)
+        assert clock.global_from_local(clock.read(t1)) == pytest.approx(t1, abs=1e-6)
+
+    @given(
+        bias=st.floats(-50.0, 50.0, allow_nan=False),
+        dt=st.floats(0.0, 40.0, allow_nan=False),
+    )
+    def test_oscillator_temperature_curve_symmetric(self, bias, dt):
+        osc = Oscillator(bias_ppm=bias)
+        assert osc.bias_at(25.0 + dt) == pytest.approx(osc.bias_at(25.0 - dt))
+        # The AT-cut coefficient is negative: never above the turnover value.
+        assert osc.bias_at(25.0 + dt) <= osc.bias_at(25.0) + 1e-12
+
+
+class TestSensorPayloadProperties:
+    @given(
+        readings=st.lists(
+            st.tuples(
+                st.integers(-32768, 32767),
+                st.integers(0, (1 << 18) - 1),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip(self, readings):
+        codec = ElapsedTimeCodec()
+        values = [float(v) for v, _ in readings]
+        ticks = [t for _, t in readings]
+        payload = encode_sensor_payload(values, ticks, codec)
+        out_values, out_ticks = decode_sensor_payload(payload, codec)
+        assert out_values == values
+        assert out_ticks == ticks
+
+
+class TestCollisionProperties:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(0.0, 10.0, allow_nan=False),   # start
+                st.floats(-120.0, -60.0, allow_nan=False),  # power
+                st.sampled_from([7, 8, 9]),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_delivered_frames_beat_every_co_sf_rival(self, data):
+        transmissions = [
+            Transmission(
+                sender=f"d{i}",
+                start_time_s=start,
+                airtime_s=1.0,
+                rx_power_dbm=power,
+                spreading_factor=sf,
+            )
+            for i, (start, power, sf) in enumerate(data)
+        ]
+        outcomes = resolve_collisions(transmissions)
+        assert len(outcomes) == len(transmissions)
+        for outcome in outcomes:
+            if not outcome.delivered:
+                continue
+            tx = outcome.transmission
+            for other in transmissions:
+                if (
+                    other is not tx
+                    and other.spreading_factor == tx.spreading_factor
+                    and other.overlaps(tx)
+                ):
+                    assert tx.rx_power_dbm >= other.rx_power_dbm + 6.0
+
+
+class TestIQTraceProperties:
+    @given(
+        n=st.integers(2, 256),
+        start=st.integers(0, 128),
+        fs=st.sampled_from([1e5, 1e6, 2.4e6]),
+        t0=st.floats(0.0, 1e4, allow_nan=False),
+    )
+    def test_slicing_composes_with_time_anchors(self, n, start, fs, t0):
+        start = min(start, n)
+        trace = IQTrace(np.arange(n, dtype=complex), fs, start_time_s=t0)
+        sub = trace.slice_samples(start)
+        assert len(sub) == n - start
+        if len(sub):
+            assert sub.time_of_index(0) == pytest.approx(trace.time_of_index(start))
+            # index_of_time inverts time_of_index on the grid.
+            k = len(sub) - 1
+            assert sub.index_of_time(sub.time_of_index(k)) == k
+
+
+class TestEstimatorInvarianceProperties:
+    @given(
+        fb_khz=st.floats(-25.0, 25.0, allow_nan=False),
+        rotation=st.floats(0.0, 6.28, allow_nan=False),
+        scale=st.floats(0.2, 4.0, allow_nan=False),
+    )
+    @_SLOW
+    def test_fb_estimate_invariant_to_global_phase_and_gain(self, fb_khz, rotation, scale):
+        # Receiver gain and constant phase must not move the FB estimate:
+        # the defense keys on frequency alone.
+        chirp = upchirp(_CONFIG, fb_hz=fb_khz * 1e3, phase=0.4)
+        transformed = scale * np.exp(1j * rotation) * chirp
+        estimator = LeastSquaresFbEstimator(_CONFIG)
+        a = estimator.estimate(chirp).fb_hz
+        b = estimator.estimate(transformed).fb_hz
+        assert a == pytest.approx(b, abs=0.5)

@@ -1,0 +1,219 @@
+"""Tests for the propagation substrate (repro.radio)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.channel import (
+    LinkBudget,
+    Transmission,
+    amplitude_for_snr,
+    noise_floor_dbm,
+    propagation_delay_s,
+    resolve_collisions,
+)
+from repro.radio.geometry import BUILDING_COLUMNS, Building, CampusLink, Position
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    IndoorMultiWallPathLoss,
+    LogDistancePathLoss,
+)
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert Position(0, 0, 0).distance_to(Position(3, 4, 0)) == 5.0
+
+    def test_building_positions_within_envelope(self):
+        building = Building()
+        for column, floor in building.survey_points():
+            p = building.position(column, floor)
+            assert 0 <= p.x <= building.length_m
+            assert 0 < p.z <= building.n_floors * building.floor_height_m
+
+    def test_building_column_order(self):
+        building = Building()
+        xs = [building.position(c, 1).x for c in BUILDING_COLUMNS]
+        assert xs == sorted(xs)
+
+    def test_floors_between(self):
+        building = Building()
+        a = building.position("A1", 1)
+        b = building.position("A1", 6)
+        assert building.floors_between(a, b) == 5
+
+    def test_junctions_between(self):
+        building = Building()
+        assert building.junctions_between("A1", "A3") == 0
+        assert building.junctions_between("A1", "B1") == 1
+        assert building.junctions_between("A1", "C3") == 2
+        assert building.junctions_between("C3", "A1") == 2
+
+    def test_survey_excludes_inaccessible_cells(self):
+        points = Building().survey_points()
+        assert ("C3", 1) not in points
+        assert ("C3", 2) not in points
+        assert ("C3", 3) in points
+        # 9 columns x 6 floors - 2 inaccessible = 52.
+        assert len(points) == 52
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Building().position("D1", 1)
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Building().position("A1", 7)
+
+    def test_campus_distance(self):
+        link = CampusLink()
+        assert link.site_a.distance_to(link.site_b) == pytest.approx(1070.0)
+
+
+class TestPathLoss:
+    def test_free_space_known_value(self):
+        # FSPL at 1 km, 869.75 MHz: 92.45 + 20·log10(0.86975) ~ 91.24 dB.
+        loss = FreeSpacePathLoss().loss_db(Position(0), Position(1000.0))
+        assert loss == pytest.approx(91.24, abs=0.1)
+
+    def test_free_space_6db_per_doubling(self):
+        model = FreeSpacePathLoss()
+        l1 = model.loss_db(Position(0), Position(100.0))
+        l2 = model.loss_db(Position(0), Position(200.0))
+        assert l2 - l1 == pytest.approx(6.02, abs=0.05)
+
+    def test_log_distance_exponent(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        l1 = model.loss_db(Position(0), Position(10.0))
+        l2 = model.loss_db(Position(0), Position(100.0))
+        assert l2 - l1 == pytest.approx(30.0)
+
+    def test_log_distance_shadowing_deterministic_per_link(self):
+        model = LogDistancePathLoss(exponent=2.0, shadowing_sigma_db=4.0)
+        a, b = Position(0), Position(50.0)
+        assert model.loss_db(a, b) == model.loss_db(a, b)
+
+    def test_log_distance_shadowing_varies_across_links(self):
+        model = LogDistancePathLoss(exponent=2.0, shadowing_sigma_db=4.0)
+        losses = {model.loss_db(Position(0), Position(50.0 + i)) for i in range(8)}
+        assert len(losses) > 1
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_multiwall_charges_floors_and_junctions(self):
+        building = Building()
+        model = IndoorMultiWallPathLoss(
+            building=building,
+            base=LogDistancePathLoss(exponent=2.0),
+            floor_loss_db=5.0,
+            junction_loss_db=3.0,
+        )
+        tx = building.position("A1", 3)
+        same_floor = building.position("A3", 3)
+        other_floor = building.position("A3", 5)
+        base_loss = model.loss_db(tx, same_floor, tx_column="A1", rx_column="A3")
+        floor_loss = model.loss_db(tx, other_floor, tx_column="A1", rx_column="A3")
+        assert floor_loss - base_loss > 2 * 5.0 - 3.0  # two slabs minus distance delta
+
+    def test_multiwall_junction_component(self):
+        building = Building()
+        model = IndoorMultiWallPathLoss(building=building, junction_loss_db=7.0)
+        tx = building.position("A3", 3)
+        rx = building.position("B1", 3)
+        with_junction = model.loss_db(tx, rx, tx_column="A3", rx_column="B1")
+        without = model.loss_db(tx, rx)
+        assert with_junction - without == pytest.approx(7.0)
+
+
+class TestLinkBudget:
+    def test_noise_floor_value(self):
+        # -174 + 10log10(125e3) + 6 = -117.0 dBm.
+        assert noise_floor_dbm() == pytest.approx(-117.0, abs=0.1)
+
+    def test_rx_power_and_snr(self):
+        budget = LinkBudget(pathloss=FreeSpacePathLoss())
+        tx, rx = Position(0), Position(1000.0)
+        power = budget.rx_power_dbm(14.0, tx, rx)
+        assert power == pytest.approx(14.0 - 91.24, abs=0.1)
+        assert budget.snr_db(14.0, tx, rx) == pytest.approx(power - noise_floor_dbm())
+
+    def test_antenna_gains_add(self):
+        base = LinkBudget(pathloss=FreeSpacePathLoss())
+        gained = LinkBudget(
+            pathloss=FreeSpacePathLoss(), tx_antenna_gain_db=3.0, rx_antenna_gain_db=2.0
+        )
+        tx, rx = Position(0), Position(500.0)
+        assert gained.rx_power_dbm(10.0, tx, rx) - base.rx_power_dbm(10.0, tx, rx) == pytest.approx(5.0)
+
+    def test_propagation_delay(self):
+        # 1.07 km -> 3.57 µs (paper Sec. 8.2).
+        delay = propagation_delay_s(Position(0), Position(1070.0))
+        assert delay == pytest.approx(3.57e-6, abs=0.02e-6)
+
+    def test_amplitude_for_snr(self):
+        amp = amplitude_for_snr(20.0, noise_power=1.0)
+        assert amp == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            amplitude_for_snr(0.0, noise_power=0.0)
+
+
+class TestCollisions:
+    @staticmethod
+    def _tx(name, start, duration, power, sf=7):
+        return Transmission(
+            sender=name,
+            start_time_s=start,
+            airtime_s=duration,
+            rx_power_dbm=power,
+            spreading_factor=sf,
+        )
+
+    def test_clear_channel(self):
+        outcomes = resolve_collisions([self._tx("a", 0.0, 1.0, -80)])
+        assert outcomes[0].delivered
+        assert outcomes[0].reason == "clear channel"
+
+    def test_non_overlapping_frames_both_delivered(self):
+        outcomes = resolve_collisions(
+            [self._tx("a", 0.0, 1.0, -80), self._tx("b", 2.0, 1.0, -80)]
+        )
+        assert all(o.delivered for o in outcomes)
+
+    def test_capture_effect(self):
+        outcomes = resolve_collisions(
+            [self._tx("strong", 0.0, 1.0, -70), self._tx("weak", 0.5, 1.0, -90)]
+        )
+        by_name = {o.transmission.sender: o for o in outcomes}
+        assert by_name["strong"].delivered
+        assert not by_name["weak"].delivered
+
+    def test_near_equal_power_destroys_both(self):
+        outcomes = resolve_collisions(
+            [self._tx("a", 0.0, 1.0, -80), self._tx("b", 0.5, 1.0, -81)]
+        )
+        assert not any(o.delivered for o in outcomes)
+
+    def test_different_sf_orthogonal(self):
+        outcomes = resolve_collisions(
+            [self._tx("a", 0.0, 1.0, -80, sf=7), self._tx("b", 0.0, 1.0, -80, sf=9)]
+        )
+        assert all(o.delivered for o in outcomes)
+
+    def test_snr_floor_enforcement(self):
+        floor = noise_floor_dbm()
+        outcomes = resolve_collisions(
+            [self._tx("faint", 0.0, 1.0, floor - 15.0, sf=7)],
+            min_snr_db={7: -7.5},
+        )
+        assert not outcomes[0].delivered
+        assert "floor" in outcomes[0].reason
+
+    def test_overlap_predicate(self):
+        a = self._tx("a", 0.0, 1.0, -80)
+        b = self._tx("b", 0.999, 1.0, -80)
+        c = self._tx("c", 1.001, 1.0, -80)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

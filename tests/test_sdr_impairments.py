@@ -1,0 +1,141 @@
+"""Tests for SDR impairments and estimator robustness under them."""
+
+import numpy as np
+import pytest
+
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.core.onset import AicDetector
+from repro.errors import ConfigurationError
+from repro.experiments.common import synthesize_capture
+from repro.phy.chirp import upchirp
+from repro.sdr.impairments import (
+    apply_dc_offset,
+    apply_iq_imbalance,
+    apply_phase_noise,
+    apply_rtl_sdr_impairments,
+    image_rejection_ratio_db,
+)
+from repro.sdr.iq import IQTrace
+
+
+class TestDcOffset:
+    def test_shifts_mean(self, rng):
+        samples = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+        shifted = apply_dc_offset(samples, 0.3 + 0.1j)
+        assert np.mean(shifted) == pytest.approx(np.mean(samples) + 0.3 + 0.1j, abs=0.05)
+
+    def test_zero_offset_identity(self):
+        samples = np.ones(8, dtype=complex)
+        np.testing.assert_array_equal(apply_dc_offset(samples, 0), samples)
+
+
+class TestIqImbalance:
+    def test_perfect_balance_is_identity(self, fast_config):
+        chirp = upchirp(fast_config, fb_hz=-10e3)
+        out = apply_iq_imbalance(chirp, gain_mismatch_db=0.0, phase_mismatch_deg=0.0)
+        np.testing.assert_allclose(out, chirp, atol=1e-12)
+
+    def test_creates_image_tone(self, fast_config):
+        fs = fast_config.sample_rate_hz
+        t = np.arange(8192) / fs
+        tone = np.exp(2j * np.pi * 20e3 * t)
+        out = apply_iq_imbalance(tone, gain_mismatch_db=1.0, phase_mismatch_deg=5.0)
+        spectrum = np.abs(np.fft.fft(out))
+        freqs = np.fft.fftfreq(len(t), 1 / fs)
+        main = spectrum[np.argmin(np.abs(freqs - 20e3))]
+        image = spectrum[np.argmin(np.abs(freqs + 20e3))]
+        assert image > 0.01 * main  # a visible image
+        assert image < main  # but weaker than the signal
+
+    def test_irr_matches_spectral_measurement(self, fast_config):
+        fs = fast_config.sample_rate_hz
+        t = np.arange(16384) / fs
+        tone = np.exp(2j * np.pi * 20e3 * t)
+        g_db, phi = 0.8, 4.0
+        out = apply_iq_imbalance(tone, g_db, phi)
+        spectrum = np.abs(np.fft.fft(out))
+        freqs = np.fft.fftfreq(len(t), 1 / fs)
+        main = spectrum[np.argmin(np.abs(freqs - 20e3))]
+        image = spectrum[np.argmin(np.abs(freqs + 20e3))]
+        measured_irr = 20 * np.log10(main / image)
+        assert measured_irr == pytest.approx(image_rejection_ratio_db(g_db, phi), abs=1.0)
+
+    def test_irr_infinite_when_balanced(self):
+        assert image_rejection_ratio_db(0.0, 0.0) == float("inf")
+
+
+class TestPhaseNoise:
+    def test_preserves_power(self, fast_config, rng):
+        chirp = upchirp(fast_config)
+        out = apply_phase_noise(chirp, fast_config.sample_rate_hz, 100.0, rng)
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    def test_zero_linewidth_identity(self, fast_config, rng):
+        chirp = upchirp(fast_config)
+        out = apply_phase_noise(chirp, fast_config.sample_rate_hz, 0.0, rng)
+        np.testing.assert_array_equal(out, chirp)
+
+    def test_broadens_a_tone(self, fast_config, rng):
+        fs = fast_config.sample_rate_hz
+        t = np.arange(65536) / fs
+        tone = np.exp(2j * np.pi * 10e3 * t)
+        clean_peak = np.max(np.abs(np.fft.fft(tone)))
+        noisy = apply_phase_noise(tone, fs, 200.0, rng)
+        noisy_peak = np.max(np.abs(np.fft.fft(noisy)))
+        assert noisy_peak < 0.8 * clean_peak  # energy leaked into skirts
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ConfigurationError):
+            apply_phase_noise(np.ones(4, dtype=complex), 1e6, -1.0, rng)
+        with pytest.raises(ConfigurationError):
+            apply_phase_noise(np.ones(4, dtype=complex), 0.0, 1.0, rng)
+
+
+class TestEstimatorRobustness:
+    """The defense's FB resolution must survive realistic front ends."""
+
+    def test_fb_estimation_under_full_impairment_stack(self, fast_config, rng):
+        fb = -21e3
+        chirp = upchirp(fast_config, fb_hz=fb, phase=0.7)
+        impaired = apply_rtl_sdr_impairments(chirp, fast_config.sample_rate_hz, rng)
+        estimate = LeastSquaresFbEstimator(fast_config).estimate(impaired)
+        # Still inside the paper's 120 Hz resolution budget.
+        assert abs(estimate.fb_hz - fb) < 120.0
+
+    def test_fb_estimation_tolerates_strong_dc(self, fast_config):
+        # The dechirp search must not lock onto the DC spike.
+        fb = -18e3
+        chirp = upchirp(fast_config, fb_hz=fb)
+        impaired = apply_dc_offset(chirp, 0.3 + 0.2j)
+        estimate = LeastSquaresFbEstimator(fast_config).estimate(impaired)
+        assert abs(estimate.fb_hz - fb) < 120.0
+
+    def test_fb_estimation_under_iq_imbalance(self, fast_config):
+        fb = -23e3
+        chirp = upchirp(fast_config, fb_hz=fb)
+        impaired = apply_iq_imbalance(chirp, 1.0, 5.0)  # poor 25 dB-ish IRR
+        estimate = LeastSquaresFbEstimator(fast_config).estimate(impaired)
+        assert abs(estimate.fb_hz - fb) < 120.0
+
+    def test_phase_noise_degrades_gracefully(self, fast_config, rng):
+        fb = -20e3
+        chirp = upchirp(fast_config, fb_hz=fb)
+        estimator = LeastSquaresFbEstimator(fast_config)
+        mild = apply_phase_noise(chirp, fast_config.sample_rate_hz, 30.0, rng)
+        harsh = apply_phase_noise(chirp, fast_config.sample_rate_hz, 3000.0, rng)
+        err_mild = abs(estimator.estimate(mild).fb_hz - fb)
+        err_harsh = abs(estimator.estimate(harsh).fb_hz - fb)
+        assert err_mild < 120.0
+        assert err_harsh >= err_mild
+
+    def test_onset_detection_under_impairments(self, fast_config, rng):
+        capture = synthesize_capture(fast_config, rng, snr_db=20.0, fb_hz=-20e3)
+        impaired = IQTrace(
+            apply_rtl_sdr_impairments(
+                capture.trace.samples, fast_config.sample_rate_hz, rng
+            ),
+            fast_config.sample_rate_hz,
+            capture.trace.start_time_s,
+        )
+        onset = AicDetector().detect(impaired, component="i")
+        assert abs(onset.time_s - capture.true_onset_time_s) < 20e-6

@@ -1,0 +1,287 @@
+"""Tests for the simulation substrate (repro.sim)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.delay_attack import FrameDelayAttack
+from repro.attack.jammer import StealthyJammer
+from repro.attack.replayer import Replayer
+from repro.core.detector import FbDatabase, ReplayDetector
+from repro.core.softlora import SoftLoRaGateway, SoftLoRaStatus
+from repro.errors import ConfigurationError, SimulationError
+from repro.lorawan.gateway import CommodityGateway
+from repro.phy.chirp import ChirpConfig
+from repro.radio.channel import LinkBudget
+from repro.radio.geometry import Position
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.sim.events import Simulator
+from repro.sim.network import EventKind, FbMeasurementModel, LoRaWanWorld
+from repro.sim.rng import RngStreams
+from repro.sim.scenarios import (
+    build_building_scenario,
+    build_campus_scenario,
+    build_fleet,
+)
+
+
+class TestRngStreams:
+    def test_named_streams_independent(self):
+        streams = RngStreams(1)
+        a = streams.stream("a").standard_normal(4)
+        b = streams.stream("b").standard_normal(4)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        x = RngStreams(7).stream("x").standard_normal(4)
+        y = RngStreams(7).stream("x").standard_normal(4)
+        np.testing.assert_array_equal(x, y)
+
+    def test_stream_cached_and_stateful(self):
+        streams = RngStreams(1)
+        first = streams.stream("s").standard_normal(2)
+        second = streams.stream("s").standard_normal(2)
+        assert not np.allclose(first, second)
+
+    def test_fresh_restarts(self):
+        streams = RngStreams(1)
+        a = streams.fresh("f").standard_normal(2)
+        b = streams.fresh("f").standard_normal(2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").standard_normal(4)
+        b = RngStreams(2).stream("x").standard_normal(4)
+        assert not np.allclose(a, b)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(1.0, log.append, 2)
+        sim.run()
+        assert log == [1, 2]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now_s == 5.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time_s=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_in(self):
+        sim = Simulator(start_time_s=3.0)
+        fired = []
+        sim.schedule_in(2.0, fired.append, True)
+        sim.run()
+        assert fired and sim.now_s == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_partial(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(10.0, log.append, 2)
+        sim.run_until(5.0)
+        assert log == [1]
+        assert sim.now_s == 5.0
+        assert sim.pending == 1
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        log = []
+
+        def fire(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule_in(1.0, fire, n + 1)
+
+        sim.schedule(0.0, fire, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_in(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestFbMeasurementModel:
+    def test_sigma_shrinks_with_snr(self):
+        model = FbMeasurementModel()
+        assert model.sigma_hz(-25.0) > model.sigma_hz(0.0) > model.sigma_hz(30.0)
+
+    def test_sigma_clamped(self):
+        model = FbMeasurementModel(ceiling_hz=120.0, floor_hz=2.0)
+        assert model.sigma_hz(-60.0) == 120.0
+        assert model.sigma_hz(80.0) == 2.0
+
+    def test_measurement_unbiased(self, rng):
+        model = FbMeasurementModel()
+        samples = [model.measure(-20000.0, 10.0, rng) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(-20000.0, abs=20.0)
+
+
+def build_world(seed=0, n_devices=4):
+    streams = RngStreams(seed)
+    devices = build_fleet(n_devices=n_devices, streams=streams)
+    config = ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6)
+    commodity = CommodityGateway()
+    gateway = SoftLoRaGateway(
+        config=config,
+        commodity=commodity,
+        replay_detector=ReplayDetector(database=FbDatabase()),
+    )
+    world = LoRaWanWorld(
+        gateway=gateway,
+        gateway_position=Position(0.0, 0.0, 1.0),
+        link=LinkBudget(pathloss=LogDistancePathLoss(exponent=2.0)),
+        rng=streams.stream("world"),
+    )
+    for device in devices:
+        world.add_device(device)
+    return world, devices, streams
+
+
+class TestLoRaWanWorld:
+    def test_clean_uplink_delivered(self):
+        world, devices, _ = build_world()
+        devices[0].take_reading(1.0, 0.0)
+        event = world.uplink(devices[0].name, 1.0)
+        assert event.kind is EventKind.DELIVERED
+        assert event.reception.status is SoftLoRaStatus.ACCEPTED
+
+    def test_duplicate_device_rejected(self):
+        world, devices, _ = build_world()
+        with pytest.raises(ConfigurationError):
+            world.add_device(devices[0])
+
+    def test_low_snr_loses_frame(self):
+        world, devices, _ = build_world()
+        devices[0].position = Position(1000e3, 0.0, 1.0)  # 1000 km away
+        devices[0].take_reading(1.0, 0.0)
+        event = world.uplink(devices[0].name, 1.0)
+        assert event.kind is EventKind.LOST_LOW_SNR
+        assert event.reception is None
+
+    def test_attack_suppresses_then_replays(self):
+        world, devices, streams = build_world()
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(), replayer=Replayer.single_usrp(streams.stream("r"))
+        )
+        # Warm up the FB profile with clean traffic first.
+        for round_index in range(3):
+            devices[0].take_reading(1.0, 100.0 * round_index)
+            world.uplink(devices[0].name, 100.0 * round_index + 1.0)
+        world.arm_attack(attack, [devices[0].name], delay_s=60.0)
+        devices[0].take_reading(9.0, 1000.0)
+        event = world.uplink(devices[0].name, 1001.0)
+        assert event.kind is EventKind.REPLAY_DELIVERED
+        assert event.reception.status is SoftLoRaStatus.REPLAY_DETECTED
+        kinds = [e.kind for e in world.events]
+        assert EventKind.SUPPRESSED_BY_JAMMING in kinds
+
+    def test_replay_arrival_shifted_by_delay(self):
+        world, devices, streams = build_world()
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(), replayer=Replayer.single_usrp(streams.stream("r"))
+        )
+        world.arm_attack(attack, [devices[0].name], delay_s=45.0)
+        devices[0].take_reading(1.0, 10.0)
+        event = world.uplink(devices[0].name, 11.0)
+        suppressed = world.events_of(EventKind.SUPPRESSED_BY_JAMMING)[0]
+        assert event.time_s - suppressed.time_s == pytest.approx(45.0, abs=1e-6)
+
+    def test_disarm_attack(self):
+        world, devices, streams = build_world()
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(), replayer=Replayer.single_usrp(streams.stream("r"))
+        )
+        world.arm_attack(attack, [devices[0].name], delay_s=45.0)
+        world.disarm_attack()
+        devices[0].take_reading(1.0, 0.0)
+        event = world.uplink(devices[0].name, 1.0)
+        assert event.kind is EventKind.DELIVERED
+
+    def test_unknown_target_rejected(self):
+        world, _, streams = build_world()
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(), replayer=Replayer.single_usrp(streams.stream("r"))
+        )
+        with pytest.raises(ConfigurationError):
+            world.arm_attack(attack, ["ghost"], delay_s=1.0)
+
+    def test_scheduled_uplinks_run_in_order(self):
+        world, devices, _ = build_world()
+        for i, device in enumerate(devices):
+            device.take_reading(float(i), 10.0 * i)
+            world.schedule_uplink(device.name, 10.0 * i + 1.0)
+        world.run()
+        delivered = world.events_of(EventKind.DELIVERED)
+        assert len(delivered) == len(devices)
+        times = [e.time_s for e in delivered]
+        assert times == sorted(times)
+
+
+class TestScenarios:
+    def test_building_snr_range_matches_paper(self):
+        scenario = build_building_scenario()
+        survey = scenario.survey()
+        assert min(survey.values()) == pytest.approx(-1.0, abs=0.01)
+        assert max(survey.values()) == pytest.approx(13.0, abs=0.01)
+
+    def test_building_snr_decays_along_length(self):
+        scenario = build_building_scenario()
+        floor3 = [scenario.snr_db(c, 3) for c in ("A2", "B2", "C2")]
+        assert floor3 == sorted(floor3, reverse=True)
+
+    def test_building_tx_cell_excluded(self):
+        scenario = build_building_scenario()
+        assert ("A1", 3) not in scenario.survey()
+
+    def test_campus_propagation_delay(self):
+        scenario = build_campus_scenario()
+        assert scenario.propagation_delay_s() == pytest.approx(3.57e-6, abs=0.02e-6)
+
+    def test_campus_snr_calibrated(self):
+        scenario = build_campus_scenario(target_snr_db=6.5)
+        assert scenario.snr_db() == pytest.approx(6.5)
+
+    def test_fleet_properties(self):
+        fleet = build_fleet(n_devices=16)
+        assert len(fleet) == 16
+        assert len({d.dev_addr for d in fleet}) == 16
+        assert len({d.name for d in fleet}) == 16
+        for device in fleet:
+            assert -25e3 <= device.fb_hz <= -17e3
+
+    def test_fleet_deterministic(self):
+        a = build_fleet(n_devices=4, streams=RngStreams(5))
+        b = build_fleet(n_devices=4, streams=RngStreams(5))
+        assert [d.fb_hz for d in a] == [d.fb_hz for d in b]
+
+    def test_fleet_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            build_fleet(n_devices=0)
