@@ -1,0 +1,124 @@
+"""Bench P1: batched vs per-capture gateway throughput on a fleet step.
+
+A 64-capture fleet workload (SF7 preambles, 8 chirps + noise pad) runs
+through the SoftLoRa DSP chain twice: once capture by capture with the
+single-capture APIs (`AicDetector.detect` + `LeastSquaresFbEstimator
+.estimate`), once through :class:`repro.pipeline.BatchPipeline`'s
+vectorized stages.  Results must agree bitwise; the batched path must
+clear 3x the per-capture throughput.  Captures/sec for both paths land
+in ``BENCH_pipeline.json`` next to the repo root for trend tracking.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.core.onset import AicDetector
+from repro.experiments.common import ScenarioSpec
+from repro.phy.chirp import ChirpConfig
+from repro.pipeline import BatchPipeline
+
+#: The fleet-step workload: one uplink burst from a 64-node fleet.
+N_CAPTURES = 64
+SPREADING_FACTOR = 7
+SAMPLE_RATE_HZ = 0.25e6
+N_CHIRPS = 8
+SNR_DB = 20.0
+TIMING_ROUNDS = 5
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _build_workload():
+    config = ChirpConfig(
+        spreading_factor=SPREADING_FACTOR, sample_rate_hz=SAMPLE_RATE_HZ
+    )
+    rng = np.random.default_rng(64)
+    spec = ScenarioSpec(
+        config,
+        snr_db=SNR_DB,
+        fb_hz=lambda r: float(r.uniform(-25e3, -17e3)),
+        n_chirps=N_CHIRPS,
+    )
+    batch, captures = spec.synthesize_batch(rng, N_CAPTURES)
+    return config, batch, captures
+
+
+def _best_of(fn, rounds=TIMING_ROUNDS):
+    fn()  # warm caches (chirp references, FFT plans, numpy buffers)
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_pipeline_throughput():
+    config, batch, captures = _build_workload()
+    detector = AicDetector()
+    estimator = LeastSquaresFbEstimator(config)
+    engine = BatchPipeline(
+        config=config, onset_detector=detector, fb_estimator=estimator
+    )
+    spc = config.samples_per_chirp
+
+    def per_capture_path():
+        out = []
+        for capture in captures:
+            onset = detector.detect(capture.trace, component="i")
+            estimate = estimator.estimate(
+                capture.trace.samples[onset.index + spc : onset.index + 2 * spc]
+            )
+            out.append((onset.time_s, estimate.fb_hz))
+        return out
+
+    def batched_path():
+        return engine.run(batch)
+
+    loop_s, loop_results = _best_of(per_capture_path)
+    batch_s, batch_results = _best_of(batched_path)
+
+    # Correctness first: the batched engine must reproduce the
+    # per-capture chain bitwise before its speed means anything.
+    for (time_s, fb_hz), outcome in zip(loop_results, batch_results.outcomes):
+        assert outcome.phy_timestamp_s == time_s
+        assert outcome.fb_estimate.fb_hz == fb_hz
+
+    loop_cps = N_CAPTURES / loop_s
+    batch_cps = N_CAPTURES / batch_s
+    speedup = batch_cps / loop_cps
+    report = {
+        "workload": {
+            "n_captures": N_CAPTURES,
+            "spreading_factor": SPREADING_FACTOR,
+            "sample_rate_hz": SAMPLE_RATE_HZ,
+            "n_chirps": N_CHIRPS,
+            "snr_db": SNR_DB,
+            "samples_per_capture": int(batch.n_samples),
+        },
+        "per_capture_path": {
+            "seconds": loop_s,
+            "captures_per_second": loop_cps,
+        },
+        "batched_path": {
+            "seconds": batch_s,
+            "captures_per_second": batch_cps,
+        },
+        "speedup": speedup,
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"P1 pipeline throughput: per-capture {loop_cps:.0f} cap/s, "
+        f"batched {batch_cps:.0f} cap/s, speedup {speedup:.2f}x "
+        f"-> {ARTIFACT.name}"
+    )
+    assert speedup >= 3.0, (
+        f"batched path only {speedup:.2f}x the per-capture loop "
+        f"({batch_cps:.0f} vs {loop_cps:.0f} captures/sec)"
+    )

@@ -12,8 +12,11 @@ The package rebuilds the paper's entire stack in simulation:
 * ``repro.core`` -- the paper's contribution: AIC PHY timestamping,
   frequency-bias estimation, replay detection, sync-free timestamping, and
   the SoftLoRa gateway,
+* ``repro.pipeline`` -- the batched capture-processing engine: N stacked
+  captures through the whole SoftLoRa chain as vectorized numpy stages,
 * ``repro.sim`` -- discrete-event fleet simulation and paper scenarios,
-* ``repro.experiments`` -- drivers regenerating every table and figure.
+* ``repro.experiments`` -- drivers regenerating every table and figure,
+  declared as :class:`ScenarioSpec` sweeps over one shared runner.
 
 Quick start::
 
@@ -58,10 +61,12 @@ from repro.phy.frame import PhyFrame, PhyReceiver, PhyTransmitter
 from repro.sdr.iq import IQTrace
 from repro.sdr.receiver import SdrReceiver
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AicDetector",
+    "BatchPipeline",
+    "CaptureBatch",
     "ChirpConfig",
     "CommodityGateway",
     "DriftingClock",
@@ -84,24 +89,32 @@ __all__ = [
     "ReplayDetector",
     "ReproError",
     "RTL_SDR_SAMPLE_RATE_HZ",
+    "ScenarioSpec",
     "SdrReceiver",
     "SessionKeys",
     "SoftLoRaGateway",
+    "SweepPoint",
     "SyncFreeTimestamper",
     "airtime_s",
     "hz_to_ppm",
     "ppm_to_hz",
+    "run_sweep",
     "__version__",
 ]
 
-# Aggregates that would pull the lorawan package (and with it, the crypto
-# stack) into every import are re-exported lazily to keep ``import repro``
-# light and cycle-free.
+# Aggregates that would pull heavier packages (lorawan's crypto stack, the
+# batched pipeline, the experiment machinery) into every import are
+# re-exported lazily to keep ``import repro`` light and cycle-free.
 _LAZY = {
     "EndDevice": ("repro.lorawan.device", "EndDevice"),
     "CommodityGateway": ("repro.lorawan.gateway", "CommodityGateway"),
     "SessionKeys": ("repro.lorawan.security", "SessionKeys"),
     "SoftLoRaGateway": ("repro.core.softlora", "SoftLoRaGateway"),
+    "BatchPipeline": ("repro.pipeline.engine", "BatchPipeline"),
+    "CaptureBatch": ("repro.pipeline.batch", "CaptureBatch"),
+    "ScenarioSpec": ("repro.experiments.common", "ScenarioSpec"),
+    "SweepPoint": ("repro.experiments.common", "SweepPoint"),
+    "run_sweep": ("repro.experiments.common", "run_sweep"),
 }
 
 

@@ -21,6 +21,13 @@ objective collapses to maximizing ``|Î£ z(t)Â·e^{âˆ’j(quad(t)+2Ï€Î´t)}|`` over Î
 alone â€” a dechirped-tone frequency search solved by a zero-padded FFT and
 local refinement.  Both methods agree to sub-Hz (property-tested); the
 fast one keeps the test suite quick.
+
+The dechirp reduction is implemented **batched**: :meth:`estimate_batch`
+takes an ``(n_chirps, samples_per_chirp)`` stack and runs every stage --
+dechirp, zero-padded FFT, golden-section peak refinement -- as vectorized
+numpy over the whole batch, with no per-capture Python loop.
+:meth:`estimate` is the batch of one, so single-capture and batched
+results are bitwise identical by construction.
 """
 
 from __future__ import annotations
@@ -32,8 +39,17 @@ import numpy as np
 from scipy import optimize
 
 from repro.errors import ConfigurationError, EstimationError
-from repro.phy.chirp import ChirpConfig
+from repro.phy.chirp import (
+    ChirpConfig,
+    cached_dechirp_template,
+    cached_sample_times,
+    cached_sweep_phase,
+)
 from repro.sdr.iq import IQTrace
+
+#: Golden ratio conjugate (1/Ï†), the interval shrink factor of the
+#: vectorized golden-section refinement.
+_INVPHI = (np.sqrt(5.0) - 1.0) / 2.0
 
 
 @dataclass(frozen=True)
@@ -73,12 +89,32 @@ def _chirp_samples(iq: np.ndarray | IQTrace, config: ChirpConfig) -> np.ndarray:
     return samples[:n]
 
 
+def _chirp_stack(chirps: np.ndarray | list, config: ChirpConfig) -> np.ndarray:
+    """Validate/stack a batch of chirps into an ``(n, spc)`` complex array."""
+    if isinstance(chirps, (list, tuple)):
+        chirps = [c.samples if isinstance(c, IQTrace) else c for c in chirps]
+        lengths = {len(c) for c in chirps}
+        spc = config.samples_per_chirp
+        if any(length < spc for length in lengths):
+            raise EstimationError(
+                f"need one full chirp ({spc} samples) per batch row for FB "
+                f"estimation, got lengths {sorted(lengths)}"
+            )
+        chirps = np.stack([np.asarray(c, dtype=complex)[:spc] for c in chirps])
+    stack = np.asarray(chirps, dtype=complex)
+    if stack.ndim != 2:
+        raise EstimationError(f"chirp batch must be 2-D (n, samples), got shape {stack.shape}")
+    if stack.shape[1] < config.samples_per_chirp:
+        raise EstimationError(
+            f"need one full chirp ({config.samples_per_chirp} samples) per batch "
+            f"row for FB estimation, got {stack.shape[1]}"
+        )
+    return stack[:, : config.samples_per_chirp]
+
+
 def _quadratic_phase(config: ChirpConfig) -> np.ndarray:
     """The known sweep phase ``Ï€WÂ²/2^SÂ·tÂ² âˆ’ Ï€Wt`` at the sample instants."""
-    t = config.sample_times()
-    w = config.bandwidth_hz
-    rate = w * w / config.n_symbols
-    return np.pi * rate * t * t - np.pi * w * t
+    return cached_sweep_phase(config)
 
 
 class LinearRegressionFbEstimator:
@@ -87,7 +123,7 @@ class LinearRegressionFbEstimator:
     def __init__(self, config: ChirpConfig):
         self.config = config
         self._quad = _quadratic_phase(config)
-        self._t = config.sample_times()
+        self._t = cached_sample_times(config)
 
     def rectified_phase(self, iq: np.ndarray | IQTrace) -> np.ndarray:
         """Î˜(t) after the 2kÏ€ rectification (Fig. 12c)."""
@@ -133,6 +169,7 @@ class LeastSquaresFbEstimator:
         method: str = "dechirp",
         zero_pad_factor: int = 8,
         de_seed: int = 7,
+        refine_tol_hz: float = 1e-3,
     ):
         if search_range_hz[0] >= search_range_hz[1]:
             raise ConfigurationError(f"invalid search range {search_range_hz}")
@@ -140,57 +177,110 @@ class LeastSquaresFbEstimator:
             raise ConfigurationError(f"method must be 'dechirp' or 'de', got {method!r}")
         if zero_pad_factor < 1:
             raise ConfigurationError(f"zero-pad factor must be >= 1, got {zero_pad_factor}")
+        if refine_tol_hz <= 0:
+            raise ConfigurationError(f"refine tolerance must be positive, got {refine_tol_hz}")
         self.config = config
         self.search_range_hz = search_range_hz
         self.method = method
         self.zero_pad_factor = zero_pad_factor
         self.de_seed = de_seed
+        self.refine_tol_hz = refine_tol_hz
         self._quad = _quadratic_phase(config)
-        self._t = config.sample_times()
+        self._t = cached_sample_times(config)
+        self._template = cached_dechirp_template(config)
 
     # -- shared objective ---------------------------------------------------
 
     def _dechirped(self, samples: np.ndarray) -> np.ndarray:
-        return samples * np.exp(-1j * self._quad)
+        """Remove the known sweep; broadcasts over a batch's last axis."""
+        return samples * self._template
 
-    def _correlation(self, dechirped: np.ndarray, fb_hz: float) -> complex:
-        return complex(np.sum(dechirped * np.exp(-2j * np.pi * fb_hz * self._t)))
+    def _correlation_batch(self, dechirped: np.ndarray, fb_hz: np.ndarray) -> np.ndarray:
+        """Per-row correlation against the tone ``e^{âˆ’2jÏ€Â·fbÂ·t}``, shape (n,).
 
-    # -- fast reduction -----------------------------------------------------
+        The sample grid is uniform, so the tone is the geometric sequence
+        ``w^0, w^1, ...`` with ``w = e^{âˆ’2jÏ€Â·fb/fs}``: one complex exp per
+        row plus a cumulative product replaces a full per-sample exp --
+        the refinement loop's dominant cost.  The phase-drift of the
+        recurrence is ~``nÂ·Îµ`` radians (< 1e-12 for any LoRa chirp
+        length), far below the estimator's resolution.
+        """
+        w = np.exp((-2j * np.pi / self.config.sample_rate_hz) * fb_hz)
+        tones = np.empty_like(dechirped)
+        tones[:, 0] = 1.0
+        tones[:, 1:] = w[:, np.newaxis]
+        np.cumprod(tones, axis=1, out=tones)
+        np.multiply(tones, dechirped, out=tones)
+        return np.sum(tones, axis=1)
 
-    def _estimate_dechirp(self, samples: np.ndarray) -> FbEstimate:
-        dechirped = self._dechirped(samples)
-        n = len(dechirped)
+    # -- fast reduction, batched --------------------------------------------
+
+    def _refine_batch(
+        self, dechirped: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Golden-section maximization of |correlation| per row, vectorized.
+
+        All rows iterate in lockstep (one batched correlation per step), so
+        refinement cost is independent of the batch size up to memory
+        bandwidth.  Returns ``(fb_hz, correlation)`` arrays.
+        """
+        a, b = lo.astype(float).copy(), hi.astype(float).copy()
+        span = b - a
+        c = b - _INVPHI * span
+        d = a + _INVPHI * span
+        fc = np.abs(self._correlation_batch(dechirped, c))
+        fd = np.abs(self._correlation_batch(dechirped, d))
+        widest = float(np.max(span))
+        if widest > self.refine_tol_hz:
+            n_iter = int(np.ceil(np.log(self.refine_tol_hz / widest) / np.log(_INVPHI)))
+            for _ in range(n_iter):
+                left = fc >= fd
+                b = np.where(left, d, b)
+                a = np.where(left, a, c)
+                span = b - a
+                c_new = np.where(left, b - _INVPHI * span, d)
+                d_new = np.where(left, c, a + _INVPHI * span)
+                probe = np.where(left, c_new, d_new)
+                f_probe = np.abs(self._correlation_batch(dechirped, probe))
+                fc, fd = np.where(left, f_probe, fd), np.where(left, fc, f_probe)
+                c, d = c_new, d_new
+        fb = np.where(fc >= fd, c, d)
+        return fb, self._correlation_batch(dechirped, fb)
+
+    def _estimate_dechirp_batch(self, stack: np.ndarray) -> list[FbEstimate]:
+        """The dechirp reduction on an ``(n, spc)`` stack -- no row loop."""
+        dechirped = self._dechirped(stack)
+        n = dechirped.shape[1]
         n_fft = int(2 ** np.ceil(np.log2(n * self.zero_pad_factor)))
-        spectrum = np.fft.fft(dechirped, n_fft)
+        spectrum = np.fft.fft(dechirped, n_fft, axis=1)
         freqs = np.fft.fftfreq(n_fft, d=1.0 / self.config.sample_rate_hz)
         lo, hi = self.search_range_hz
         in_range = (freqs >= lo) & (freqs <= hi)
         if not np.any(in_range):
             raise EstimationError(f"search range {self.search_range_hz} excludes every FFT bin")
-        magnitudes = np.abs(spectrum)
-        candidates = np.nonzero(in_range)[0]
-        coarse = freqs[candidates[np.argmax(magnitudes[candidates])]]
+        magnitudes = np.where(in_range[np.newaxis, :], np.abs(spectrum), -np.inf)
+        coarse = freqs[np.argmax(magnitudes, axis=1)]
         bin_width = self.config.sample_rate_hz / n_fft
 
-        result = optimize.minimize_scalar(
-            lambda fb: -abs(self._correlation(dechirped, fb)),
-            bounds=(max(coarse - bin_width, lo), min(coarse + bin_width, hi)),
-            method="bounded",
-            options={"xatol": 1e-3},
+        fb, corr = self._refine_batch(
+            dechirped,
+            np.maximum(coarse - bin_width, lo),
+            np.minimum(coarse + bin_width, hi),
         )
-        fb = float(result.x)
-        corr = self._correlation(dechirped, fb)
-        return FbEstimate(
-            fb_hz=fb,
-            phase=float(np.mod(np.angle(corr), 2 * np.pi)),
-            method="least_squares/dechirp",
-            diagnostics={
-                "coarse_fb_hz": float(coarse),
-                "correlation_magnitude": abs(corr),
-                "fft_bin_width_hz": bin_width,
-            },
-        )
+        phases = np.mod(np.angle(corr), 2 * np.pi)
+        return [
+            FbEstimate(
+                fb_hz=float(fb[row]),
+                phase=float(phases[row]),
+                method="least_squares/dechirp",
+                diagnostics={
+                    "coarse_fb_hz": float(coarse[row]),
+                    "correlation_magnitude": float(np.abs(corr[row])),
+                    "fft_bin_width_hz": bin_width,
+                },
+            )
+            for row in range(len(stack))
+        ]
 
     # -- the paper's differential evolution ---------------------------------
 
@@ -232,9 +322,34 @@ class LeastSquaresFbEstimator:
 
         The SoftLoRa pipeline feeds this the *second* preamble chirp (its
         amplitude has settled; paper Sec. 7.1.2), sliced using the
-        AIC-detected onset.
+        AIC-detected onset.  Delegates to :meth:`estimate_batch` with a
+        batch of one, so batched and single results agree bitwise.
         """
         samples = _chirp_samples(iq, self.config)
         if self.method == "de":
             return self._estimate_de(samples, noise_power)
-        return self._estimate_dechirp(samples)
+        return self._estimate_dechirp_batch(samples[np.newaxis, :])[0]
+
+    def estimate_batch(
+        self,
+        chirps: np.ndarray | list,
+        noise_powers: np.ndarray | float | None = None,
+    ) -> list[FbEstimate]:
+        """Estimate Î´ for a stack of chirps, one per row.
+
+        ``chirps`` is an ``(n, samples_per_chirp)`` complex array (longer
+        rows are truncated to one chirp) or a list of equal-rate chirp
+        slices.  The dechirp method runs fully vectorized; the reference
+        ``"de"`` solver, kept verbatim from the paper, has no batched
+        form and falls back to a per-row loop.
+        """
+        stack = _chirp_stack(chirps, self.config)
+        if self.method == "de":
+            powers = np.broadcast_to(
+                np.asarray(0.0 if noise_powers is None else noise_powers, dtype=float),
+                (len(stack),),
+            )
+            return [
+                self._estimate_de(row, float(power)) for row, power in zip(stack, powers)
+            ]
+        return self._estimate_dechirp_batch(stack)

@@ -8,20 +8,28 @@ the AIC onset detector, (2) FB-estimated from the second preamble chirp,
 replays are flagged and never used for data timestamping, and flagged FBs
 never update the history.
 
-Two entry points:
+Four entry points:
 
 * :meth:`SoftLoRaGateway.process_capture` -- full waveform path: every
   number is produced by actual signal processing on I/Q samples;
+* :meth:`SoftLoRaGateway.process_batch` -- the same waveform path over a
+  :class:`repro.pipeline.CaptureBatch`: onset detection, PHY
+  timestamping, chirp slicing and FB estimation run as vectorized stages
+  over the whole batch (the fleet hot path); demodulation and the
+  stateful MAC/replay checks then run per capture in arrival order;
 * :meth:`SoftLoRaGateway.process_frame` -- frame-level path for large
   fleet simulations: arrival time and measured FB are supplied (e.g. the
-  true FB plus calibrated estimation noise), skipping the DSP.
+  true FB plus calibrated estimation noise), skipping the DSP;
+* :meth:`SoftLoRaGateway.process_frame_batch` -- many frame-level
+  receptions in arrival order, the entry :mod:`repro.sim.network` uses
+  for fleet steps.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.detector import DetectionResult, FbDatabase, ReplayDetector
 from repro.core.freq_bias import FbEstimate, LeastSquaresFbEstimator
@@ -32,6 +40,9 @@ from repro.lorawan.gateway import CommodityGateway, GatewayReception, ReceiveSta
 from repro.phy.chirp import ChirpConfig
 from repro.phy.frame import PhyReceiver
 from repro.sdr.iq import IQTrace
+
+if TYPE_CHECKING:
+    from repro.pipeline.batch import CaptureBatch
 
 
 class SoftLoRaStatus(enum.Enum):
@@ -129,6 +140,73 @@ class SoftLoRaGateway:
             fb_estimate=fb_estimate,
         )
 
+    # -- batched waveform path ------------------------------------------------
+
+    def process_batch(
+        self,
+        batch: "CaptureBatch",
+        noise_powers: Any = None,
+        onset_component: str = "i",
+    ) -> list[SoftLoRaReception]:
+        """Run the SoftLoRa pipeline over a whole :class:`CaptureBatch`.
+
+        The DSP stages (onset, PHY timestamping, chirp slicing, FB
+        estimation) run vectorized over the stack via
+        :class:`repro.pipeline.BatchPipeline`; demodulation and the
+        stateful MAC + replay checks then proceed capture by capture in
+        batch order, so the receptions (and the FB database they train)
+        are the same as feeding :meth:`process_capture` each capture in
+        sequence.  ``noise_powers`` (scalar or per-capture) is only
+        consulted by the ``"de"`` estimator, mirroring the single-capture
+        signature.
+        """
+        from repro.pipeline.engine import BatchPipeline
+
+        engine = BatchPipeline(
+            config=self.config,
+            onset_detector=self.onset_detector,
+            fb_estimator=self.fb_estimator,
+        )
+        staged = engine.run(batch, component=onset_component, noise_powers=noise_powers)
+        receptions = []
+        for row, outcome in enumerate(staged.outcomes):
+            if outcome.fb_estimate is None:
+                reception = SoftLoRaReception(
+                    status=SoftLoRaStatus.PHY_DECODE_FAILED,
+                    phy_timestamp_s=outcome.phy_timestamp_s,
+                    onset=outcome.onset,
+                    detail=f"FB estimation failed: {outcome.error}",
+                )
+                self.receptions.append(reception)
+                receptions.append(reception)
+                continue
+            try:
+                decoded = self._phy_receiver.decode(
+                    batch.samples[row], outcome.onset.index, fb_hz=outcome.fb_estimate.fb_hz
+                )
+            except (DecodeError, ReproError) as exc:
+                reception = SoftLoRaReception(
+                    status=SoftLoRaStatus.PHY_DECODE_FAILED,
+                    phy_timestamp_s=outcome.phy_timestamp_s,
+                    onset=outcome.onset,
+                    fb_hz=outcome.fb_estimate.fb_hz,
+                    fb_estimate=outcome.fb_estimate,
+                    detail=f"PHY decode failed: {exc}",
+                )
+                self.receptions.append(reception)
+                receptions.append(reception)
+                continue
+            receptions.append(
+                self._finish(
+                    mac_bytes=decoded.payload,
+                    arrival_time_s=outcome.phy_timestamp_s,
+                    fb_hz=outcome.fb_estimate.fb_hz,
+                    onset=outcome.onset,
+                    fb_estimate=outcome.fb_estimate,
+                )
+            )
+        return receptions
+
     # -- frame-level path -----------------------------------------------------
 
     def process_frame(
@@ -140,6 +218,23 @@ class SoftLoRaGateway:
         fleet simulations supply the true FB plus estimation noise.
         """
         return self._finish(mac_bytes, arrival_time_s, fb_hz, onset=None, fb_estimate=None)
+
+    def process_frame_batch(
+        self, frames: Sequence[tuple[bytes, float, float]]
+    ) -> list[SoftLoRaReception]:
+        """Frame-level receptions for a whole fleet step, in arrival order.
+
+        ``frames`` holds ``(mac_bytes, arrival_time_s, fb_hz)`` triples.
+        MAC verification and the FB replay check are stateful (frame
+        counters and the FB database learn from each accepted frame), so
+        this processes sequentially by construction; the batch entry
+        exists so fleet steps hand the gateway one delivery list instead
+        of calling into it per frame.
+        """
+        return [
+            self._finish(mac_bytes, arrival_time_s, fb_hz, onset=None, fb_estimate=None)
+            for mac_bytes, arrival_time_s, fb_hz in frames
+        ]
 
     # -- shared back half -------------------------------------------------------
 

@@ -5,6 +5,11 @@ object with a ``format()`` method that prints the same rows/series the
 paper reports.  Benchmarks time these drivers and assert the paper's
 qualitative shape; EXPERIMENTS.md records paper-vs-measured values.
 
+Every driver declares its capture conditions as
+:class:`repro.experiments.common.ScenarioSpec` sweeps executed by the
+shared :func:`repro.experiments.common.run_sweep` runner -- no driver
+hand-rolls a synthesize-and-sweep loop.
+
 Index (see DESIGN.md Sec. 4 for the full mapping):
 
 =========  ==========================================================

@@ -30,6 +30,7 @@ from repro.clock.oscillator import Oscillator
 from repro.constants import SX1276_DEMOD_SNR_FLOOR_DB
 from repro.core.detector import FbDatabase, ReplayDetector
 from repro.core.softlora import SoftLoRaGateway, SoftLoRaStatus
+from repro.experiments.common import SweepPoint, run_sweep
 from repro.lorawan.device import EndDevice
 from repro.lorawan.gateway import CommodityGateway
 from repro.lorawan.security import SessionKeys
@@ -100,7 +101,36 @@ def run_attack_e2e(
     ``link_snr_db`` defaults to −9 dB: below SF7's −7.5 dB floor and
     above SF8's −10 dB floor, reproducing the paper's "minimum spreading
     factor of 8" observation for the cross-building link.
+
+    The driver is a single-point, spec-less sweep: the scenario is
+    frame-level end to end (no captures synthesized), so the sweep
+    declares one point whose measurement executes the whole attack.
     """
+
+    def measure(point, trial, capture, prng):
+        return _execute_scenario(
+            link_snr_db=link_snr_db,
+            injected_delay_s=injected_delay_s,
+            replay_power_dbm=replay_power_dbm,
+            replayer_to_gateway_loss_db=replayer_to_gateway_loss_db,
+            monitor_loss_db=monitor_loss_db,
+            sample_rate_hz=sample_rate_hz,
+            seed=seed,
+        )
+
+    return run_sweep([SweepPoint(key="sec811")], measure).first("sec811")
+
+
+def _execute_scenario(
+    link_snr_db: float,
+    injected_delay_s: float,
+    replay_power_dbm: float,
+    replayer_to_gateway_loss_db: float,
+    monitor_loss_db: float,
+    sample_rate_hz: float,
+    seed: int,
+) -> AttackE2EResult:
+    """The Sec. 8.1.1 scenario body (one sweep-point measurement)."""
     streams = RngStreams(seed)
     sf = min_viable_spreading_factor(link_snr_db)
     config = ChirpConfig(spreading_factor=sf, sample_rate_hz=sample_rate_hz)

@@ -17,7 +17,7 @@ from repro.analysis.metrics import timing_error_upper_bound_s
 from repro.analysis.report import format_table
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.onset import AicDetector
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep, uniform_fb
 from repro.phy.chirp import ChirpConfig
 from repro.sim.scenarios import CampusScenario, build_campus_scenario
 
@@ -62,28 +62,37 @@ def run_campus(
     scenario = scenario or build_campus_scenario()
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
     detector = AicDetector()
-    rng = np.random.default_rng(seed)
     snr = scenario.snr_db()
-    errors = []
-    for _ in range(n_trials):
-        capture = synthesize_capture(
-            config,
-            rng,
-            snr_db=snr,
-            fb_hz=float(rng.uniform(-25e3, -17e3)),
-            n_chirps=8,
-            start_time_s=scenario.propagation_delay_s(),
-        )
+
+    def measure(point, trial, capture, prng):
         onset = detector.detect(capture.trace, component="i")
-        errors.append(
+        return (
             timing_error_upper_bound_s(
                 onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
             )
             * 1e6
         )
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key="campus",
+                spec=ScenarioSpec(
+                    config,
+                    snr_db=snr,
+                    fb_hz=uniform_fb(),
+                    n_chirps=8,
+                    start_time_s=scenario.propagation_delay_s(),
+                ),
+                n_trials=n_trials,
+            )
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
+    )
     return CampusResult(
         distance_m=scenario.link_geometry.distance_m,
         propagation_delay_us=scenario.propagation_delay_s() * 1e6,
         link_snr_db=snr,
-        trial_errors_us=errors,
+        trial_errors_us=sweep.trials("campus"),
     )

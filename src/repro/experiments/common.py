@@ -1,11 +1,34 @@
-"""Shared synthesis helpers for the experiment drivers."""
+"""Shared scenario machinery for the experiment drivers.
+
+Every figure/table driver used to hand-roll its own synthesize-and-sweep
+loop around :func:`synthesize_capture`.  They now share one declarative
+pipeline instead:
+
+* :class:`ScenarioSpec` -- a frozen description of one capture condition
+  (chirp config, SNR, FB law, preamble length, noise model ...), with
+  :meth:`ScenarioSpec.synthesize` producing a ground-truthed capture and
+  :meth:`ScenarioSpec.synthesize_batch` a stacked
+  :class:`repro.pipeline.CaptureBatch` for the batched engine;
+* :class:`SweepPoint` -- one point of a sweep: a key (SNR value, survey
+  cell, node index ...), the spec (or named spec variants) to synthesize
+  there, and a trial count;
+* :func:`run_sweep` -- the single loop that walks every point/trial,
+  synthesizes the declared captures, and hands them to the driver's
+  ``measure`` callback.
+
+The runner preserves the classic drivers' rng call order (per trial: FB
+draw, then phase draw, then onset fraction, then noise), so ported
+drivers regenerate the exact numbers their hand-rolled loops produced.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.phy.chirp import ChirpConfig, preamble_at_times
 from repro.sdr.iq import IQTrace
 from repro.sdr.noise import RealNoiseModel, complex_awgn, noise_power_for_snr
@@ -75,3 +98,154 @@ def synthesize_capture(
         snr_db=snr_db,
         noise_power=noise_power,
     )
+
+
+def uniform_fb(low_hz: float = -25e3, high_hz: float = -17e3) -> Callable:
+    """The drivers' stock FB law: uniform over the paper's measured band."""
+
+    def draw(rng: np.random.Generator) -> float:
+        return float(rng.uniform(low_hz, high_hz))
+
+    return draw
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one synthesized-capture condition.
+
+    ``fb_hz`` may be a fixed bias or a callable drawing one from the
+    trial's rng (see :func:`uniform_fb`); the draw happens before capture
+    synthesis, matching the classic drivers' call order.
+    """
+
+    config: ChirpConfig
+    snr_db: float = 30.0
+    fb_hz: Any = -20e3
+    phase: float | None = None
+    n_chirps: int = 8
+    pad_chirps: float = 1.5
+    fractional_onset: bool = True
+    amplitude: float = 1.0
+    noise_model: RealNoiseModel | None = None
+    start_time_s: float = 0.0
+
+    def synthesize(self, rng: np.random.Generator) -> SynthesizedCapture:
+        """One ground-truthed capture of this condition."""
+        fb = self.fb_hz(rng) if callable(self.fb_hz) else float(self.fb_hz)
+        return synthesize_capture(
+            self.config,
+            rng,
+            snr_db=self.snr_db,
+            fb_hz=fb,
+            phase=self.phase,
+            n_chirps=self.n_chirps,
+            pad_chirps=self.pad_chirps,
+            fractional_onset=self.fractional_onset,
+            amplitude=self.amplitude,
+            noise_model=self.noise_model,
+            start_time_s=self.start_time_s,
+        )
+
+    def synthesize_batch(self, rng: np.random.Generator, n_captures: int):
+        """``n_captures`` captures stacked for the batched engine.
+
+        Returns ``(CaptureBatch, [SynthesizedCapture, ...])`` -- the batch
+        for :class:`repro.pipeline.BatchPipeline`, the per-capture ground
+        truth for scoring.
+        """
+        from repro.pipeline.batch import CaptureBatch
+
+        if n_captures < 1:
+            raise ConfigurationError(f"batch needs >= 1 capture, got {n_captures}")
+        captures = [self.synthesize(rng) for _ in range(n_captures)]
+        return CaptureBatch.from_traces([c.trace for c in captures]), captures
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an experiment sweep.
+
+    ``spec`` is a :class:`ScenarioSpec`, a mapping of named spec variants
+    (synthesized per trial in declaration order -- e.g. Fig. 14's
+    gaussian/real noise pair), or ``None`` for sweeps over non-synthetic
+    quantities (e.g. Table 1's mechanistic model rows).
+    """
+
+    key: Any
+    spec: Any = None
+    n_trials: int = 1
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """Measurements grouped by sweep key, in point order."""
+
+    points: list[SweepPoint]
+    measurements: dict[Any, list[Any]]
+
+    def keys(self) -> list[Any]:
+        return [point.key for point in self.points]
+
+    def trials(self, key: Any) -> list[Any]:
+        """Every trial measurement at one sweep point."""
+        return self.measurements[key]
+
+    def first(self, key: Any) -> Any:
+        return self.measurements[key][0]
+
+    def flat(self) -> list[Any]:
+        """All measurements in (point, trial) order."""
+        return [m for point in self.points for m in self.measurements[point.key]]
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    measure: Callable[[SweepPoint, int, Any, np.random.Generator | None], Any],
+    rng: np.random.Generator | None = None,
+    rng_factory: Callable[[SweepPoint], np.random.Generator] | None = None,
+) -> SweepResult:
+    """Walk every sweep point/trial, synthesizing declared captures.
+
+    ``measure(point, trial, captures, rng)`` receives the trial's capture
+    (or dict of variant captures, or ``None`` for spec-less points) plus
+    the generator in use, and returns one measurement.
+
+    RNG policy mirrors the two idioms of the classic drivers: pass
+    ``rng`` to share one stream across the whole sweep (SNR sweeps), or
+    ``rng_factory`` to derive an independent stream per point (per-node /
+    per-power sweeps via :class:`repro.sim.rng.RngStreams`).
+    """
+    if rng is not None and rng_factory is not None:
+        raise ConfigurationError("pass either rng or rng_factory, not both")
+    points = list(points)
+    keys = [point.key for point in points]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError(f"sweep keys must be unique, got {keys}")
+    measurements: dict[Any, list[Any]] = {}
+    for point in points:
+        if point.n_trials < 1:
+            raise ConfigurationError(f"point {point.key!r} needs >= 1 trial")
+        point_rng = rng_factory(point) if rng_factory is not None else rng
+        if point.spec is not None and point_rng is None:
+            raise ConfigurationError(
+                f"point {point.key!r} declares captures but no rng was provided"
+            )
+        trials = []
+        for trial in range(point.n_trials):
+            if point.spec is None:
+                captures = None
+            elif isinstance(point.spec, ScenarioSpec):
+                captures = point.spec.synthesize(point_rng)
+            else:
+                captures = {
+                    name: spec.synthesize(point_rng) for name, spec in point.spec.items()
+                }
+            trials.append(measure(point, trial, captures, point_rng))
+        measurements[point.key] = trials
+    return SweepResult(points=points, measurements=measurements)
+
+
+def sweep_means(result: SweepResult) -> dict[Any, float]:
+    """Per-key means for sweeps whose measurements are scalars."""
+    return {key: float(np.mean(result.trials(key))) for key in result.keys()}

@@ -22,7 +22,7 @@ from repro.core.onset import (
     MatchedFilterDetector,
     SpectrogramOnsetDetector,
 )
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep
 from repro.phy.chirp import ChirpConfig
 from repro.phy.spectrum import hilbert_envelope
 
@@ -52,30 +52,36 @@ def run_fig9(
 ) -> Fig9Result:
     """One capture, four detectors, plus the plotted curves."""
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
-    rng = np.random.default_rng(seed)
-    capture = synthesize_capture(config, rng, snr_db=snr_db, fb_hz=-21e3, n_chirps=8)
-    trace = capture.trace
-
-    envelope = hilbert_envelope(trace.i)
-    eps = max(float(envelope.max()) * 1e-12, 1e-300)
-    ratio = envelope[1:] / np.maximum(envelope[:-1], eps)
     aic_detector = AicDetector()
-    aic_curve = aic_detector.aic_curve(trace.i)
-
     detectors = {
         "envelope": EnvelopeDetector(),
         "aic": aic_detector,
         "matched_filter": MatchedFilterDetector(config),
         "spectrogram": SpectrogramOnsetDetector(config),
     }
-    errors_us = {}
-    for name, detector in detectors.items():
-        onset = detector.detect(trace, component="i")
-        errors_us[name] = timing_error_s(onset.time_s, capture.true_onset_time_s) * 1e6
-    return Fig9Result(
-        true_onset_time_s=capture.true_onset_time_s,
-        envelope=envelope,
-        ratio_curve=ratio,
-        aic_curve=aic_curve,
-        errors_us=errors_us,
+
+    def measure(point, trial, capture, prng):
+        trace = capture.trace
+        envelope = hilbert_envelope(trace.i)
+        eps = max(float(envelope.max()) * 1e-12, 1e-300)
+        errors_us = {
+            name: timing_error_s(
+                detector.detect(trace, component="i").time_s, capture.true_onset_time_s
+            )
+            * 1e6
+            for name, detector in detectors.items()
+        }
+        return Fig9Result(
+            true_onset_time_s=capture.true_onset_time_s,
+            envelope=envelope,
+            ratio_curve=envelope[1:] / np.maximum(envelope[:-1], eps),
+            aic_curve=aic_detector.aic_curve(trace.i),
+            errors_us=errors_us,
+        )
+
+    sweep = run_sweep(
+        [SweepPoint(key="fig9", spec=ScenarioSpec(config, snr_db=snr_db, fb_hz=-21e3))],
+        measure,
+        rng=np.random.default_rng(seed),
     )
+    return sweep.first("fig9")

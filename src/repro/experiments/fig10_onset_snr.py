@@ -24,7 +24,7 @@ from repro.analysis.metrics import timing_error_upper_bound_s
 from repro.analysis.report import format_series
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.onset import AicDetector
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep, uniform_fb
 from repro.phy.chirp import ChirpConfig
 from repro.sdr.filters import bandlimit_trace
 
@@ -66,33 +66,36 @@ def run_fig10(
     if snrs_db is None:
         snrs_db = [-20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 30.0, 40.0]
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
-    rng = np.random.default_rng(seed)
     detector = AicDetector()
-    mean_errors, max_errors = [], []
-    for snr in snrs_db:
-        errors = []
-        for _ in range(n_trials):
-            capture = synthesize_capture(
-                config,
-                rng,
-                snr_db=snr,
-                fb_hz=float(rng.uniform(-25e3, -17e3)),
-                n_chirps=8,
+
+    def measure(point, trial, capture, prng):
+        trace = capture.trace
+        component = "i"
+        if bandlimit_cutoff_hz is not None:
+            trace = bandlimit_trace(trace, bandlimit_cutoff_hz)
+            component = "magnitude"
+        onset = detector.detect(trace, component=component)
+        return (
+            timing_error_upper_bound_s(
+                onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
             )
-            trace = capture.trace
-            component = "i"
-            if bandlimit_cutoff_hz is not None:
-                trace = bandlimit_trace(trace, bandlimit_cutoff_hz)
-                component = "magnitude"
-            onset = detector.detect(trace, component=component)
-            errors.append(
-                timing_error_upper_bound_s(
-                    onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
-                )
-                * 1e6
+            * 1e6
+        )
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key=snr,
+                spec=ScenarioSpec(config, snr_db=snr, fb_hz=uniform_fb(), n_chirps=8),
+                n_trials=n_trials,
             )
-        mean_errors.append(float(np.mean(errors)))
-        max_errors.append(float(np.max(errors)))
+            for snr in snrs_db
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
+    )
     return Fig10Result(
-        snrs_db=list(snrs_db), mean_errors_us=mean_errors, max_errors_us=max_errors
+        snrs_db=list(snrs_db),
+        mean_errors_us=[float(np.mean(sweep.trials(snr))) for snr in snrs_db],
+        max_errors_us=[float(np.max(sweep.trials(snr))) for snr in snrs_db],
     )

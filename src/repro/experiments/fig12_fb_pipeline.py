@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.constants import EU868_CENTER_FREQUENCY_HZ, RTL_SDR_SAMPLE_RATE_HZ, hz_to_ppm
 from repro.core.freq_bias import LinearRegressionFbEstimator
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep
 from repro.phy.chirp import ChirpConfig
 
 
@@ -54,26 +54,35 @@ def run_fig12(
 ) -> Fig12Result:
     """The Fig. 12 pipeline on a capture with the paper's example bias."""
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
-    rng = np.random.default_rng(seed)
-    capture = synthesize_capture(
-        config, rng, snr_db=snr_db, fb_hz=fb_hz, n_chirps=2, fractional_onset=False
-    )
-    spc = config.samples_per_chirp
-    onset = int(round(capture.true_onset_index_float))
-    chirp = capture.trace.samples[onset : onset + spc]
     estimator = LinearRegressionFbEstimator(config)
-    wrapped = np.arctan2(chirp.imag, chirp.real)
-    rectified = estimator.rectified_phase(chirp)
-    residual = estimator.linear_residual(chirp)
-    estimate = estimator.estimate(chirp)
-    return Fig12Result(
-        i_trace=chirp.real,
-        q_trace=chirp.imag,
-        wrapped_phase=wrapped,
-        rectified_phase=rectified,
-        linear_residual=residual,
-        true_fb_hz=fb_hz,
-        estimated_fb_hz=estimate.fb_hz,
-        estimated_ppm=hz_to_ppm(estimate.fb_hz, EU868_CENTER_FREQUENCY_HZ),
-        residual_linearity_rmse=estimate.diagnostics["fit_rmse_rad"],
+    spc = config.samples_per_chirp
+
+    def measure(point, trial, capture, prng):
+        onset = int(round(capture.true_onset_index_float))
+        chirp = capture.trace.samples[onset : onset + spc]
+        estimate = estimator.estimate(chirp)
+        return Fig12Result(
+            i_trace=chirp.real,
+            q_trace=chirp.imag,
+            wrapped_phase=np.arctan2(chirp.imag, chirp.real),
+            rectified_phase=estimator.rectified_phase(chirp),
+            linear_residual=estimator.linear_residual(chirp),
+            true_fb_hz=fb_hz,
+            estimated_fb_hz=estimate.fb_hz,
+            estimated_ppm=hz_to_ppm(estimate.fb_hz, EU868_CENTER_FREQUENCY_HZ),
+            residual_linearity_rmse=estimate.diagnostics["fit_rmse_rad"],
+        )
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key="fig12",
+                spec=ScenarioSpec(
+                    config, snr_db=snr_db, fb_hz=fb_hz, n_chirps=2, fractional_onset=False
+                ),
+            )
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
     )
+    return sweep.first("fig12")

@@ -16,7 +16,7 @@ from repro.analysis.report import format_table
 from repro.attack.replayer import Replayer
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.freq_bias import LeastSquaresFbEstimator
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep
 from repro.phy.chirp import ChirpConfig
 from repro.sdr.iq import IQTrace
 from repro.sim.rng import RngStreams
@@ -81,28 +81,40 @@ def run_fig13(
     estimator = LeastSquaresFbEstimator(config)
     spc = config.samples_per_chirp
 
-    original, replayed = [], []
-    for node, fb in enumerate(node_fbs):
-        rng = streams.stream(f"node-{node}")
-        orig_estimates, replay_estimates = [], []
-        for _ in range(frames_per_node):
-            # Sliced exactly at the onset: a slicing offset ε would bias
-            # the FB estimate by (W²/2^S)·ε, see fig14's docstring.
-            capture = synthesize_capture(
-                config, rng, snr_db=snr_db, fb_hz=fb, n_chirps=2, fractional_onset=False
+    def measure(point, trial, capture, prng):
+        # Sliced exactly at the onset: a slicing offset ε would bias
+        # the FB estimate by (W²/2^S)·ε, see fig14's docstring.
+        onset = int(round(capture.true_onset_index_float))
+        chirp = capture.trace.samples[onset : onset + spc]
+        original_hz = estimator.estimate(chirp).fb_hz
+        replay_trace = replayer.replay(
+            IQTrace(chirp, config.sample_rate_hz, start_time_s=0.0), delay_s=5.0
+        )
+        return original_hz, estimator.estimate(replay_trace.samples).fb_hz
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key=node,
+                spec=ScenarioSpec(
+                    config, snr_db=snr_db, fb_hz=fb, n_chirps=2, fractional_onset=False
+                ),
+                n_trials=frames_per_node,
             )
-            onset = int(round(capture.true_onset_index_float))
-            chirp = capture.trace.samples[onset : onset + spc]
-            orig_estimates.append(estimator.estimate(chirp).fb_hz)
-            replay_trace = replayer.replay(
-                IQTrace(chirp, config.sample_rate_hz, start_time_s=0.0), delay_s=5.0
-            )
-            replay_estimates.append(estimator.estimate(replay_trace.samples).fb_hz)
-        original.append(FbSummary.of(orig_estimates))
-        replayed.append(FbSummary.of(replay_estimates))
+            for node, fb in enumerate(node_fbs)
+        ],
+        measure,
+        rng_factory=lambda point: streams.stream(f"node-{point.key}"),
+    )
     return Fig13Result(
         node_fbs_true_hz=node_fbs,
-        original=original,
-        replayed=replayed,
+        original=[
+            FbSummary.of([orig for orig, _ in sweep.trials(node)])
+            for node in range(n_nodes)
+        ],
+        replayed=[
+            FbSummary.of([rep for _, rep in sweep.trials(node)])
+            for node in range(n_nodes)
+        ],
         chain_offset_hz=replayer.chain_fb_offset_hz,
     )

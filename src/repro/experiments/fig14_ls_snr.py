@@ -17,7 +17,7 @@ from repro.analysis.metrics import fb_error_hz
 from repro.analysis.report import format_table
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.freq_bias import LeastSquaresFbEstimator
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep
 from repro.phy.chirp import ChirpConfig
 from repro.sdr.noise import RealNoiseModel
 
@@ -66,29 +66,45 @@ def run_fig14(
     estimator = LeastSquaresFbEstimator(config)
     spc = config.samples_per_chirp
     real_model = RealNoiseModel()
-    gaussian_errors, real_errors = [], []
-    rng = np.random.default_rng(seed)
-    for snr in snrs_db:
-        per_model: dict[str, list[float]] = {"gaussian": [], "real": []}
-        for _ in range(n_trials):
-            for label, model in (("gaussian", None), ("real", real_model)):
-                capture = synthesize_capture(
-                    config,
-                    rng,
-                    snr_db=snr,
-                    fb_hz=fb_hz,
-                    n_chirps=2,
-                    fractional_onset=False,
-                    noise_model=model,
-                )
-                onset = int(round(capture.true_onset_index_float))
-                chirp = capture.trace.samples[onset : onset + spc]
-                estimate = estimator.estimate(chirp)
-                per_model[label].append(fb_error_hz(estimate.fb_hz, fb_hz))
-        gaussian_errors.append(float(np.mean(per_model["gaussian"])))
-        real_errors.append(float(np.mean(per_model["real"])))
+
+    def spec(snr: float, model: RealNoiseModel | None) -> ScenarioSpec:
+        return ScenarioSpec(
+            config,
+            snr_db=snr,
+            fb_hz=fb_hz,
+            n_chirps=2,
+            fractional_onset=False,
+            noise_model=model,
+        )
+
+    def measure(point, trial, captures, prng):
+        errors = {}
+        for label, capture in captures.items():
+            onset = int(round(capture.true_onset_index_float))
+            chirp = capture.trace.samples[onset : onset + spc]
+            errors[label] = fb_error_hz(estimator.estimate(chirp).fb_hz, fb_hz)
+        return errors
+
+    # Each trial synthesizes the gaussian and "real" variants back to
+    # back (Fig. 14's paired noise conditions share the sweep stream).
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key=snr,
+                spec={"gaussian": spec(snr, None), "real": spec(snr, real_model)},
+                n_trials=n_trials,
+            )
+            for snr in snrs_db
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
+    )
     return Fig14Result(
         snrs_db=list(snrs_db),
-        gaussian_errors_hz=gaussian_errors,
-        real_errors_hz=real_errors,
+        gaussian_errors_hz=[
+            float(np.mean([t["gaussian"] for t in sweep.trials(snr)])) for snr in snrs_db
+        ],
+        real_errors_hz=[
+            float(np.mean([t["real"] for t in sweep.trials(snr)])) for snr in snrs_db
+        ],
     )

@@ -17,7 +17,7 @@ from repro.analysis.metrics import timing_error_upper_bound_s
 from repro.analysis.report import format_table
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.onset import AicDetector
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep, uniform_fb
 from repro.phy.chirp import ChirpConfig
 from repro.phy.spectrum import measure_snr_db
 from repro.sdr.filters import bandlimit_trace
@@ -79,44 +79,60 @@ def run_fig15(
     scenario = scenario or build_building_scenario()
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
     detector = AicDetector()
-    rng = np.random.default_rng(seed)
-    cells = []
-    points = scenario.survey_points()
+    survey = scenario.survey_points()
     if max_cells is not None:
-        points = points[:max_cells]
-    for column, floor in points:
-        snr = scenario.snr_db(column, floor)
-        errors_us = []
-        measured_snr = float("nan")
-        for frame in range(frames_per_cell):
-            capture = synthesize_capture(
-                config, rng, snr_db=snr, fb_hz=float(rng.uniform(-25e3, -17e3)), n_chirps=8
+        survey = survey[:max_cells]
+
+    def measure(point, frame, capture, prng):
+        measured_snr = None
+        if frame == 0:
+            # The paper's SNR measurement: profile the noise power,
+            # then measure total power while the fixed node transmits.
+            onset_idx = int(np.floor(capture.true_onset_index_float))
+            signal_region = capture.trace.samples[
+                onset_idx : onset_idx + 4 * config.samples_per_chirp
+            ]
+            measured_snr = measure_snr_db(signal_region, capture.noise_power)
+        # The production SoftLoRa pipeline band-limits the capture to
+        # the LoRa channel before the AIC pick (see sdr.filters).
+        filtered = bandlimit_trace(capture.trace)
+        onset = detector.detect(filtered, component="magnitude")
+        error_us = (
+            timing_error_upper_bound_s(
+                onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
             )
-            if frame == 0:
-                # The paper's SNR measurement: profile the noise power,
-                # then measure total power while the fixed node transmits.
-                onset_idx = int(np.floor(capture.true_onset_index_float))
-                signal_region = capture.trace.samples[
-                    onset_idx : onset_idx + 4 * config.samples_per_chirp
-                ]
-                measured_snr = measure_snr_db(signal_region, capture.noise_power)
-            # The production SoftLoRa pipeline band-limits the capture to
-            # the LoRa channel before the AIC pick (see sdr.filters).
-            filtered = bandlimit_trace(capture.trace)
-            onset = detector.detect(filtered, component="magnitude")
-            errors_us.append(
-                timing_error_upper_bound_s(
-                    onset.time_s, capture.true_onset_time_s, capture.trace.sample_period_s
-                )
-                * 1e6
+            * 1e6
+        )
+        return error_us, measured_snr
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key=(column, floor),
+                spec=ScenarioSpec(
+                    config,
+                    snr_db=scenario.snr_db(column, floor),
+                    fb_hz=uniform_fb(),
+                    n_chirps=8,
+                ),
+                n_trials=frames_per_cell,
             )
+            for column, floor in survey
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
+    )
+    cells = []
+    for point in sweep.points:
+        column, floor = point.key
+        trials = sweep.trials(point.key)
         cells.append(
             SurveyCell(
                 column=column,
                 floor=floor,
-                link_snr_db=snr,
-                measured_snr_db=measured_snr,
-                timing_error_us=float(np.mean(errors_us)),
+                link_snr_db=point.spec.snr_db,
+                measured_snr_db=trials[0][1],
+                timing_error_us=float(np.mean([error for error, _ in trials])),
             )
         )
     return Fig15Result(cells=cells, tx_column=scenario.tx_column, tx_floor=scenario.tx_floor)

@@ -27,7 +27,7 @@ from repro.analysis.report import format_table
 from repro.attack.replayer import Replayer
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.freq_bias import LeastSquaresFbEstimator
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep
 from repro.phy.chirp import ChirpConfig
 from repro.sim.rng import RngStreams
 
@@ -114,32 +114,49 @@ def run_fig16(
     spc = config.samples_per_chirp
     reference_power = tx_powers_dbm[0]
 
-    eave_rows, direct_rows, replay_rows = [], [], []
-    for power in tx_powers_dbm:
-        snr = base_snr_db + (power - reference_power)
-        rng = streams.stream(f"power-{power}")
-        eave, direct, replayed = [], [], []
-        for _ in range(frames_per_point):
-            capture = synthesize_capture(
-                config, rng, snr_db=snr, fb_hz=device_fb_hz, n_chirps=2, fractional_onset=False
+    def measure(point, trial, capture, prng):
+        onset = int(round(capture.true_onset_index_float))
+        chirp = capture.trace.samples[onset + spc : onset + 2 * spc]
+        t = np.arange(len(chirp)) / config.sample_rate_hz
+        # Gateway's direct estimate (its own RX bias is the reference 0);
+        # the eavesdropper sees the same chirp through its own biased LO;
+        # the replay adds the dual-USRP chain offset.
+        eave_chirp = chirp * np.exp(-2j * np.pi * eavesdropper_rx_fb_hz * t)
+        replay_chirp = chirp * np.exp(2j * np.pi * replayer.chain_fb_offset_hz * t)
+        return {
+            "direct": estimator.estimate(chirp).fb_hz,
+            "eavesdropper": estimator.estimate(eave_chirp).fb_hz,
+            "replayed": estimator.estimate(replay_chirp).fb_hz,
+        }
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key=power,
+                spec=ScenarioSpec(
+                    config,
+                    snr_db=base_snr_db + (power - reference_power),
+                    fb_hz=device_fb_hz,
+                    n_chirps=2,
+                    fractional_onset=False,
+                ),
+                n_trials=frames_per_point,
             )
-            onset = int(round(capture.true_onset_index_float))
-            chirp = capture.trace.samples[onset + spc : onset + 2 * spc]
-            # Gateway's direct estimate (its own RX bias is the reference 0).
-            direct.append(estimator.estimate(chirp).fb_hz)
-            # Eavesdropper sees the same chirp through its own biased LO.
-            t = np.arange(len(chirp)) / config.sample_rate_hz
-            eave_chirp = chirp * np.exp(-2j * np.pi * eavesdropper_rx_fb_hz * t)
-            eave.append(estimator.estimate(eave_chirp).fb_hz)
-            # Replay through the dual-USRP chain, estimated by the gateway.
-            replay_chirp = chirp * np.exp(2j * np.pi * replayer.chain_fb_offset_hz * t)
-            replayed.append(estimator.estimate(replay_chirp).fb_hz)
-        eave_rows.append(BoxStats.of(eave))
-        direct_rows.append(BoxStats.of(direct))
-        replay_rows.append(BoxStats.of(replayed))
+            for power in tx_powers_dbm
+        ],
+        measure,
+        rng_factory=lambda point: streams.stream(f"power-{point.key}"),
+    )
+
+    def row(observer: str) -> list[BoxStats]:
+        return [
+            BoxStats.of([trial[observer] for trial in sweep.trials(power)])
+            for power in tx_powers_dbm
+        ]
+
     return Fig16Result(
         tx_powers_dbm=list(tx_powers_dbm),
-        eavesdropper=eave_rows,
-        gateway_direct=direct_rows,
-        gateway_replayed=replay_rows,
+        eavesdropper=row("eavesdropper"),
+        gateway_direct=row("direct"),
+        gateway_replayed=row("replayed"),
     )

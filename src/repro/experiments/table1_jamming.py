@@ -22,6 +22,7 @@ from repro.attack.jammer import (
     JammingWindows,
     RN2483_MEASURED_WINDOWS,
 )
+from repro.experiments.common import SweepPoint, run_sweep
 from repro.phy.airtime import symbol_time_s
 
 
@@ -84,17 +85,28 @@ class Table1Result:
 
 
 def run_table1(model: JammingWindowModel | None = None) -> Table1Result:
-    """Model every Table 1 row and pair it with the paper's measurement."""
+    """Model every Table 1 row and pair it with the paper's measurement.
+
+    A spec-less sweep: each point is one paper-measured (SF, payload)
+    row, no captures are synthesized.
+    """
     model = model or JammingWindowModel()
-    rows = []
-    for (sf, payload), measured in sorted(RN2483_MEASURED_WINDOWS.items()):
-        rows.append(
-            Table1Row(
-                spreading_factor=sf,
-                payload_bytes=payload,
-                chirp_time_ms=symbol_time_s(sf) * 1e3,
-                measured=measured,
-                modelled=model.windows(sf, payload),
-            )
+
+    def measure(point, trial, capture, prng):
+        sf, payload = point.key
+        return Table1Row(
+            spreading_factor=sf,
+            payload_bytes=payload,
+            chirp_time_ms=symbol_time_s(sf) * 1e3,
+            measured=point.metadata["measured"],
+            modelled=model.windows(sf, payload),
         )
-    return Table1Result(rows=rows, model=model)
+
+    sweep = run_sweep(
+        [
+            SweepPoint(key=(sf, payload), metadata={"measured": measured})
+            for (sf, payload), measured in sorted(RN2483_MEASURED_WINDOWS.items())
+        ],
+        measure,
+    )
+    return Table1Result(rows=sweep.flat(), model=model)

@@ -17,7 +17,7 @@ from repro.analysis.metrics import timing_error_upper_bound_s
 from repro.analysis.report import format_table
 from repro.constants import RTL_SDR_SAMPLE_RATE_HZ
 from repro.core.onset import AicDetector, EnvelopeDetector
-from repro.experiments.common import synthesize_capture
+from repro.experiments.common import ScenarioSpec, SweepPoint, run_sweep, uniform_fb
 from repro.phy.chirp import ChirpConfig
 
 
@@ -57,27 +57,36 @@ def run_table2(
 ) -> Table2Result:
     """Reproduce Table 2's ten bench measurements."""
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
-    rng = np.random.default_rng(seed)
     env = EnvelopeDetector()
     aic = AicDetector()
-    result = Table2Result([], [], [], [])
-    for _ in range(n_runs):
-        capture = synthesize_capture(
-            config,
-            rng,
-            snr_db=snr_db,
-            fb_hz=float(rng.uniform(-25e3, -17e3)),
-            n_chirps=8,
-        )
+
+    def measure(point, trial, capture, prng):
         period = capture.trace.sample_period_s
-        for detector, i_bucket, q_bucket in (
-            (env, result.env_i_errors_us, result.env_q_errors_us),
-            (aic, result.aic_i_errors_us, result.aic_q_errors_us),
-        ):
-            for component, bucket in (("i", i_bucket), ("q", q_bucket)):
+        errors = {}
+        for name, detector in (("env", env), ("aic", aic)):
+            for component in ("i", "q"):
                 onset = detector.detect(capture.trace, component=component)
                 bound = timing_error_upper_bound_s(
                     onset.time_s, capture.true_onset_time_s, period
                 )
-                bucket.append(bound * 1e6)
-    return result
+                errors[f"{name}_{component}"] = bound * 1e6
+        return errors
+
+    sweep = run_sweep(
+        [
+            SweepPoint(
+                key="bench",
+                spec=ScenarioSpec(config, snr_db=snr_db, fb_hz=uniform_fb(), n_chirps=8),
+                n_trials=n_runs,
+            )
+        ],
+        measure,
+        rng=np.random.default_rng(seed),
+    )
+    runs = sweep.trials("bench")
+    return Table2Result(
+        env_i_errors_us=[run["env_i"] for run in runs],
+        env_q_errors_us=[run["env_q"] for run in runs],
+        aic_i_errors_us=[run["aic_i"] for run in runs],
+        aic_q_errors_us=[run["aic_q"] for run in runs],
+    )

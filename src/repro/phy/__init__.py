@@ -24,6 +24,11 @@ from repro.phy.airtime import (
 )
 from repro.phy.chirp import (
     ChirpConfig,
+    cached_base_downchirp,
+    cached_base_upchirp,
+    cached_dechirp_template,
+    cached_sample_times,
+    cached_sweep_phase,
     chirp_waveform,
     downchirp,
     instantaneous_frequency,
@@ -65,6 +70,11 @@ __all__ = [
     "PhyReceiver",
     "PhyTransmitter",
     "airtime_s",
+    "cached_base_downchirp",
+    "cached_base_upchirp",
+    "cached_dechirp_template",
+    "cached_sample_times",
+    "cached_sweep_phase",
     "chirp_waveform",
     "crc16_ccitt",
     "downchirp",

@@ -23,6 +23,7 @@ the frequency-bias term.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -92,6 +93,64 @@ class ChirpConfig:
         """Sample instants covering ``n_chirps`` chirps, starting at 0."""
         n = int(round(self.samples_per_chirp * n_chirps))
         return np.arange(n) / self.sample_rate_hz
+
+
+# -- reference-chirp cache ----------------------------------------------------
+#
+# Every receive-side stage needs the same per-config reference arrays: the
+# sample instants of one chirp, the known quadratic sweep phase, and the
+# base up/down chirps used as dechirp templates.  :class:`ChirpConfig` is
+# frozen (hashable), so these are memoized per config; a fleet gateway
+# processing thousands of captures synthesizes each reference exactly once.
+# Cached arrays are returned read-only -- callers must copy before mutating.
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+@lru_cache(maxsize=None)
+def cached_sample_times(config: ChirpConfig) -> np.ndarray:
+    """Memoized :meth:`ChirpConfig.sample_times` for one chirp (read-only)."""
+    return _read_only(config.sample_times())
+
+
+@lru_cache(maxsize=None)
+def cached_sweep_phase(config: ChirpConfig) -> np.ndarray:
+    """The known sweep phase ``πW²/2^S·t² − πWt`` at the sample instants.
+
+    This is the quadratic part of the paper's Eq. 5 -- what the FB
+    estimators subtract (or conjugate away) to expose the linear ``2πδt``
+    term.  Read-only.
+    """
+    t = cached_sample_times(config)
+    w = config.bandwidth_hz
+    rate = w * w / config.n_symbols
+    return _read_only(np.pi * rate * t * t - np.pi * w * t)
+
+
+@lru_cache(maxsize=None)
+def cached_dechirp_template(config: ChirpConfig) -> np.ndarray:
+    """Memoized dechirp reference ``e^{−j·sweep(t)}`` (read-only).
+
+    Multiplying a received chirp by this conjugate sweep collapses it to
+    the tone ``A·e^{j(2πδt+θ)}`` -- the first stage of the least-squares
+    FB reduction and of CSS demodulation.
+    """
+    return _read_only(np.exp(-1j * cached_sweep_phase(config)))
+
+
+@lru_cache(maxsize=None)
+def cached_base_upchirp(config: ChirpConfig) -> np.ndarray:
+    """Memoized unbiased base up chirp (``δ=0, θ=0, A=1``), read-only."""
+    return _read_only(upchirp(config))
+
+
+@lru_cache(maxsize=None)
+def cached_base_downchirp(config: ChirpConfig) -> np.ndarray:
+    """Memoized unbiased base down chirp, read-only."""
+    return _read_only(downchirp(config))
 
 
 def instantaneous_phase(

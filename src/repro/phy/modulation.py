@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ModulationError
-from repro.phy.chirp import ChirpConfig, chirp_end_phase, upchirp
+from repro.phy.chirp import ChirpConfig, cached_base_upchirp, chirp_end_phase, upchirp
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,10 @@ class CssDemodulator:
 
     def __init__(self, config: ChirpConfig):
         self.config = config
-        self._base_downchirp = np.conj(upchirp(config))
+        # The cached reference is shared across demodulator instances; a
+        # gateway processing thousands of captures dechirps against one
+        # precomputed array.
+        self._base_downchirp = np.conj(cached_base_upchirp(config))
 
     def _bin_for_frequency(self, freq_hz: float, n_fft: int) -> int:
         """FFT bin index (0..n_fft-1) closest to ``freq_hz``."""

@@ -1,0 +1,19 @@
+"""Batched capture processing: the fleet-scale SoftLoRa hot path.
+
+``repro.pipeline`` stacks N SDR captures into a :class:`CaptureBatch`
+and runs the whole SoftLoRa chain -- AIC onset, PHY timestamping, chirp
+slicing, frequency-bias estimation, FB-database lookup -- as vectorized
+numpy stages with no per-capture Python loop (:class:`BatchPipeline`).
+The single-capture APIs in :mod:`repro.core` delegate to the same batch
+entry points, so batched and per-capture results agree bitwise.
+"""
+
+from repro.pipeline.batch import CaptureBatch
+from repro.pipeline.engine import BatchPipeline, BatchResult, CaptureOutcome
+
+__all__ = [
+    "BatchPipeline",
+    "BatchResult",
+    "CaptureBatch",
+    "CaptureOutcome",
+]

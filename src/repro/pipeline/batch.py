@@ -1,0 +1,148 @@
+"""Stacked-capture container for the batched processing engine.
+
+A :class:`CaptureBatch` is the batched counterpart of
+:class:`repro.sdr.iq.IQTrace`: ``n_captures`` equal-length, equal-rate
+captures stacked into one ``(n_captures, n_samples)`` complex array plus
+per-capture absolute start times and free-form metadata.  Keeping the
+samples in one contiguous 2-D array is what lets every DSP stage of
+:class:`repro.pipeline.BatchPipeline` run as a single vectorized numpy
+pass instead of a per-capture Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sdr.iq import IQTrace
+
+
+@dataclass
+class CaptureBatch:
+    """``n_captures`` stacked SDR captures with absolute timing.
+
+    Attributes
+    ----------
+    samples:
+        Complex samples, shape ``(n_captures, n_samples)``.
+    sample_rate_hz:
+        Common ADC rate of every capture in the batch.
+    start_times_s:
+        Global time of sample 0 of each capture, shape ``(n_captures,)``.
+    metadata:
+        One free-form dict per capture (node id, channel, conditions).
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    start_times_s: np.ndarray | None = None
+    metadata: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError(f"sample rate must be positive, got {self.sample_rate_hz}")
+        self.samples = np.asarray(self.samples, dtype=complex)
+        if self.samples.ndim != 2:
+            raise ConfigurationError(
+                f"batch samples must be 2-D (n_captures, n_samples), got {self.samples.shape}"
+            )
+        n = len(self.samples)
+        if self.start_times_s is None:
+            self.start_times_s = np.zeros(n)
+        self.start_times_s = np.asarray(self.start_times_s, dtype=float)
+        if self.start_times_s.shape != (n,):
+            raise ConfigurationError(
+                f"start_times_s must have shape ({n},), got {self.start_times_s.shape}"
+            )
+        if not self.metadata:
+            self.metadata = [{} for _ in range(n)]
+        if len(self.metadata) != n:
+            raise ConfigurationError(
+                f"{len(self.metadata)} metadata dicts do not match {n} captures"
+            )
+
+    @classmethod
+    def from_traces(cls, traces: Sequence[IQTrace]) -> "CaptureBatch":
+        """Stack equal-length, equal-rate traces into one batch."""
+        if not traces:
+            raise ConfigurationError("cannot build a batch from zero traces")
+        rates = {trace.sample_rate_hz for trace in traces}
+        if len(rates) != 1:
+            raise ConfigurationError(f"traces mix sample rates {sorted(rates)}")
+        lengths = {len(trace) for trace in traces}
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                f"traces mix lengths {sorted(lengths)}; pad to a common window first"
+            )
+        return cls(
+            samples=np.stack([trace.samples for trace in traces]),
+            sample_rate_hz=traces[0].sample_rate_hz,
+            start_times_s=np.array([trace.start_time_s for trace in traces]),
+            metadata=[dict(trace.metadata) for trace in traces],
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def sample_period_s(self) -> float:
+        return 1.0 / self.sample_rate_hz
+
+    def component(self, name: str) -> np.ndarray:
+        """The stacked I, Q, or magnitude components, shape ``(n, m)``."""
+        if name == "i":
+            return self.samples.real
+        if name == "q":
+            return self.samples.imag
+        if name == "magnitude":
+            return np.abs(self.samples)
+        raise ConfigurationError(f"component must be 'i', 'q' or 'magnitude', got {name!r}")
+
+    def time_of_index(self, capture: int, index: int) -> float:
+        """Absolute time of sample ``index`` of capture ``capture``."""
+        return float(self.start_times_s[capture]) + index / self.sample_rate_hz
+
+    def times_of_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Absolute times of one sample index per capture, vectorized."""
+        indices = np.asarray(indices)
+        if indices.shape != (len(self),):
+            raise ConfigurationError(
+                f"need one index per capture ({len(self)}), got shape {indices.shape}"
+            )
+        return self.start_times_s + indices / self.sample_rate_hz
+
+    def trace(self, capture: int) -> IQTrace:
+        """Single-capture view (copy) of one row, as an :class:`IQTrace`."""
+        return IQTrace(
+            samples=self.samples[capture].copy(),
+            sample_rate_hz=self.sample_rate_hz,
+            start_time_s=float(self.start_times_s[capture]),
+            metadata=dict(self.metadata[capture]),
+        )
+
+    def slice_each(self, starts: np.ndarray, length: int) -> np.ndarray:
+        """Per-capture window gather: row ``r`` is ``samples[r, starts[r]:starts[r]+length]``.
+
+        One fancy-indexing pass replaces ``n`` Python-level slices; the
+        engine uses it to cut the FB-estimation chirp out of every capture
+        at its own detected onset.  Rows whose window would run past the
+        capture end must be masked out by the caller beforehand.
+        """
+        starts = np.asarray(starts, dtype=int)
+        if starts.shape != (len(self),):
+            raise ConfigurationError(
+                f"need one start per capture ({len(self)}), got shape {starts.shape}"
+            )
+        if length < 0:
+            raise ConfigurationError(f"window length must be >= 0, got {length}")
+        if np.any(starts < 0) or np.any(starts + length > self.n_samples):
+            raise ConfigurationError("slice window runs outside the capture for some rows")
+        rows = np.arange(len(self))[:, np.newaxis]
+        return self.samples[rows, starts[:, np.newaxis] + np.arange(length)[np.newaxis, :]]

@@ -48,6 +48,19 @@ class FbMeasurementModel:
     def measure(self, true_fb_hz: float, snr_db: float, rng: np.random.Generator) -> float:
         return true_fb_hz + rng.normal(0.0, self.sigma_hz(snr_db))
 
+    def measure_batch(
+        self,
+        true_fbs_hz: np.ndarray,
+        snrs_db: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-frame FB measurements for a whole fleet step, one rng draw."""
+        true_fbs = np.asarray(true_fbs_hz, dtype=float)
+        snrs = np.asarray(snrs_db, dtype=float)
+        raw = self.ceiling_hz * 10.0 ** (-(snrs - self.reference_snr_db) / 20.0)
+        sigmas = np.clip(raw, self.floor_hz, self.ceiling_hz)
+        return true_fbs + sigmas * rng.standard_normal(true_fbs.shape)
+
 
 class EventKind(enum.Enum):
     DELIVERED = "delivered"
@@ -174,6 +187,111 @@ class LoRaWanWorld:
         )
         self.events.append(event)
         return event
+
+    def uplink_batch(
+        self, device_names: list[str] | None = None, request_time_s: float = 0.0
+    ) -> list[WorldEvent]:
+        """One fleet step: run many uplinks through the channel at once.
+
+        The MAC layer (device frame assembly) stays per-device -- each
+        device's counters and buffers are stateful -- but everything the
+        gateway sees is batched: one vectorized FB-measurement draw for
+        all direct deliveries, then a single
+        :meth:`SoftLoRaGateway.process_frame_batch` call in device order.
+        Attacked devices are handled after the direct deliveries, matching
+        the timeline (their replays arrive ``attack_delay_s`` later).
+
+        ``device_names=None`` steps the whole fleet.  Returns one primary
+        event per device, aligned with ``device_names``; jam-suppression
+        events of attacked devices are appended to :attr:`events` too.
+        """
+        names = list(self.devices) if device_names is None else list(device_names)
+        staged = []
+        for name in names:
+            device = self.devices[name]
+            tx = device.transmit(request_time_s)
+            snr = self._snr_for(device)
+            delay = propagation_delay_s(device.position, self.gateway_position)
+            staged.append((name, device, tx, snr, delay))
+
+        primary: dict[str, WorldEvent] = {}
+        direct = []
+        attacked = []
+        for name, device, tx, snr, delay in staged:
+            floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
+            arrival = tx.emission_time_s + delay
+            if snr < floor:
+                primary[name] = WorldEvent(
+                    kind=EventKind.LOST_LOW_SNR,
+                    time_s=arrival,
+                    device_name=name,
+                    snr_db=snr,
+                    transmission=tx,
+                    detail=f"SNR {snr:.1f} dB below SF{device.spreading_factor} "
+                    f"floor {floor:.1f} dB",
+                )
+            elif self.attack is not None and name in self.attack_targets:
+                attacked.append((name, tx, snr, delay, arrival))
+            else:
+                direct.append((name, tx, snr, arrival))
+
+        if direct:
+            fbs = self.fb_model.measure_batch(
+                np.array([tx.fb_hz for _, tx, _, _ in direct]),
+                np.array([snr for _, _, snr, _ in direct]),
+                self.rng,
+            )
+            receptions = self.gateway.process_frame_batch(
+                [
+                    (tx.mac_bytes, arrival, float(fb))
+                    for (_, tx, _, arrival), fb in zip(direct, fbs)
+                ]
+            )
+            for (name, tx, snr, arrival), reception in zip(direct, receptions):
+                primary[name] = WorldEvent(
+                    kind=EventKind.DELIVERED,
+                    time_s=arrival,
+                    device_name=name,
+                    snr_db=snr,
+                    transmission=tx,
+                    reception=reception,
+                )
+
+        suppressed_events: dict[str, WorldEvent] = {}
+        for name, tx, snr, delay, arrival in attacked:
+            outcome = self.attack.execute(tx, self.attack_delay_s)
+            suppressed_events[name] = WorldEvent(
+                kind=EventKind.SUPPRESSED_BY_JAMMING,
+                time_s=arrival,
+                device_name=name,
+                snr_db=snr,
+                transmission=tx,
+                detail=f"jam outcome: {outcome.jam_outcome.value}",
+                metadata={"attack": outcome},
+            )
+            replay_arrival = outcome.replayed.arrival_time_s + delay
+            fb_measured = self.fb_model.measure(outcome.replayed.fb_hz, snr, self.rng)
+            reception = self.gateway.process_frame(
+                outcome.replayed.mac_bytes, replay_arrival, fb_measured
+            )
+            primary[name] = WorldEvent(
+                kind=EventKind.REPLAY_DELIVERED,
+                time_s=replay_arrival,
+                device_name=name,
+                snr_db=snr,
+                transmission=tx,
+                reception=reception,
+                metadata={"attack": outcome},
+            )
+
+        ordered = []
+        for name in names:
+            if name in suppressed_events:
+                self.events.append(suppressed_events[name])
+            event = primary[name]
+            self.events.append(event)
+            ordered.append(event)
+        return ordered
 
     def schedule_uplink(self, device_name: str, request_time_s: float) -> None:
         """Queue an uplink on the discrete-event simulator."""

@@ -1,0 +1,36 @@
+"""Guard the package's lazy-export map against drift.
+
+``repro.__init__`` re-exports heavy aggregates through a module-level
+``__getattr__``; a name added to ``__all__`` without a matching eager
+import or ``_LAZY`` entry would only explode at first attribute access.
+These tests touch every advertised name so the drift is caught in CI.
+"""
+
+import pytest
+
+import repro
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_every_public_name_resolves(name):
+    assert getattr(repro, name) is not None
+
+
+def test_lazy_names_are_advertised():
+    # Everything reachable through the lazy map must also be in __all__,
+    # otherwise star-imports and the docs disagree with getattr.
+    for name in repro._LAZY:
+        assert name in repro.__all__, f"lazy export {name!r} missing from __all__"
+
+
+def test_lazy_map_targets_exist():
+    import importlib
+
+    for name, (module_name, attr) in repro._LAZY.items():
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), f"{name!r} points at missing {module_name}.{attr}"
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_an_export

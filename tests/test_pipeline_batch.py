@@ -1,0 +1,284 @@
+"""Regression tests for the batched capture-processing engine.
+
+The contract under test: a batch of one is *bitwise identical* to the
+single-capture APIs (`AicDetector`, `LeastSquaresFbEstimator`,
+`SyncFreeTimestamper`), and every row of a larger batch matches the
+corresponding single-capture call exactly.  Plus edge cases: minimum
+length traces in a batch, short FB chirps, ragged inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.freq_bias import LeastSquaresFbEstimator
+from repro.core.onset import AicDetector
+from repro.core.timestamping import SyncFreeTimestamper
+from repro.errors import ConfigurationError, EstimationError
+from repro.experiments.common import ScenarioSpec, synthesize_capture
+from repro.phy.chirp import (
+    ChirpConfig,
+    cached_base_downchirp,
+    cached_base_upchirp,
+    cached_sample_times,
+    cached_sweep_phase,
+    downchirp,
+    upchirp,
+)
+from repro.pipeline import BatchPipeline, CaptureBatch
+from repro.sdr.iq import IQTrace
+from repro.sdr.noise import complex_awgn
+
+
+@pytest.fixture
+def captures(fast_config, rng):
+    return [
+        synthesize_capture(
+            fast_config, rng, snr_db=20.0, fb_hz=float(rng.uniform(-25e3, -17e3))
+        )
+        for _ in range(5)
+    ]
+
+
+class TestChirpCache:
+    def test_cached_references_match_fresh_synthesis(self, fast_config):
+        np.testing.assert_array_equal(
+            cached_sample_times(fast_config), fast_config.sample_times()
+        )
+        np.testing.assert_array_equal(cached_base_upchirp(fast_config), upchirp(fast_config))
+        np.testing.assert_array_equal(
+            cached_base_downchirp(fast_config), downchirp(fast_config)
+        )
+
+    def test_cache_hit_returns_same_object(self, fast_config):
+        same_config = ChirpConfig(
+            spreading_factor=fast_config.spreading_factor,
+            sample_rate_hz=fast_config.sample_rate_hz,
+        )
+        assert cached_sweep_phase(fast_config) is cached_sweep_phase(same_config)
+
+    def test_cached_arrays_are_read_only(self, fast_config):
+        with pytest.raises(ValueError):
+            cached_base_upchirp(fast_config)[0] = 0.0
+
+
+class TestAicBatch:
+    def test_batch_of_one_is_bitwise_identical(self, captures):
+        detector = AicDetector()
+        trace = captures[0].trace
+        single_curve = detector.aic_curve(trace.i)
+        batch_curve = detector.aic_curve_batch(trace.i[np.newaxis, :])[0]
+        np.testing.assert_array_equal(single_curve, batch_curve)
+
+        batch = CaptureBatch.from_traces([trace])
+        (onset,) = detector.detect_batch(batch)
+        reference = detector.detect(trace)
+        assert onset.index == reference.index
+        assert onset.time_s == reference.time_s
+        assert onset.diagnostics == reference.diagnostics
+
+    def test_every_batch_row_matches_single(self, captures):
+        detector = AicDetector()
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        for result, capture in zip(detector.detect_batch(batch), captures):
+            reference = detector.detect(capture.trace)
+            assert result.index == reference.index
+            assert result.time_s == reference.time_s
+
+    def test_minimum_length_batch(self, rng):
+        # The shortest trace with an admissible split point: the edge
+        # guards blank min_segment samples at each end, so 2*min_segment+1
+        # leaves exactly one candidate.  A whole batch at that length must
+        # pick it, agreeing with the single-capture path.
+        detector = AicDetector(min_segment=8)
+        n = 2 * detector.min_segment + 1
+        stack = np.concatenate(
+            [
+                0.01 * rng.standard_normal((4, n // 2)),
+                rng.standard_normal((4, n - n // 2)) + 1.0,
+            ],
+            axis=1,
+        )
+        indices = detector.pick_batch(stack)
+        assert list(indices) == [detector.min_segment] * 4
+        for row in range(len(stack)):
+            trace = IQTrace(stack[row] + 0j, 1e6)
+            assert int(indices[row]) == detector.detect(trace, component="i").index
+
+    def test_below_minimum_length_rejected(self, rng):
+        detector = AicDetector(min_segment=8)
+        with pytest.raises(EstimationError):
+            detector.aic_curve_batch(rng.standard_normal((3, 2 * detector.min_segment - 1)))
+        # 2*min_segment parses but the guards blank every split point --
+        # identical all-NaN behaviour to the single-capture curve.
+        curves = detector.aic_curve_batch(rng.standard_normal((3, 2 * detector.min_segment)))
+        assert np.all(np.isnan(curves))
+
+    def test_non_2d_batch_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            AicDetector().aic_curve_batch(rng.standard_normal(64))
+
+
+class TestFbBatch:
+    def test_batch_of_one_is_bitwise_identical(self, fast_config, rng):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        chirp = upchirp(fast_config, fb_hz=-21e3, phase=1.1) + complex_awgn(
+            fast_config.samples_per_chirp, 0.05, rng
+        )
+        single = estimator.estimate(chirp)
+        (batched,) = estimator.estimate_batch(chirp[np.newaxis, :])
+        assert single.fb_hz == batched.fb_hz
+        assert single.phase == batched.phase
+        assert single.diagnostics == batched.diagnostics
+
+    def test_every_batch_row_matches_single(self, fast_config, rng):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        spc = fast_config.samples_per_chirp
+        stack = np.stack(
+            [
+                upchirp(fast_config, fb_hz=fb, phase=p) + complex_awgn(spc, 0.02, rng)
+                for fb, p in [(-24e3, 0.3), (-19e3, 2.0), (-17e3, 5.1), (8e3, 1.0)]
+            ]
+        )
+        for row, batched in enumerate(estimator.estimate_batch(stack)):
+            single = estimator.estimate(stack[row])
+            assert single.fb_hz == batched.fb_hz
+            assert single.phase == batched.phase
+
+    def test_list_input_accepted(self, fast_config):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        chirps = [upchirp(fast_config, fb_hz=-20e3), upchirp(fast_config, fb_hz=-18e3)]
+        estimates = estimator.estimate_batch(chirps)
+        assert estimates[0].fb_hz == pytest.approx(-20e3, abs=0.5)
+        assert estimates[1].fb_hz == pytest.approx(-18e3, abs=0.5)
+
+    def test_short_rows_rejected(self, fast_config):
+        estimator = LeastSquaresFbEstimator(fast_config)
+        with pytest.raises(EstimationError):
+            estimator.estimate_batch(np.zeros((2, fast_config.samples_per_chirp - 1), complex))
+
+    def test_de_batch_falls_back_to_row_loop(self, rng):
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=0.25e6)
+        de = LeastSquaresFbEstimator(config, search_range_hz=(-20e3, 20e3), method="de")
+        chirp = upchirp(config, fb_hz=-7.5e3, phase=2.0)
+        (batched,) = de.estimate_batch(chirp[np.newaxis, :])
+        assert batched.fb_hz == pytest.approx(-7.5e3, abs=5.0)
+
+
+class TestTimestamperBatch:
+    def test_batch_of_one_is_bitwise_identical(self):
+        stamper = SyncFreeTimestamper(tx_latency_s=3e-3)
+        single = stamper.reconstruct(100.0, [5, 250, 4000], [1.0, 2.0, 3.0])
+        (batched,) = stamper.reconstruct_batch([100.0], [[5, 250, 4000]], [[1.0, 2.0, 3.0]])
+        assert batched == single
+
+    def test_arrays_match_scalar_reconstruction(self):
+        stamper = SyncFreeTimestamper(tx_latency_s=3e-3)
+        arrivals = np.array([10.0, 55.5, 100.25])
+        ticks = np.array([[0, 100], [20, 3000], [7, 1]])
+        times = stamper.reconstruct_arrays(arrivals, ticks)
+        for frame in range(3):
+            readings = stamper.reconstruct(float(arrivals[frame]), list(ticks[frame]))
+            for k, reading in enumerate(readings):
+                assert times[frame, k] == reading.global_time_s
+
+    def test_shape_and_range_validation(self):
+        stamper = SyncFreeTimestamper()
+        with pytest.raises(ConfigurationError):
+            stamper.reconstruct_arrays(np.array([1.0]), np.array([1, 2]))
+        with pytest.raises(ConfigurationError):
+            stamper.reconstruct_arrays(np.array([1.0]), np.array([[-1]]))
+        with pytest.raises(ConfigurationError):
+            stamper.reconstruct_batch([1.0, 2.0], [[1]])
+
+
+class TestCaptureBatch:
+    def test_from_traces_requires_uniform_shape(self, fast_config, rng):
+        a = IQTrace(complex_awgn(100, 1.0, rng), 1e6)
+        b = IQTrace(complex_awgn(101, 1.0, rng), 1e6)
+        with pytest.raises(ConfigurationError):
+            CaptureBatch.from_traces([a, b])
+        c = IQTrace(complex_awgn(100, 1.0, rng), 2e6)
+        with pytest.raises(ConfigurationError):
+            CaptureBatch.from_traces([a, c])
+
+    def test_round_trip_preserves_timing(self, captures):
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        for row, capture in enumerate(captures):
+            trace = batch.trace(row)
+            assert trace.start_time_s == capture.trace.start_time_s
+            np.testing.assert_array_equal(trace.samples, capture.trace.samples)
+
+    def test_slice_each_matches_python_slices(self, captures):
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        starts = np.arange(len(batch)) * 3
+        window = batch.slice_each(starts, 32)
+        for row in range(len(batch)):
+            np.testing.assert_array_equal(
+                window[row], batch.samples[row, starts[row] : starts[row] + 32]
+            )
+
+    def test_slice_each_bounds_checked(self, captures):
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        with pytest.raises(ConfigurationError):
+            batch.slice_each(np.full(len(batch), batch.n_samples - 1), 2)
+
+
+class TestBatchPipeline:
+    def test_stages_match_single_capture_chain(self, fast_config, captures):
+        engine = BatchPipeline(config=fast_config)
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        result = engine.run(batch)
+        detector = AicDetector()
+        estimator = LeastSquaresFbEstimator(fast_config)
+        spc = fast_config.samples_per_chirp
+        for capture, outcome in zip(captures, result.outcomes):
+            onset = detector.detect(capture.trace, component="i")
+            assert outcome.onset.index == onset.index
+            assert outcome.phy_timestamp_s == onset.time_s
+            reference = estimator.estimate(
+                capture.trace.samples[onset.index + spc : onset.index + 2 * spc]
+            )
+            assert outcome.fb_estimate.fb_hz == reference.fb_hz
+
+    def test_short_tail_rows_carry_error_not_crash(self, fast_config, rng):
+        # A capture whose preamble starts so late that no second chirp
+        # fits must skip FB estimation but keep its onset/timestamp.
+        spc = fast_config.samples_per_chirp
+        quiet = 0.01 * complex_awgn(3 * spc, 1.0, rng)
+        late = np.concatenate(
+            [quiet[: 2 * spc + spc // 2], upchirp(fast_config)[: spc // 2]]
+        )
+        good = synthesize_capture(fast_config, rng, snr_db=25.0, n_chirps=4).trace
+        batch = CaptureBatch.from_traces(
+            [IQTrace(late, fast_config.sample_rate_hz), good.slice_samples(0, len(late))]
+        )
+        result = BatchPipeline(config=fast_config).run(batch)
+        assert not result.ok[0]
+        assert result.outcomes[0].fb_estimate is None
+        assert "FB estimation" in result.outcomes[0].error or "full chirp" in result.outcomes[0].error
+        assert np.isnan(result.fb_hz[0])
+
+    def test_node_ids_require_detector(self, fast_config, captures):
+        engine = BatchPipeline(config=fast_config)
+        batch = CaptureBatch.from_traces([c.trace for c in captures])
+        with pytest.raises(ConfigurationError):
+            engine.run(batch, node_ids=["n"] * len(batch))
+
+    def test_replay_stage_flags_outlier(self, fast_config, rng):
+        from repro.core.detector import FbDatabase, ReplayDetector
+
+        spec = ScenarioSpec(fast_config, snr_db=25.0, fb_hz=-20e3)
+        batch, _ = spec.synthesize_batch(rng, 4)
+        outlier_spec = ScenarioSpec(fast_config, snr_db=25.0, fb_hz=-15e3)
+        outlier, _ = outlier_spec.synthesize_batch(rng, 1)
+        full = CaptureBatch(
+            samples=np.concatenate([batch.samples, outlier.samples]),
+            sample_rate_hz=batch.sample_rate_hz,
+            start_times_s=np.concatenate([batch.start_times_s, outlier.start_times_s]),
+        )
+        detector = ReplayDetector(database=FbDatabase(), min_history=3)
+        result = BatchPipeline(config=fast_config).run(
+            full, node_ids=["node"] * 5, replay_detector=detector
+        )
+        verdicts = [o.replay_check.is_replay for o in result.outcomes]
+        assert verdicts == [False, False, False, False, True]
