@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the batched pipeline.
+
+Compares a freshly generated ``BENCH_pipeline.json`` (written by
+``benchmarks/test_pipeline_throughput.py``) against a baseline copy of
+the committed one and fails when the batched-over-per-capture *speedup*
+regresses by more than the tolerance.  The speedup ratio is
+machine-relative, so the gate is meaningful on CI runners whose absolute
+captures/sec differ from the committed numbers.
+
+Usage::
+
+    cp BENCH_pipeline.json /tmp/bench_baseline.json    # before the run
+    pytest benchmarks/test_pipeline_throughput.py      # rewrites the artifact
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/bench_baseline.json --fresh BENCH_pipeline.json
+
+Exit status 0 when the fresh speedup is within tolerance, 1 on
+regression (or unusable inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_speedup(path: Path, label: str) -> float:
+    try:
+        report = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"bench gate: {label} report {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"bench gate: {label} report {path} is not valid JSON: {exc}")
+    speedup = report.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        sys.exit(f"bench gate: {label} report {path} has no usable 'speedup' field")
+    return float(speedup)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="copy of the committed BENCH_pipeline.json, taken before the run",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=Path("BENCH_pipeline.json"),
+        help="artifact written by the just-finished benchmark run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup regression (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        sys.exit(f"bench gate: tolerance must be in [0, 1), got {args.tolerance}")
+
+    baseline = load_speedup(args.baseline, "baseline")
+    fresh = load_speedup(args.fresh, "fresh")
+    floor = baseline * (1.0 - args.tolerance)
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"bench gate: baseline speedup {baseline:.2f}x, fresh {fresh:.2f}x, "
+        f"floor {floor:.2f}x ({args.tolerance:.0%} tolerance) -> {verdict}"
+    )
+    if fresh < floor:
+        print(
+            "bench gate: the batched pipeline lost more than "
+            f"{args.tolerance:.0%} of its committed speedup; see "
+            "benchmarks/test_pipeline_throughput.py"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,6 @@
 """Bench T1: Table 1 -- jamming attack time windows for RN2483."""
 
 from repro.experiments.table1_jamming import run_table1
-from repro.phy.airtime import symbol_time_s
 
 
 def test_table1_jamming_windows(benchmark):

@@ -84,9 +84,10 @@ def main() -> None:
     naive_view = naive.receive_frame(outcome.replayed.mac_bytes, outcome.replayed.arrival_time_s)
     spoofed = naive_view.readings[0]
     print(f"\ncommodity gateway: {naive_view.status.value}")
-    print(f"  MIC valid, frame counter fresh -- crypto does not help")
+    print("  MIC valid, frame counter fresh -- crypto does not help")
     print(f"  reading timestamped at t={spoofed.global_time_s:.1f} s "
-          f"(true event: t={t_event:.1f} s  ->  spoofed by {spoofed.global_time_s - t_event:+.1f} s)")
+          f"(true event: t={t_event:.1f} s  ->  "
+          f"spoofed by {spoofed.global_time_s - t_event:+.1f} s)")
 
     # SoftLoRa checks the frequency bias first.
     softlora_view = softlora.process_frame(
@@ -94,7 +95,7 @@ def main() -> None:
     )
     print(f"\nSoftLoRa gateway: {softlora_view.status.value}")
     print(f"  {softlora_view.detail}")
-    print(f"  replayed frame dropped; no spoofed timestamp enters the database")
+    print("  replayed frame dropped; no spoofed timestamp enters the database")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,11 @@ README = Path(__file__).with_name("README.md")
 
 setup(
     name="repro-softlora",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Attack-Aware Data Timestamping in Low-Power "
-        "Synchronization-Free LoRaWAN' with a batched capture-processing engine"
+        "Synchronization-Free LoRaWAN' with a batched capture-processing engine "
+        "and a multi-gateway network-server layer"
     ),
     long_description=README.read_text() if README.exists() else "",
     long_description_content_type="text/markdown",

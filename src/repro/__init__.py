@@ -14,6 +14,9 @@ The package rebuilds the paper's entire stack in simulation:
   the SoftLoRa gateway,
 * ``repro.pipeline`` -- the batched capture-processing engine: N stacked
   captures through the whole SoftLoRa chain as vectorized numpy stages,
+* ``repro.server`` -- the multi-gateway network-server layer: cross-
+  gateway dedup, FB fusion, sharded per-device state, one verdict per
+  over-the-air transmission,
 * ``repro.sim`` -- discrete-event fleet simulation and paper scenarios,
 * ``repro.experiments`` -- drivers regenerating every table and figure,
   declared as :class:`ScenarioSpec` sweeps over one shared runner.
@@ -61,7 +64,7 @@ from repro.phy.frame import PhyFrame, PhyReceiver, PhyTransmitter
 from repro.sdr.iq import IQTrace
 from repro.sdr.receiver import SdrReceiver
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AicDetector",
@@ -76,11 +79,14 @@ __all__ = [
     "EU868_CENTER_FREQUENCY_HZ",
     "FB_ESTIMATION_RESOLUTION_HZ",
     "FbDatabase",
+    "FusionPolicy",
+    "GatewayForward",
     "GpsClock",
     "IQTrace",
     "LORA_BANDWIDTH_HZ",
     "LeastSquaresFbEstimator",
     "LinearRegressionFbEstimator",
+    "NetworkServer",
     "Oscillator",
     "PerfectClock",
     "PhyFrame",
@@ -91,7 +97,9 @@ __all__ = [
     "RTL_SDR_SAMPLE_RATE_HZ",
     "ScenarioSpec",
     "SdrReceiver",
+    "ServerVerdict",
     "SessionKeys",
+    "ShardedFbDatabase",
     "SoftLoRaGateway",
     "SweepPoint",
     "SyncFreeTimestamper",
@@ -112,6 +120,11 @@ _LAZY = {
     "SoftLoRaGateway": ("repro.core.softlora", "SoftLoRaGateway"),
     "BatchPipeline": ("repro.pipeline.engine", "BatchPipeline"),
     "CaptureBatch": ("repro.pipeline.batch", "CaptureBatch"),
+    "FusionPolicy": ("repro.server.fusion", "FusionPolicy"),
+    "GatewayForward": ("repro.server.forwarding", "GatewayForward"),
+    "NetworkServer": ("repro.server.network_server", "NetworkServer"),
+    "ServerVerdict": ("repro.server.network_server", "ServerVerdict"),
+    "ShardedFbDatabase": ("repro.server.sharding", "ShardedFbDatabase"),
     "ScenarioSpec": ("repro.experiments.common", "ScenarioSpec"),
     "SweepPoint": ("repro.experiments.common", "SweepPoint"),
     "run_sweep": ("repro.experiments.common", "run_sweep"),

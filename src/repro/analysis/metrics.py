@@ -76,7 +76,9 @@ class DetectionStats:
 
     @property
     def accuracy(self) -> float:
-        return (self.true_positives + self.true_negatives) / self.total if self.total else float("nan")
+        if not self.total:
+            return float("nan")
+        return (self.true_positives + self.true_negatives) / self.total
 
 
 def detection_stats(labels: list[bool], predictions: list[bool]) -> DetectionStats:

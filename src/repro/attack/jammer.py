@@ -165,7 +165,9 @@ class StealthyJammer:
             return float(self.rng.uniform(lo, hi))
         return lo + self.aim * (hi - lo)
 
-    def jam(self, spreading_factor: int, payload_len: int, frame_start_s: float) -> tuple[float, JammingOutcome]:
+    def jam(
+        self, spreading_factor: int, payload_len: int, frame_start_s: float
+    ) -> tuple[float, JammingOutcome]:
         """Plan one jamming shot; returns (absolute onset, expected outcome)."""
         offset = self.choose_onset_offset_s(spreading_factor, payload_len)
         outcome = self.windows_for(spreading_factor, payload_len).classify(offset)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Protocol
+
 from repro.constants import FB_ESTIMATION_RESOLUTION_HZ
 from repro.errors import ConfigurationError
 
@@ -47,6 +49,21 @@ class DetectionResult:
     deviation_hz: float = 0.0
 
 
+class FbStore(Protocol):
+    """Anything that can hold per-node FB history for a detector.
+
+    :class:`FbDatabase` is the in-process implementation;
+    :class:`repro.server.ShardedFbDatabase` spreads the same interface
+    over hash-routed shards for fleet-scale network servers.
+    """
+
+    def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None: ...
+
+    def sample_count(self, node_id: str) -> int: ...
+
+    def interval(self, node_id: str, guard_hz: float) -> FbInterval | None: ...
+
+
 class FbDatabase:
     """Per-node history of accepted FB estimates.
 
@@ -68,6 +85,9 @@ class FbDatabase:
 
     def known_nodes(self) -> list[str]:
         return sorted(self._history)
+
+    def node_count(self) -> int:
+        return len(self._history)
 
     def sample_count(self, node_id: str) -> int:
         return len(self._history.get(node_id, ()))
@@ -108,7 +128,7 @@ class ReplayDetector:
         temperature-induced drift).  Frames flagged as replays never do.
     """
 
-    database: FbDatabase
+    database: FbStore
     guard_hz: float = 3.0 * FB_ESTIMATION_RESOLUTION_HZ
     min_history: int = 3
     learn_on_accept: bool = True

@@ -268,7 +268,9 @@ class MatchedFilterDetector:
     but needs the FB -- which is only available *after* onset detection.)
     """
 
-    def __init__(self, config: ChirpConfig, template_phase: float = 0.0, template_fb_hz: float = 0.0):
+    def __init__(
+        self, config: ChirpConfig, template_phase: float = 0.0, template_fb_hz: float = 0.0
+    ):
         self.config = config
         template = upchirp(config, fb_hz=template_fb_hz, phase=template_phase)
         self._template = template.real - np.mean(template.real)

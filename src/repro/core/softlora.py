@@ -23,6 +23,12 @@ Four entry points:
 * :meth:`SoftLoRaGateway.process_frame_batch` -- many frame-level
   receptions in arrival order, the entry :mod:`repro.sim.network` uses
   for fleet steps.
+
+In a multi-gateway deployment the gateway instead acts as a *forwarder*:
+:meth:`SoftLoRaGateway.forward_capture` runs only the PHY stages (onset,
+FB, demodulation) and ships the raw frame plus measurements to a
+:class:`repro.server.NetworkServer`, which deduplicates across gateways,
+verifies the MAC once, fuses the FB evidence, and issues the verdict.
 """
 
 from __future__ import annotations
@@ -138,6 +144,42 @@ class SoftLoRaGateway:
             fb_hz=fb_estimate.fb_hz,
             onset=onset,
             fb_estimate=fb_estimate,
+        )
+
+    def forward_capture(
+        self,
+        trace: IQTrace,
+        gateway_id: str,
+        snr_db: float,
+        noise_power: float = 0.0,
+        onset_component: str = "i",
+    ):
+        """PHY-only processing for multi-gateway forwarding.
+
+        Runs onset detection, FB estimation, and demodulation -- the
+        parts a keyless gateway can do -- and returns a
+        :class:`repro.server.GatewayForward` for the network server, or
+        ``None`` when the capture does not decode at this gateway (the
+        frame may still be resolved from another gateway's copy).
+        """
+        from repro.server.forwarding import GatewayForward
+
+        spc = self.config.samples_per_chirp
+        try:
+            onset = self.onset_detector.detect(trace, component=onset_component)
+            second_chirp = trace.samples[onset.index + spc : onset.index + 2 * spc]
+            fb_estimate = self.fb_estimator.estimate(second_chirp, noise_power=noise_power)
+            decoded = self._phy_receiver.decode(
+                trace.samples, onset.index, fb_hz=fb_estimate.fb_hz
+            )
+        except (DecodeError, ReproError):
+            return None
+        return GatewayForward(
+            gateway_id=gateway_id,
+            mac_bytes=decoded.payload,
+            arrival_time_s=onset.time_s,
+            fb_hz=fb_estimate.fb_hz,
+            snr_db=snr_db,
         )
 
     # -- batched waveform path ------------------------------------------------

@@ -27,5 +27,7 @@ Sec 8.2    ``campus.run_campus``
 Sec 3.2    ``overhead.run_overhead``
 Sec 8.1.1  ``attack_e2e.run_attack_e2e``
 Sec 7.2    ``detection.run_detection``
+(beyond)   ``fleet_scale.run_fleet_scale`` -- gateways × devices sweep
+           over the multi-gateway network-server layer
 =========  ==========================================================
 """

@@ -60,8 +60,16 @@ class AttackE2EResult:
             [
                 ["min SF for the A3F->C6F link", 8, self.min_viable_sf],
                 ["jamming outcome", "silent drop", self.jam_outcome.value],
-                ["commodity gateway accepts replay", "yes", "yes" if self.commodity_accepted_replay else "no"],
-                ["timestamp shift == injected τ (s)", self.injected_delay_s, round(self.timestamp_shift_s, 3)],
+                [
+                    "commodity gateway accepts replay",
+                    "yes",
+                    "yes" if self.commodity_accepted_replay else "no",
+                ],
+                [
+                    "timestamp shift == injected τ (s)",
+                    self.injected_delay_s,
+                    round(self.timestamp_shift_s, 3),
+                ],
                 ["replay power (dBm)", "<= 7", self.replay_power_dbm],
                 [
                     "replay RX power in gateway linear range",

@@ -155,10 +155,15 @@ class ScenarioSpec:
         """
         from repro.pipeline.batch import CaptureBatch
 
-        if n_captures < 1:
-            raise ConfigurationError(f"batch needs >= 1 capture, got {n_captures}")
+        if n_captures < 0:
+            raise ConfigurationError(f"batch needs >= 0 captures, got {n_captures}")
         captures = [self.synthesize(rng) for _ in range(n_captures)]
-        return CaptureBatch.from_traces([c.trace for c in captures]), captures
+        return (
+            CaptureBatch.from_traces(
+                [c.trace for c in captures], sample_rate_hz=self.config.sample_rate_hz
+            ),
+            captures,
+        )
 
 
 @dataclass(frozen=True)

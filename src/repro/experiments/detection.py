@@ -41,7 +41,12 @@ class DetectionResultSummary:
         return format_table(
             ["metric", "paper expectation", "measured"],
             [
-                ["attacked frames detected", "all", f"{self.stats.true_positives}/{self.stats.true_positives + self.stats.false_negatives}"],
+                [
+                    "attacked frames detected",
+                    "all",
+                    f"{self.stats.true_positives}/"
+                    f"{self.stats.true_positives + self.stats.false_negatives}",
+                ],
                 ["detection rate", 1.0, round(self.stats.detection_rate, 4)],
                 ["false alarm rate", 0.0, round(self.stats.false_alarm_rate, 4)],
                 ["legit frames accepted", "all", self.stats.true_negatives],

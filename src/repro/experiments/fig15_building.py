@@ -48,7 +48,13 @@ class Fig15Result:
 
     def format(self) -> str:
         rows = [
-            [c.column, c.floor, round(c.link_snr_db, 1), round(c.measured_snr_db, 1), round(c.timing_error_us, 2)]
+            [
+                c.column,
+                c.floor,
+                round(c.link_snr_db, 1),
+                round(c.measured_snr_db, 1),
+                round(c.timing_error_us, 2),
+            ]
             for c in self.cells
         ]
         return format_table(

@@ -76,7 +76,12 @@ class Fig16Result:
                 ]
             )
         return format_table(
-            ["TX power (dBm)", "eavesdropper (kHz)", "gateway direct (kHz)", "gateway replayed (kHz)"],
+            [
+                "TX power (dBm)",
+                "eavesdropper (kHz)",
+                "gateway direct (kHz)",
+                "gateway replayed (kHz)",
+            ],
             rows,
             title="Fig. 16 -- median estimated FB vs device TX power",
         )

@@ -1,0 +1,290 @@
+"""Fleet scale: gateways × devices sweep over the network-server layer.
+
+The paper evaluates one SoftLoRa gateway over 16 nodes; deployments run
+thousands of devices heard by several gateways each.  This driver grows
+the Fig. 13 fleet workload along both axes -- 1..8 gateways, 100..2000
+devices -- with the devices scattered over a multi-kilometre cell so
+coverage is partial and per-gateway SNRs differ.  Per (gateways,
+devices) cell it reports:
+
+* **delivery / dedup** -- fraction of uplinks heard at all, and mean
+  gateway copies folded into each resolved verdict;
+* **fused FB error vs best single gateway** -- the cross-gateway
+  fingerprinting payoff: inverse-variance fusion should beat the best
+  single link's estimate on average;
+* **detection accuracy** -- TPR/FPR of the fused replay verdict under
+  the frame-delay attack against a slice of the fleet.
+
+Everything runs the batched path: one :meth:`LoRaWanWorld.uplink_batch`
+per round, one vectorized FB draw per step, one
+:meth:`NetworkServer.process_step` resolution per step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.attack.delay_attack import FrameDelayAttack
+from repro.attack.jammer import StealthyJammer
+from repro.attack.replayer import Replayer
+from repro.core.softlora import SoftLoRaGateway
+from repro.experiments.common import SweepPoint, run_sweep
+from repro.lorawan.gateway import CommodityGateway
+from repro.phy.chirp import ChirpConfig
+from repro.radio.channel import LinkBudget
+from repro.radio.geometry import Position
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.server import FusionPolicy, NetworkServer
+from repro.sim.network import EventKind, LoRaWanWorld
+from repro.sim.rng import RngStreams
+from repro.sim.scenarios import build_fleet
+
+
+@dataclass(frozen=True)
+class FleetScaleCell:
+    """Measurements for one (gateways, devices) sweep point."""
+
+    n_gateways: int
+    n_devices: int
+    uplink_attempts: int
+    resolved_uplinks: int
+    delivery_rate: float
+    dedup_rate: float
+    fused_fb_mae_hz: float
+    best_single_fb_mae_hz: float
+    detection_tpr: float
+    detection_fpr: float
+    wall_s: float
+
+    @property
+    def fusion_gain(self) -> float:
+        """Best-single MAE over fused MAE (>1 means fusion wins)."""
+        if self.fused_fb_mae_hz == 0:
+            return float("inf")
+        return self.best_single_fb_mae_hz / self.fused_fb_mae_hz
+
+
+@dataclass
+class FleetScaleResult:
+    cells: list[FleetScaleCell]
+    fusion: FusionPolicy
+
+    def cell(self, n_gateways: int, n_devices: int) -> FleetScaleCell:
+        for cell in self.cells:
+            if (cell.n_gateways, cell.n_devices) == (n_gateways, n_devices):
+                return cell
+        raise KeyError((n_gateways, n_devices))
+
+    def format(self) -> str:
+        rows = []
+        for c in self.cells:
+            rows.append(
+                [
+                    c.n_gateways,
+                    c.n_devices,
+                    round(c.delivery_rate, 3),
+                    round(c.dedup_rate, 2),
+                    round(c.fused_fb_mae_hz, 1),
+                    round(c.best_single_fb_mae_hz, 1),
+                    round(c.detection_tpr, 3),
+                    round(c.detection_fpr, 4),
+                    round(c.wall_s, 2),
+                ]
+            )
+        return format_table(
+            [
+                "gateways",
+                "devices",
+                "delivery",
+                "copies/uplink",
+                "fused MAE (Hz)",
+                "best-GW MAE (Hz)",
+                "TPR",
+                "FPR",
+                "wall (s)",
+            ],
+            rows,
+            title=f"Fleet scale -- multi-gateway sweep ({self.fusion.value} fusion)",
+        )
+
+
+def _build_cell_world(
+    n_gateways: int,
+    n_devices: int,
+    streams: RngStreams,
+    spreading_factor: int,
+    area_radius_m: float,
+    gateway_ring_m: float,
+    pathloss_exponent: float,
+) -> LoRaWanWorld:
+    """One cell: devices scattered over a disk, gateways on an inner ring."""
+    config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=0.5e6)
+    devices = build_fleet(
+        n_devices=n_devices, streams=streams, spreading_factor=spreading_factor
+    )
+    layout = streams.stream("layout")
+    for device in devices:
+        radius = area_radius_m * float(np.sqrt(layout.uniform(0.0, 1.0)))
+        angle = float(layout.uniform(0.0, 2 * np.pi))
+        device.position = Position(
+            x=radius * float(np.cos(angle)), y=radius * float(np.sin(angle)), z=1.0
+        )
+    link = LinkBudget(pathloss=LogDistancePathLoss(exponent=pathloss_exponent))
+    world = LoRaWanWorld(
+        gateway=SoftLoRaGateway(config=config, commodity=CommodityGateway()),
+        gateway_position=Position(gateway_ring_m, 0.0, 15.0),
+        link=link,
+        rng=streams.stream("world"),
+    )
+    for index in range(1, n_gateways):
+        angle = 2 * np.pi * index / n_gateways
+        world.add_gateway(
+            Position(
+                x=gateway_ring_m * float(np.cos(angle)),
+                y=gateway_ring_m * float(np.sin(angle)),
+                z=15.0,
+            )
+        )
+    for device in devices:
+        world.add_device(device)
+    return world
+
+
+def _measure_cell(
+    world: LoRaWanWorld,
+    server: NetworkServer,
+    clean_rounds: int,
+    attack_rounds: int,
+    attack_fraction: float,
+    attack_delay_s: float,
+    streams: RngStreams,
+) -> dict:
+    """Run the cell's rounds and pull the per-uplink evidence apart."""
+    devices = list(world.devices.values())
+    true_fb = {f"{d.dev_addr:08x}": d.fb_hz for d in devices}
+    period_s = 600.0
+    attempts = 0
+    fused_errors: list[float] = []
+    best_errors: list[float] = []
+    t0 = time.perf_counter()
+    for round_index in range(clean_rounds):
+        world.uplink_batch(request_time_s=10.0 + round_index * period_s)
+        attempts += len(devices)
+
+    n_attacked = max(1, int(round(attack_fraction * len(devices))))
+    attack = FrameDelayAttack(
+        jammer=StealthyJammer(),
+        replayer=Replayer.single_usrp(streams.stream("replayer")),
+        rng=streams.stream("attack"),
+    )
+    # The attacker eavesdrops real traffic, so it targets devices some
+    # gateway actually hears; with partial coverage the unreachable ones
+    # have nothing to jam or replay.
+    heard = {verdict.node_id for verdict in server.verdicts}
+    reachable = [d for d in devices if f"{d.dev_addr:08x}" in heard] or devices
+    world.arm_attack(
+        attack, [d.name for d in reachable[:n_attacked]], delay_s=attack_delay_s
+    )
+    replays = hits = clean = false_alarms = 0
+    replay_keys: set[tuple[int, int]] = set()
+    for round_index in range(clean_rounds, clean_rounds + attack_rounds):
+        events = world.uplink_batch(request_time_s=10.0 + round_index * period_s)
+        attempts += len(devices)
+        for event in events:
+            verdict = event.verdict
+            if verdict is None:
+                continue
+            if event.kind is EventKind.REPLAY_DELIVERED:
+                replays += 1
+                hits += verdict.attack_detected
+                replay_keys.add((verdict.dev_addr, verdict.fcnt))
+            elif event.kind is EventKind.DELIVERED:
+                clean += 1
+                false_alarms += verdict.attack_detected
+    wall_s = time.perf_counter() - t0
+
+    # FB error statistics cover genuine transmissions only: a replay's FB
+    # carries the ~543 Hz chain offset whether or not the detector caught
+    # it, and would swamp the few-Hz estimation errors being measured.
+    for verdict in server.verdicts:
+        if verdict.fused is None or (verdict.dev_addr, verdict.fcnt) in replay_keys:
+            continue
+        truth = true_fb.get(verdict.node_id)
+        if truth is None:
+            continue
+        fused_errors.append(abs(verdict.fused.fb_hz - truth))
+        best_row = int(np.argmax(verdict.gateway_snrs_db))
+        best_errors.append(abs(verdict.gateway_fbs_hz[best_row] - truth))
+
+    resolved = len(server.verdicts)
+    return {
+        "uplink_attempts": attempts,
+        "resolved_uplinks": resolved,
+        "delivery_rate": resolved / attempts if attempts else 0.0,
+        "dedup_rate": server.dedup_rate,
+        "fused_fb_mae_hz": float(np.mean(fused_errors)) if fused_errors else 0.0,
+        "best_single_fb_mae_hz": float(np.mean(best_errors)) if best_errors else 0.0,
+        "detection_tpr": hits / replays if replays else 0.0,
+        "detection_fpr": false_alarms / clean if clean else 0.0,
+        "wall_s": wall_s,
+    }
+
+
+def run_fleet_scale(
+    gateway_counts: tuple[int, ...] = (1, 2, 4, 8),
+    device_counts: tuple[int, ...] = (100, 500, 2000),
+    clean_rounds: int = 3,
+    attack_rounds: int = 2,
+    attack_fraction: float = 0.05,
+    attack_delay_s: float = 120.0,
+    fusion: FusionPolicy = FusionPolicy.INVERSE_VARIANCE,
+    spreading_factor: int = 7,
+    area_radius_m: float = 1500.0,
+    gateway_ring_m: float = 700.0,
+    pathloss_exponent: float = 3.4,
+    seed: int = 2020,
+) -> FleetScaleResult:
+    """Sweep gateway count × fleet size through the network-server stack.
+
+    Each cell is an independent world (fresh devices, layout, server)
+    derived from per-cell rng streams, so cells are comparable and the
+    sweep grid can grow without perturbing existing cells.
+    """
+
+    def measure(point, trial, capture, prng):
+        n_gateways, n_devices = point.key
+        streams = RngStreams(seed + 7919 * n_gateways + n_devices)
+        world = _build_cell_world(
+            n_gateways,
+            n_devices,
+            streams,
+            spreading_factor,
+            area_radius_m,
+            gateway_ring_m,
+            pathloss_exponent,
+        )
+        server = world.attach_server(NetworkServer(fusion=fusion))
+        measured = _measure_cell(
+            world,
+            server,
+            clean_rounds,
+            attack_rounds,
+            attack_fraction,
+            attack_delay_s,
+            streams,
+        )
+        return FleetScaleCell(n_gateways=n_gateways, n_devices=n_devices, **measured)
+
+    sweep = run_sweep(
+        [
+            SweepPoint(key=(n_gateways, n_devices))
+            for n_gateways in gateway_counts
+            for n_devices in device_counts
+        ],
+        measure,
+    )
+    return FleetScaleResult(cells=[sweep.first(key) for key in sweep.keys()], fusion=fusion)

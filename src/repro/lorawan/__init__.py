@@ -18,7 +18,12 @@ from repro.lorawan.gateway import CommodityGateway, GatewayReception
 from repro.lorawan.join import JoinAccept, JoinRequest, JoinServer, device_join
 from repro.lorawan.mac import MacFrame, MType, parse_mac_frame
 from repro.lorawan.regional import EU868, DataRate
-from repro.lorawan.security import SessionKeys, compute_uplink_mic, decrypt_frm_payload, encrypt_frm_payload
+from repro.lorawan.security import (
+    SessionKeys,
+    compute_uplink_mic,
+    decrypt_frm_payload,
+    encrypt_frm_payload,
+)
 
 __all__ = [
     "CommodityGateway",

@@ -95,6 +95,7 @@ class UplinkTransmission:
     tx_power_dbm: float
     spreading_factor: int
     airtime_s: float
+    fcnt: int = 0
     values: list[float] = field(default_factory=list)
     elapsed_ticks: list[int] = field(default_factory=list)
     true_event_times_s: list[float] = field(default_factory=list)
@@ -185,6 +186,7 @@ class EndDevice:
             tx_power_dbm=self.tx_power_dbm,
             spreading_factor=self.spreading_factor,
             airtime_s=on_air,
+            fcnt=self.fcnt & 0xFFFF,
             values=values,
             elapsed_ticks=ticks,
             true_event_times_s=true_times,

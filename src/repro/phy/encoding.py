@@ -263,7 +263,9 @@ class PayloadCodec:
         """
         needed = self.n_symbols(n_bytes)
         if len(symbols) < needed:
-            raise DecodeError(f"need {needed} symbols to decode {n_bytes} bytes, got {len(symbols)}")
+            raise DecodeError(
+                f"need {needed} symbols to decode {n_bytes} bytes, got {len(symbols)}"
+            )
         nibbles: list[int] = []
         corrected = 0
         flagged = 0
@@ -284,4 +286,6 @@ class PayloadCodec:
         payload = bytes(data)
         if self.whitening:
             payload = whiten(payload)
-        return DecodedPayload(data=payload, corrected_codewords=corrected, flagged_codewords=flagged)
+        return DecodedPayload(
+            data=payload, corrected_codewords=corrected, flagged_codewords=flagged
+        )

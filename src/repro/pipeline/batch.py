@@ -65,10 +65,29 @@ class CaptureBatch:
             )
 
     @classmethod
-    def from_traces(cls, traces: Sequence[IQTrace]) -> "CaptureBatch":
-        """Stack equal-length, equal-rate traces into one batch."""
+    def empty(cls, sample_rate_hz: float, n_samples: int = 0) -> "CaptureBatch":
+        """A zero-capture batch: every pipeline stage maps it to empty results."""
+        return cls(
+            samples=np.empty((0, n_samples), dtype=complex), sample_rate_hz=sample_rate_hz
+        )
+
+    @classmethod
+    def from_traces(
+        cls, traces: Sequence[IQTrace], sample_rate_hz: float | None = None
+    ) -> "CaptureBatch":
+        """Stack equal-length, equal-rate traces into one batch.
+
+        Zero traces yield an empty batch when ``sample_rate_hz`` names
+        the rate the traces would have had; without it the rate is
+        unknowable and the call raises.
+        """
         if not traces:
-            raise ConfigurationError("cannot build a batch from zero traces")
+            if sample_rate_hz is None:
+                raise ConfigurationError(
+                    "cannot infer a sample rate from zero traces; pass sample_rate_hz "
+                    "to build an empty batch"
+                )
+            return cls.empty(sample_rate_hz)
         rates = {trace.sample_rate_hz for trace in traces}
         if len(rates) != 1:
             raise ConfigurationError(f"traces mix sample rates {sorted(rates)}")

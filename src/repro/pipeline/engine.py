@@ -127,6 +127,13 @@ class BatchPipeline:
             )
         if node_ids is not None and replay_detector is None:
             raise ConfigurationError("node_ids given but no replay_detector to check them")
+        if len(batch) == 0:
+            # An empty fleet step is a no-op, not a numpy shape error.
+            return BatchResult(
+                outcomes=[],
+                onset_indices=np.zeros(0, dtype=int),
+                phy_timestamps_s=np.zeros(0),
+            )
 
         # Stages 1-2: batched onset pick + vectorized PHY timestamps.
         curves = self.onset_detector.aic_curve_batch(batch.component(component))

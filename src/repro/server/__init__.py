@@ -1,0 +1,43 @@
+"""repro.server: the multi-gateway network-server layer.
+
+Everything above the gateways: forwarding records
+(:class:`GatewayForward`), cross-gateway deduplication
+(:class:`UplinkDeduplicator`), FB/timestamp fusion policies
+(:class:`FusionPolicy`), sharded per-device FB state
+(:class:`ShardedFbDatabase`), and the :class:`NetworkServer` that ties
+them into one replay verdict per over-the-air transmission.
+"""
+
+from repro.server.dedup import DeduplicatedUplink, UplinkDeduplicator, UplinkKey
+from repro.server.forwarding import (
+    GatewayForward,
+    forward_from_event,
+    forward_from_reception,
+)
+from repro.server.fusion import (
+    FusedFb,
+    FusionPolicy,
+    best_snr_contribution,
+    fuse_fb,
+    fuse_timestamp_s,
+)
+from repro.server.network_server import NetworkServer, ServerStatus, ServerVerdict
+from repro.server.sharding import ShardedFbDatabase
+
+__all__ = [
+    "DeduplicatedUplink",
+    "FusedFb",
+    "FusionPolicy",
+    "GatewayForward",
+    "NetworkServer",
+    "ServerStatus",
+    "ServerVerdict",
+    "ShardedFbDatabase",
+    "UplinkDeduplicator",
+    "UplinkKey",
+    "best_snr_contribution",
+    "forward_from_event",
+    "forward_from_reception",
+    "fuse_fb",
+    "fuse_timestamp_s",
+]

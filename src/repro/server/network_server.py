@@ -1,0 +1,246 @@
+"""The LoRaWAN network server: the layer above N SoftLoRa gateways.
+
+The paper evaluates one SoftLoRa gateway; a deployment hears every
+uplink at several.  This module adds the resolution point such a
+deployment needs (mirroring a real LoRaWAN network server, which is
+where MIC checks, counter tracking, and dedup actually live):
+
+1. **ingest** -- gateways forward :class:`repro.server.GatewayForward`
+   records: raw PHYPayload + PHY timestamp + FB estimate + SNR;
+2. **deduplicate** -- forwards group into uplinks by (DevAddr, FCnt)
+   within an airtime window (:class:`repro.server.UplinkDeduplicator`);
+3. **verify once** -- MIC + frame counter are checked a single time per
+   uplink, against the *fused* (earliest) timestamp;
+4. **fuse** -- per-gateway FB estimates combine under a
+   :class:`repro.server.FusionPolicy`; per-gateway timestamps fuse to
+   the earliest arrival;
+5. **one verdict** -- the fused FB runs through one
+   :class:`repro.core.detector.ReplayDetector` whose history is shared
+   across gateways in a :class:`repro.server.ShardedFbDatabase`, so a
+   replay is flagged (and the benign drift tracked) exactly once per
+   over-the-air transmission, with evidence from every receiving
+   gateway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.detector import DetectionResult, ReplayDetector
+from repro.errors import ConfigurationError
+from repro.lorawan.gateway import CommodityGateway, GatewayReception, ReceiveStatus
+from repro.lorawan.security import SessionKeys
+from repro.server.dedup import DeduplicatedUplink, UplinkDeduplicator
+from repro.server.forwarding import GatewayForward, forward_from_event
+from repro.server.fusion import (
+    FbNoiseModel,
+    FusedFb,
+    FusionPolicy,
+    best_snr_contribution,
+    fuse_fb,
+    fuse_timestamp_s,
+)
+from repro.server.sharding import ShardedFbDatabase
+
+if TYPE_CHECKING:
+    from repro.core.timestamping import TimestampedReading
+    from repro.sim.network import WorldEvent
+
+
+class ServerStatus(enum.Enum):
+    """Final disposition of one deduplicated uplink at the network server."""
+
+    ACCEPTED = "accepted"
+    REPLAY_DETECTED = "replay_detected"
+    MAC_REJECTED = "mac_rejected"
+
+
+@dataclass(frozen=True)
+class ServerVerdict:
+    """The single, fused outcome of one over-the-air transmission."""
+
+    status: ServerStatus
+    node_id: str
+    dev_addr: int
+    fcnt: int
+    timestamp_s: float
+    fused: FusedFb | None = None
+    detection: DetectionResult | None = None
+    reception: GatewayReception | None = None
+    gateway_ids: tuple[str, ...] = ()
+    gateway_fbs_hz: tuple[float, ...] = ()
+    gateway_snrs_db: tuple[float, ...] = ()
+    duplicates_dropped: int = 0
+    detail: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        return self.status is ServerStatus.ACCEPTED
+
+    @property
+    def attack_detected(self) -> bool:
+        return self.status is ServerStatus.REPLAY_DETECTED
+
+    @property
+    def n_gateways(self) -> int:
+        return len(self.gateway_ids)
+
+    @property
+    def fused_fb_hz(self) -> float | None:
+        return None if self.fused is None else self.fused.fb_hz
+
+    @property
+    def readings(self) -> "list[TimestampedReading]":
+        return [] if self.reception is None else self.reception.readings
+
+
+def _default_noise_model():
+    from repro.sim.network import FbMeasurementModel
+
+    return FbMeasurementModel()
+
+
+@dataclass
+class NetworkServer:
+    """Deduplicating, FB-fusing resolution point for N SoftLoRa gateways.
+
+    Parameters
+    ----------
+    mac:
+        The MAC back end: session keys, MIC verification, per-device
+        frame counters, and sync-free timestamp reconstruction.  One
+        :meth:`CommodityGateway.receive_frame` call per *deduplicated*
+        uplink, never per gateway copy.
+    detector:
+        The cross-gateway replay detector.  Defaults to a
+        :class:`ShardedFbDatabase`-backed detector so per-device FB
+        state scales to fleet sizes.
+    fusion:
+        FB fusion policy (best-SNR or inverse-variance weighting).
+    fb_noise:
+        Calibrated SNR -> sigma model used to weight (and report
+        confidence for) per-gateway FB estimates.
+    window_s:
+        Dedup airtime window, see :class:`UplinkDeduplicator`.
+    """
+
+    mac: CommodityGateway = field(
+        default_factory=lambda: CommodityGateway(name="network-server")
+    )
+    detector: ReplayDetector = field(
+        default_factory=lambda: ReplayDetector(database=ShardedFbDatabase())
+    )
+    fusion: FusionPolicy = FusionPolicy.INVERSE_VARIANCE
+    fb_noise: FbNoiseModel = field(default_factory=_default_noise_model)
+    window_s: float = 2.0
+    verdicts: list[ServerVerdict] = field(default_factory=list)
+    _dedup: UplinkDeduplicator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._dedup = UplinkDeduplicator(window_s=self.window_s)
+
+    # -- provisioning -----------------------------------------------------------
+
+    def register_device(self, dev_addr: int, keys: SessionKeys) -> None:
+        """Provision a device's session keys (ABP)."""
+        self.mac.register_device(dev_addr, keys)
+
+    def bootstrap_fb_profile(self, dev_addr: int, fb_estimates: list[float]) -> None:
+        """Load an offline FB profile for a device (paper Sec. 7.2)."""
+        self.detector.bootstrap(f"{dev_addr:08x}", fb_estimates)
+
+    # -- ingestion --------------------------------------------------------------
+
+    def ingest(self, forward: GatewayForward) -> None:
+        """Collect one gateway forward for the next resolution pass."""
+        self._dedup.offer(forward)
+
+    def ingest_event(self, gateway_id: str, event: "WorldEvent") -> None:
+        """Collect a frame-level world event heard by one gateway."""
+        self.ingest(forward_from_event(gateway_id, event))
+
+    @property
+    def malformed(self) -> int:
+        """Forwards whose PHYPayload would not even parse."""
+        return self._dedup.malformed
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolve(self) -> list[ServerVerdict]:
+        """Deduplicate, fuse, and judge every collected forward.
+
+        Uplinks resolve in (fused timestamp, DevAddr, FCnt) order --
+        independent of the order gateways delivered their forwards -- so
+        the frame counters and the FB histories observe transmissions in
+        air order.  Returns (and records) one verdict per uplink.
+        """
+        fresh = [self._judge(uplink) for uplink in self._dedup.resolve()]
+        self.verdicts.extend(fresh)
+        return fresh
+
+    def process_step(self, forwards: Iterable[GatewayForward]) -> list[ServerVerdict]:
+        """Ingest one batch of forwards and resolve it: the fleet-step entry."""
+        if self._dedup.pending:
+            raise ConfigurationError(
+                "process_step on a server with unresolved forwards; call resolve() first"
+            )
+        for forward in forwards:
+            self.ingest(forward)
+        return self.resolve()
+
+    def _judge(self, uplink: DeduplicatedUplink) -> ServerVerdict:
+        contributions = uplink.contributions
+        timestamp = fuse_timestamp_s(contributions)
+        best = best_snr_contribution(contributions)
+        evidence = {
+            "gateway_ids": uplink.gateway_ids,
+            "gateway_fbs_hz": tuple(c.fb_hz for c in contributions),
+            "gateway_snrs_db": tuple(c.snr_db for c in contributions),
+            "duplicates_dropped": uplink.duplicates_dropped,
+        }
+        # MAC once per uplink, on the best copy's bytes (all copies carry
+        # the same frame; a gateway-side corruption fails the MIC here).
+        reception = self.mac.receive_frame(best.mac_bytes, timestamp)
+        if reception.status is not ReceiveStatus.OK:
+            return ServerVerdict(
+                status=ServerStatus.MAC_REJECTED,
+                node_id=f"{uplink.dev_addr:08x}",
+                dev_addr=uplink.dev_addr,
+                fcnt=uplink.fcnt,
+                timestamp_s=timestamp,
+                reception=reception,
+                detail=f"MAC layer rejected: {reception.status.value}",
+                **evidence,
+            )
+        fused = fuse_fb(contributions, self.fusion, self.fb_noise)
+        node_id = f"{reception.mac_frame.dev_addr:08x}"
+        check = self.detector.check(node_id, fused.fb_hz, time_s=timestamp)
+        return ServerVerdict(
+            status=(
+                ServerStatus.REPLAY_DETECTED if check.is_replay else ServerStatus.ACCEPTED
+            ),
+            node_id=node_id,
+            dev_addr=uplink.dev_addr,
+            fcnt=uplink.fcnt,
+            timestamp_s=timestamp,
+            fused=fused,
+            detection=check,
+            reception=reception,
+            detail=check.reason,
+            **evidence,
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def verdicts_of(self, status: ServerStatus) -> list[ServerVerdict]:
+        return [v for v in self.verdicts if v.status is status]
+
+    @property
+    def dedup_rate(self) -> float:
+        """Mean gateway copies per resolved uplink (1.0 = no diversity)."""
+        if not self.verdicts:
+            return 0.0
+        copies = sum(v.n_gateways + v.duplicates_dropped for v in self.verdicts)
+        return copies / len(self.verdicts)

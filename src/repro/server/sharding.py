@@ -1,0 +1,69 @@
+"""Sharded per-device FB state for fleet-scale deployments.
+
+A network server fronting thousands of devices keeps its FB histories in
+``n_shards`` independent :class:`repro.core.detector.FbDatabase` shards,
+routed by a stable hash of the node id.  Each device's history lives
+wholly inside one shard, so every :class:`~repro.core.detector.FbDatabase`
+operation delegates to exactly one shard and detection semantics are
+identical to a single flat database -- the sharding only bounds the
+per-structure working set and gives a drop-in seam for moving shards
+onto separate processes or stores later.
+
+The class is duck-type compatible with ``FbDatabase`` (it satisfies
+:class:`repro.core.detector.FbStore`), so a
+:class:`repro.core.detector.ReplayDetector` accepts it unchanged.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.detector import FbDatabase, FbInterval
+from repro.errors import ConfigurationError
+
+
+class ShardedFbDatabase:
+    """``n_shards`` FbDatabase shards behind the FbDatabase interface."""
+
+    def __init__(self, n_shards: int = 16, history_len: int = 50):
+        if n_shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.history_len = history_len
+        self._shards = [FbDatabase(history_len=history_len) for _ in range(n_shards)]
+
+    def shard_index(self, node_id: str) -> int:
+        """Stable shard routing: CRC32 of the node id, modulo the shard count."""
+        return zlib.crc32(node_id.encode()) % self.n_shards
+
+    def shard_for(self, node_id: str) -> FbDatabase:
+        return self._shards[self.shard_index(node_id)]
+
+    # -- FbStore interface, delegated to the owning shard -----------------------
+
+    def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None:
+        self.shard_for(node_id).record(node_id, fb_hz, time_s)
+
+    def sample_count(self, node_id: str) -> int:
+        return self.shard_for(node_id).sample_count(node_id)
+
+    def estimates(self, node_id: str) -> list[float]:
+        return self.shard_for(node_id).estimates(node_id)
+
+    def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
+        return self.shard_for(node_id).interval(node_id, guard_hz)
+
+    def forget(self, node_id: str) -> None:
+        self.shard_for(node_id).forget(node_id)
+
+    def known_nodes(self) -> list[str]:
+        return sorted(node for shard in self._shards for node in shard.known_nodes())
+
+    # -- shard introspection -----------------------------------------------------
+
+    def node_count(self) -> int:
+        return sum(shard.node_count() for shard in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Tracked-node count per shard (the balance diagnostic)."""
+        return [shard.node_count() for shard in self._shards]

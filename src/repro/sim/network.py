@@ -1,19 +1,32 @@
-"""Frame-level world simulation: devices, SoftLoRa gateway, attacker.
+"""Frame-level world simulation: devices, SoftLoRa gateway(s), attacker.
 
-This layer runs fleets of devices against a gateway over a link-budget
-channel, with an optional frame delay attacker.  Signal processing is
-abstracted by :class:`FbMeasurementModel` -- a calibrated noise model of
-the paper's FB estimator (Fig. 14) -- so thousands of frames simulate in
-milliseconds while preserving exactly the quantities the defense sees:
-arrival times and measured FBs.  Waveform-level experiments bypass this
-module and run the real DSP.
+This layer runs fleets of devices against one or more gateways over
+link-budget channels, with an optional frame delay attacker.  Signal
+processing is abstracted by :class:`FbMeasurementModel` -- a calibrated
+noise model of the paper's FB estimator (Fig. 14) -- so thousands of
+frames simulate in milliseconds while preserving exactly the quantities
+the defense sees: arrival times and measured FBs.  Waveform-level
+experiments bypass this module and run the real DSP.
+
+Two topologies:
+
+* **single gateway** (the paper's setup): every uplink lands at
+  :attr:`LoRaWanWorld.gateway` and the verdict is the gateway's own --
+  the original code path, bit-for-bit;
+* **multi-gateway**: :meth:`LoRaWanWorld.add_gateway` places additional
+  :class:`GatewaySite`\\ s and :meth:`LoRaWanWorld.attach_server` puts a
+  :class:`repro.server.NetworkServer` above them.  Each transmission
+  then routes to *every* in-range gateway in one batched step; each
+  gateway measures its own FB (noise drawn at its own link SNR) and
+  forwards; the server deduplicates, fuses, and issues the single
+  verdict carried in ``WorldEvent.verdict``.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -25,6 +38,9 @@ from repro.lorawan.device import EndDevice, UplinkTransmission
 from repro.radio.channel import LinkBudget, propagation_delay_s
 from repro.radio.geometry import Position
 from repro.sim.events import Simulator
+
+if TYPE_CHECKING:
+    from repro.server.network_server import NetworkServer, ServerVerdict
 
 
 @dataclass
@@ -82,10 +98,24 @@ class WorldEvent:
     detail: str = ""
     metadata: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def verdict(self) -> "ServerVerdict | None":
+        """The network server's fused verdict (multi-gateway worlds only)."""
+        return self.metadata.get("verdict")
+
+
+@dataclass
+class GatewaySite:
+    """One gateway placement: identity, position, and its own link budget."""
+
+    gateway_id: str
+    position: Position
+    link: LinkBudget
+
 
 @dataclass
 class LoRaWanWorld:
-    """Devices + SoftLoRa gateway + channel (+ optional attacker)."""
+    """Devices + SoftLoRa gateway(s) + channel (+ optional attacker)."""
 
     gateway: SoftLoRaGateway
     gateway_position: Position
@@ -98,12 +128,71 @@ class LoRaWanWorld:
     attack: FrameDelayAttack | None = None
     attack_targets: set[str] = field(default_factory=set)
     attack_delay_s: float = 10.0
+    primary_gateway_id: str = "gw-0"
+    extra_gateways: list[GatewaySite] = field(default_factory=list)
+    server: "NetworkServer | None" = None
 
     def add_device(self, device: EndDevice) -> None:
         if device.name in self.devices:
             raise ConfigurationError(f"duplicate device name {device.name!r}")
         self.devices[device.name] = device
         self.gateway.commodity.register_device(device.dev_addr, device.keys)
+        if self.server is not None:
+            self.server.register_device(device.dev_addr, device.keys)
+
+    # -- multi-gateway topology -------------------------------------------------
+
+    @property
+    def sites(self) -> list[GatewaySite]:
+        """Every gateway placement, the paper's primary gateway first."""
+        primary = GatewaySite(
+            gateway_id=self.primary_gateway_id,
+            position=self.gateway_position,
+            link=self.link,
+        )
+        return [primary, *self.extra_gateways]
+
+    def add_gateway(
+        self,
+        position: Position,
+        link: LinkBudget | None = None,
+        gateway_id: str | None = None,
+    ) -> GatewaySite:
+        """Place an additional gateway (its own position and link budget).
+
+        ``link=None`` reuses the primary gateway's link budget.  Uplinks
+        only route to the extra gateways once a network server is
+        attached (:meth:`attach_server`) -- without one there is nothing
+        to deduplicate the copies.
+        """
+        if gateway_id is None:
+            gateway_id = f"gw-{1 + len(self.extra_gateways)}"
+        taken = {site.gateway_id for site in self.sites}
+        if gateway_id in taken:
+            raise ConfigurationError(f"duplicate gateway id {gateway_id!r}")
+        site = GatewaySite(
+            gateway_id=gateway_id,
+            position=position,
+            link=self.link if link is None else link,
+        )
+        self.extra_gateways.append(site)
+        return site
+
+    def attach_server(self, server: "NetworkServer | None" = None) -> "NetworkServer":
+        """Put a network server above the gateways and switch to fused routing.
+
+        Every already-known device's session keys are provisioned on the
+        server (gateways become keyless forwarders); devices added later
+        are provisioned automatically.
+        """
+        if server is None:
+            from repro.server.network_server import NetworkServer
+
+            server = NetworkServer()
+        self.server = server
+        for device in self.devices.values():
+            server.register_device(device.dev_addr, device.keys)
+        return server
 
     def arm_attack(
         self, attack: FrameDelayAttack, targets: list[str], delay_s: float
@@ -129,6 +218,13 @@ class LoRaWanWorld:
 
     def uplink(self, device_name: str, request_time_s: float) -> WorldEvent:
         """Run one uplink through the channel (and attacker) synchronously."""
+        if self.server is not None:
+            return self._uplink_batch_fused([device_name], request_time_s)[0]
+        if self.extra_gateways:
+            raise ConfigurationError(
+                "extra gateways are placed but no network server is attached; "
+                "call attach_server() to enable multi-gateway routing"
+            )
         device = self.devices[device_name]
         tx = device.transmit(request_time_s)
         snr = self._snr_for(device)
@@ -204,8 +300,21 @@ class LoRaWanWorld:
         ``device_names=None`` steps the whole fleet.  Returns one primary
         event per device, aligned with ``device_names``; jam-suppression
         events of attacked devices are appended to :attr:`events` too.
+        An empty batch is a no-op returning ``[]``.
+
+        With a network server attached the step routes every uplink to
+        all in-range gateways instead (see :meth:`attach_server`).
         """
         names = list(self.devices) if device_names is None else list(device_names)
+        if self.server is not None:
+            return self._uplink_batch_fused(names, request_time_s)
+        if self.extra_gateways:
+            raise ConfigurationError(
+                "extra gateways are placed but no network server is attached; "
+                "call attach_server() to enable multi-gateway routing"
+            )
+        if not names:
+            return []
         staged = []
         for name in names:
             device = self.devices[name]
@@ -282,6 +391,141 @@ class LoRaWanWorld:
                 transmission=tx,
                 reception=reception,
                 metadata={"attack": outcome},
+            )
+
+        ordered = []
+        for name in names:
+            if name in suppressed_events:
+                self.events.append(suppressed_events[name])
+            event = primary[name]
+            self.events.append(event)
+            ordered.append(event)
+        return ordered
+
+    # -- multi-gateway fused path -------------------------------------------------
+
+    def _uplink_batch_fused(
+        self, names: list[str], request_time_s: float
+    ) -> list[WorldEvent]:
+        """One fleet step routed through every in-range gateway.
+
+        The MAC layer stays per-device; everything after it is batched
+        per step: per-(device, gateway) SNRs from each site's link
+        budget, one vectorized FB-measurement draw across the whole
+        delivery matrix (each gateway's estimate carries noise at its
+        own SNR), one :class:`~repro.server.GatewayForward` per
+        delivery, then a single :meth:`NetworkServer.process_step` that
+        deduplicates, fuses, and issues one verdict per transmission
+        (``event.verdict``).
+
+        The frame delay attack jams at the device side, so the original
+        is suppressed at *every* gateway; the replay is modeled as heard
+        by the same in-range set (the replayer's placement is not
+        tracked at frame level), which keeps multi-gateway detection a
+        question of FB evidence rather than replay coverage.
+        """
+        if not names:
+            return []
+        sites = self.sites
+        staged = []
+        for name in names:
+            device = self.devices[name]
+            tx = device.transmit(request_time_s)
+            snrs = [
+                site.link.snr_db(device.tx_power_dbm, device.position, site.position)
+                for site in sites
+            ]
+            delays = [propagation_delay_s(device.position, site.position) for site in sites]
+            floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
+            in_range = [i for i, snr in enumerate(snrs) if snr >= floor]
+            staged.append((name, device, tx, snrs, delays, floor, in_range))
+
+        primary: dict[str, WorldEvent] = {}
+        suppressed_events: dict[str, WorldEvent] = {}
+        # (name, tx, fb_true, site_index, snr, arrival) per delivery.
+        deliveries: list[tuple[str, UplinkTransmission, float, int, float, float]] = []
+        delivered_meta: dict[str, dict[str, Any]] = {}
+        for name, device, tx, snrs, delays, floor, in_range in staged:
+            best_snr = max(snrs)
+            if not in_range:
+                primary[name] = WorldEvent(
+                    kind=EventKind.LOST_LOW_SNR,
+                    time_s=tx.emission_time_s + min(delays),
+                    device_name=name,
+                    snr_db=best_snr,
+                    transmission=tx,
+                    detail=f"SNR {best_snr:.1f} dB below SF{device.spreading_factor} "
+                    f"floor {floor:.1f} dB at all {len(snrs)} gateways",
+                )
+                continue
+            attacked = self.attack is not None and name in self.attack_targets
+            if attacked:
+                outcome = self.attack.execute(tx, self.attack_delay_s)
+                arrival = tx.emission_time_s + delays[in_range[0]]
+                suppressed_events[name] = WorldEvent(
+                    kind=EventKind.SUPPRESSED_BY_JAMMING,
+                    time_s=arrival,
+                    device_name=name,
+                    snr_db=best_snr,
+                    transmission=tx,
+                    detail=f"jam outcome: {outcome.jam_outcome.value}",
+                    metadata={"attack": outcome},
+                )
+                fb_true = outcome.replayed.fb_hz
+                kind = EventKind.REPLAY_DELIVERED
+                base_meta: dict[str, Any] = {"attack": outcome}
+                emission = outcome.replayed.arrival_time_s
+            else:
+                fb_true = tx.fb_hz
+                kind = EventKind.DELIVERED
+                base_meta = {}
+                emission = tx.emission_time_s
+            for i in in_range:
+                deliveries.append((name, tx, fb_true, i, snrs[i], emission + delays[i]))
+            delivered_meta[name] = {
+                "kind": kind,
+                "meta": base_meta,
+                "snr": best_snr,
+                "time": emission + min(delays[i] for i in in_range),
+                "tx": tx,
+                "gateways": tuple(sites[i].gateway_id for i in in_range),
+            }
+
+        verdicts_by_key: dict[tuple[int, int], "ServerVerdict"] = {}
+        if deliveries:
+            from repro.server.forwarding import GatewayForward
+
+            fbs = self.fb_model.measure_batch(
+                np.array([fb_true for _, _, fb_true, _, _, _ in deliveries]),
+                np.array([snr for _, _, _, _, snr, _ in deliveries]),
+                self.rng,
+            )
+            forwards = [
+                GatewayForward(
+                    gateway_id=sites[i].gateway_id,
+                    mac_bytes=tx.mac_bytes,
+                    arrival_time_s=arrival,
+                    fb_hz=float(fb),
+                    snr_db=snr,
+                )
+                for (_, tx, _, i, snr, arrival), fb in zip(deliveries, fbs)
+            ]
+            for verdict in self.server.process_step(forwards):
+                verdicts_by_key[(verdict.dev_addr, verdict.fcnt)] = verdict
+
+        for name, info in delivered_meta.items():
+            tx = info["tx"]
+            verdict = verdicts_by_key.get((tx.dev_addr, tx.fcnt))
+            metadata = dict(info["meta"])
+            metadata["verdict"] = verdict
+            metadata["gateway_ids"] = info["gateways"]
+            primary[name] = WorldEvent(
+                kind=info["kind"],
+                time_s=info["time"],
+                device_name=name,
+                snr_db=info["snr"],
+                transmission=tx,
+                metadata=metadata,
             )
 
         ordered = []

@@ -10,8 +10,6 @@ whole run replays bit-for-bit and the per-round replay-detection verdicts
 can be asserted verbatim.
 """
 
-import numpy as np
-
 from repro.attack.delay_attack import FrameDelayAttack
 from repro.attack.jammer import StealthyJammer
 from repro.attack.replayer import Replayer

@@ -1,6 +1,5 @@
 """Tests for adversary-side device fingerprinting (paper Sec. 4.2.1)."""
 
-import numpy as np
 import pytest
 
 from repro.attack.fingerprint import DeviceFingerprinter, DeviceObservation

@@ -9,7 +9,6 @@ from repro.core.freq_bias import (
     estimate_amplitude,
 )
 from repro.errors import ConfigurationError, EstimationError
-from repro.experiments.common import synthesize_capture
 from repro.phy.chirp import ChirpConfig, upchirp
 from repro.sdr.noise import complex_awgn, noise_power_for_snr
 

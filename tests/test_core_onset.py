@@ -12,7 +12,6 @@ from repro.core.onset import (
 )
 from repro.errors import ConfigurationError, EstimationError
 from repro.experiments.common import synthesize_capture
-from repro.phy.chirp import ChirpConfig
 from repro.sdr.iq import IQTrace
 
 

@@ -1,7 +1,5 @@
 """Tests for the production FilteredAicDetector pipeline."""
 
-import pytest
-
 from repro.analysis.metrics import timing_error_s
 from repro.core.onset import AicDetector, FilteredAicDetector
 from repro.experiments.common import synthesize_capture

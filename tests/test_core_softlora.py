@@ -8,7 +8,6 @@ from repro.attack.jammer import StealthyJammer
 from repro.attack.replayer import Replayer
 from repro.clock.clocks import DriftingClock
 from repro.clock.oscillator import Oscillator
-from repro.core.detector import FbDatabase, ReplayDetector
 from repro.core.softlora import SoftLoRaGateway, SoftLoRaStatus
 from repro.lorawan.device import EndDevice
 from repro.lorawan.gateway import CommodityGateway

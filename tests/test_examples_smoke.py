@@ -44,6 +44,14 @@ class TestExamples:
         assert "0 missed" in out
         assert "false alarms    : 0" in out
 
+    def test_multi_gateway(self, capsys):
+        load_example("multi_gateway").main()
+        out = capsys.readouterr().out
+        assert "4 gateways -> network server" in out
+        assert "dedup rate 4.00 copies/uplink" in out
+        assert "24 detected, 0 missed" in out
+        assert "false alarms    : 0" in out
+
     @pytest.mark.slow
     def test_campus_link(self, capsys):
         load_example("campus_link").main()

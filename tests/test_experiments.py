@@ -25,7 +25,6 @@ from repro.experiments.overhead import run_overhead
 from repro.experiments.table1_jamming import run_table1
 from repro.experiments.table2_onset import run_table2
 from repro.experiments.waveforms import run_fig6, run_fig7, run_fig8, run_fig11
-from repro.phy.chirp import ChirpConfig
 
 
 class TestSynthesizeCapture:

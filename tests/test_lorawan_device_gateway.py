@@ -110,7 +110,8 @@ class TestEndDevice:
         first = device.transmit(1.0)
         device.take_reading(2.0, 200.0)
         second = device.transmit(201.0)
-        assert first.fcnt if hasattr(first, "fcnt") else True  # fcnt on frames
+        assert first.fcnt == 0
+        assert second.fcnt == 1
         assert device.fcnt == 2
 
     def test_emission_follows_request_with_latency(self):

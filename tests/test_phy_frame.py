@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, CrcError, DecodeError
-from repro.phy.chirp import ChirpConfig
 from repro.phy.frame import (
     PhyFrame,
     PhyHeader,
@@ -144,7 +143,8 @@ class TestEndToEnd:
         layout = frame_layout(frame, fast_config)
         corrupted = wave.copy()
         # Zero several payload chirps: enough symbol damage to defeat CR1.
-        corrupted[layout.payload_start : layout.payload_start + 3 * fast_config.samples_per_chirp] = 0
+        start = layout.payload_start
+        corrupted[start : start + 3 * fast_config.samples_per_chirp] = 0
         with pytest.raises((CrcError, DecodeError)):
             PhyReceiver(fast_config).decode(corrupted, onset_index=0)
 

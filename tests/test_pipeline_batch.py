@@ -255,7 +255,8 @@ class TestBatchPipeline:
         result = BatchPipeline(config=fast_config).run(batch)
         assert not result.ok[0]
         assert result.outcomes[0].fb_estimate is None
-        assert "FB estimation" in result.outcomes[0].error or "full chirp" in result.outcomes[0].error
+        error = result.outcomes[0].error
+        assert "FB estimation" in error or "full chirp" in error
         assert np.isnan(result.fb_hz[0])
 
     def test_node_ids_require_detector(self, fast_config, captures):

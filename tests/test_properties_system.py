@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.attack.jammer import JammingOutcome, JammingWindowModel, JammingWindows
+from repro.attack.jammer import JammingOutcome, JammingWindowModel
 from repro.clock.clocks import DriftingClock
 from repro.clock.oscillator import Oscillator
 from repro.core.freq_bias import LeastSquaresFbEstimator

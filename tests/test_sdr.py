@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.phy.chirp import ChirpConfig, preamble_waveform, upchirp
+from repro.phy.chirp import preamble_waveform, upchirp
 from repro.sdr.filters import bandlimit_trace
 from repro.sdr.iq import IQTrace
 from repro.sdr.noise import (

@@ -1,0 +1,398 @@
+"""Tests for the network-server layer: dedup, fusion, sharding, verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import FbDatabase, ReplayDetector
+from repro.errors import ConfigurationError
+from repro.lorawan.mac import build_uplink
+from repro.lorawan.security import SessionKeys
+from repro.server import (
+    FusionPolicy,
+    GatewayForward,
+    NetworkServer,
+    ServerStatus,
+    ShardedFbDatabase,
+    UplinkDeduplicator,
+    best_snr_contribution,
+    fuse_fb,
+    fuse_timestamp_s,
+)
+from repro.sim.network import FbMeasurementModel
+
+DEV_ADDR = 0x26011BDA
+KEYS = SessionKeys.derive_for_test(DEV_ADDR)
+
+
+def frame(fcnt: int, payload: bytes = b"\x01\x02") -> bytes:
+    return build_uplink(KEYS, DEV_ADDR, fcnt, payload)
+
+
+def forward(
+    gateway_id: str,
+    fcnt: int = 0,
+    arrival: float = 100.0,
+    fb: float = -20e3,
+    snr: float = 10.0,
+    mac_bytes: bytes | None = None,
+) -> GatewayForward:
+    return GatewayForward(
+        gateway_id=gateway_id,
+        mac_bytes=frame(fcnt) if mac_bytes is None else mac_bytes,
+        arrival_time_s=arrival,
+        fb_hz=fb,
+        snr_db=snr,
+    )
+
+
+class TestDeduplicator:
+    def test_copies_of_one_uplink_group(self):
+        dedup = UplinkDeduplicator()
+        raw = frame(7)
+        for gw in ("gw-0", "gw-1", "gw-2"):
+            dedup.offer(forward(gw, fcnt=7, mac_bytes=raw))
+        uplinks = dedup.resolve()
+        assert len(uplinks) == 1
+        assert uplinks[0].key == (DEV_ADDR, 7)
+        assert uplinks[0].n_gateways == 3
+
+    def test_distinct_fcnts_stay_distinct(self):
+        dedup = UplinkDeduplicator()
+        dedup.offer(forward("gw-0", fcnt=1))
+        dedup.offer(forward("gw-0", fcnt=2, arrival=100.1))
+        assert len(dedup.resolve()) == 2
+
+    def test_same_gateway_duplicate_dropped(self):
+        dedup = UplinkDeduplicator()
+        dedup.offer(forward("gw-0", fcnt=3, arrival=100.0))
+        dedup.offer(forward("gw-0", fcnt=3, arrival=100.2))
+        (uplink,) = dedup.resolve()
+        assert uplink.n_gateways == 1
+        assert uplink.duplicates_dropped == 1
+        assert uplink.first_arrival_s == 100.0
+
+    def test_window_separates_counter_reuse(self):
+        dedup = UplinkDeduplicator(window_s=2.0)
+        dedup.offer(forward("gw-0", fcnt=5, arrival=100.0))
+        dedup.offer(forward("gw-1", fcnt=5, arrival=5000.0))  # wrap, much later
+        uplinks = dedup.resolve()
+        assert len(uplinks) == 2
+        assert [u.first_arrival_s for u in uplinks] == [100.0, 5000.0]
+
+    def test_resolve_clears_state(self):
+        dedup = UplinkDeduplicator()
+        dedup.offer(forward("gw-0"))
+        assert dedup.pending == 1
+        dedup.resolve()
+        assert dedup.pending == 0
+        assert dedup.resolve() == []
+
+    def test_unparseable_forward_counted(self):
+        dedup = UplinkDeduplicator()
+        assert dedup.offer(forward("gw-0", mac_bytes=b"\xff\x00\x01")) is None
+        assert dedup.malformed == 1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UplinkDeduplicator(window_s=0.0)
+
+
+class TestForwardConstructors:
+    def test_forward_validation(self):
+        with pytest.raises(ConfigurationError):
+            GatewayForward(gateway_id="", mac_bytes=b"x", arrival_time_s=0, fb_hz=0, snr_db=0)
+        with pytest.raises(ConfigurationError):
+            GatewayForward(gateway_id="gw", mac_bytes=b"", arrival_time_s=0, fb_hz=0, snr_db=0)
+
+    def test_forward_from_reception(self):
+        from repro.core.softlora import SoftLoRaGateway
+        from repro.lorawan.gateway import CommodityGateway
+        from repro.phy.chirp import ChirpConfig
+        from repro.server import forward_from_reception
+
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6)
+        gateway = SoftLoRaGateway(config=config, commodity=CommodityGateway())
+        gateway.commodity.register_device(DEV_ADDR, KEYS)
+        raw = frame(0)
+        reception = gateway.process_frame(raw, 123.0, -20e3)
+        fwd = forward_from_reception("gw-7", reception, snr_db=12.0, mac_bytes=raw)
+        assert fwd.gateway_id == "gw-7"
+        assert fwd.mac_bytes == raw
+        assert fwd.arrival_time_s == 123.0
+        assert fwd.fb_hz == -20e3
+        assert fwd.snr_db == 12.0
+
+    def test_forward_from_event(self):
+        from repro.core.softlora import SoftLoRaReception, SoftLoRaStatus
+        from repro.lorawan.device import UplinkTransmission
+        from repro.phy.frame import PhyFrame
+        from repro.server import forward_from_event
+        from repro.sim.network import EventKind, WorldEvent
+
+        raw = frame(0)
+        tx = UplinkTransmission(
+            device_name="node",
+            dev_addr=DEV_ADDR,
+            mac_bytes=raw,
+            phy_frame=PhyFrame(payload=raw),
+            request_time_s=10.0,
+            emission_time_s=10.003,
+            fb_hz=-20e3,
+            tx_power_dbm=14.0,
+            spreading_factor=7,
+            airtime_s=0.05,
+        )
+        reception = SoftLoRaReception(
+            status=SoftLoRaStatus.ACCEPTED, phy_timestamp_s=10.003, fb_hz=-20.1e3
+        )
+        event = WorldEvent(
+            kind=EventKind.DELIVERED,
+            time_s=10.003,
+            device_name="node",
+            snr_db=9.0,
+            transmission=tx,
+            reception=reception,
+        )
+        fwd = forward_from_event("gw-2", event)
+        assert fwd.mac_bytes == raw
+        assert fwd.fb_hz == -20.1e3
+        assert fwd.snr_db == 9.0
+
+    def test_forward_from_event_without_frame_rejected(self):
+        from repro.server import forward_from_event
+        from repro.sim.network import EventKind, WorldEvent
+
+        lost = WorldEvent(
+            kind=EventKind.LOST_LOW_SNR, time_s=1.0, device_name="node", snr_db=-30.0
+        )
+        with pytest.raises(ConfigurationError):
+            forward_from_event("gw-0", lost)
+
+
+class TestFusion:
+    def setup_method(self):
+        self.model = FbMeasurementModel()
+
+    def test_best_snr_picks_strongest_link(self):
+        contribs = [
+            forward("gw-0", fb=-20100.0, snr=5.0),
+            forward("gw-1", fb=-19900.0, snr=15.0),
+        ]
+        fused = fuse_fb(contribs, FusionPolicy.BEST_SNR, self.model)
+        assert fused.fb_hz == -19900.0
+        assert fused.best_gateway_id == "gw-1"
+        assert fused.sigma_hz == self.model.sigma_hz(15.0)
+
+    def test_best_snr_tie_breaks_by_gateway_id(self):
+        contribs = [forward("gw-1", fb=1.0, snr=10.0), forward("gw-0", fb=2.0, snr=10.0)]
+        assert best_snr_contribution(contribs).gateway_id == "gw-1"
+
+    def test_inverse_variance_is_weighted_mean(self):
+        contribs = [
+            forward("gw-0", fb=-20000.0, snr=-20.0),
+            forward("gw-1", fb=-19000.0, snr=-20.0),
+        ]
+        fused = fuse_fb(contribs, FusionPolicy.INVERSE_VARIANCE, self.model)
+        assert fused.fb_hz == pytest.approx(-19500.0)
+        # Equal sigmas: fused sigma shrinks by sqrt(2).
+        assert fused.sigma_hz == pytest.approx(self.model.sigma_hz(-20.0) / np.sqrt(2))
+
+    def test_inverse_variance_leans_toward_strong_link(self):
+        contribs = [
+            forward("gw-0", fb=-20000.0, snr=-25.0),
+            forward("gw-1", fb=-19000.0, snr=30.0),
+        ]
+        fused = fuse_fb(contribs, FusionPolicy.INVERSE_VARIANCE, self.model)
+        assert abs(fused.fb_hz - -19000.0) < 50.0
+
+    def test_timestamp_is_earliest(self):
+        contribs = [forward("gw-0", arrival=100.003), forward("gw-1", arrival=100.001)]
+        assert fuse_timestamp_s(contribs) == 100.001
+
+    def test_zero_contributions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse_fb([], FusionPolicy.BEST_SNR, self.model)
+        with pytest.raises(ConfigurationError):
+            fuse_timestamp_s([])
+
+
+class TestShardedFbDatabase:
+    def test_drop_in_for_flat_database(self):
+        sharded = ShardedFbDatabase(n_shards=4)
+        flat = FbDatabase()
+        for node in ("aaaa", "bbbb", "cccc"):
+            for fb in (-20e3, -20.1e3, -19.9e3):
+                sharded.record(node, fb, time_s=1.0)
+                flat.record(node, fb, time_s=1.0)
+        for node in ("aaaa", "bbbb", "cccc"):
+            assert sharded.estimates(node) == flat.estimates(node)
+            assert sharded.sample_count(node) == flat.sample_count(node)
+            assert sharded.interval(node, 360.0) == flat.interval(node, 360.0)
+        assert sharded.known_nodes() == flat.known_nodes()
+        assert sharded.node_count() == 3
+
+    def test_routing_is_stable_and_total(self):
+        sharded = ShardedFbDatabase(n_shards=8)
+        nodes = [f"{i:08x}" for i in range(100)]
+        for node in nodes:
+            sharded.record(node, -20e3)
+        assert sharded.node_count() == 100
+        assert sum(sharded.shard_sizes()) == 100
+        for node in nodes:
+            assert sharded.shard_index(node) == sharded.shard_index(node)
+            assert sharded.shard_for(node).sample_count(node) == 1
+
+    def test_forget_reaches_owning_shard(self):
+        sharded = ShardedFbDatabase(n_shards=4)
+        sharded.record("node", -20e3)
+        sharded.forget("node")
+        assert sharded.node_count() == 0
+
+    def test_detector_accepts_sharded_store(self):
+        detector = ReplayDetector(database=ShardedFbDatabase(n_shards=4), min_history=2)
+        for _ in range(2):
+            assert not detector.check("node", -20e3).is_replay
+        assert detector.check("node", -19.99e3).is_replay is False
+        assert detector.check("node", -15e3).is_replay is True
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedFbDatabase(n_shards=0)
+
+
+class TestNetworkServer:
+    def make_server(self, **kwargs) -> NetworkServer:
+        server = NetworkServer(**kwargs)
+        server.register_device(DEV_ADDR, KEYS)
+        return server
+
+    def test_one_verdict_per_uplink(self):
+        server = self.make_server()
+        raw = frame(0)
+        forwards = [
+            forward(f"gw-{i}", fcnt=0, mac_bytes=raw, arrival=100.0 + i * 1e-4, snr=10.0 + i)
+            for i in range(4)
+        ]
+        verdicts = server.process_step(forwards)
+        assert len(verdicts) == 1
+        verdict = verdicts[0]
+        assert verdict.status is ServerStatus.ACCEPTED
+        assert verdict.n_gateways == 4
+        assert verdict.timestamp_s == 100.0
+        assert verdict.fused.best_gateway_id == "gw-3"
+        assert server.dedup_rate == 4.0
+
+    def test_mac_checked_once_per_uplink(self):
+        server = self.make_server()
+        raw = frame(0)
+        server.process_step(
+            [forward(f"gw-{i}", fcnt=0, mac_bytes=raw, arrival=100.0) for i in range(4)]
+        )
+        assert len(server.mac.receptions) == 1
+
+    def test_unknown_device_rejected(self):
+        server = NetworkServer()  # no keys provisioned
+        (verdict,) = server.process_step([forward("gw-0")])
+        assert verdict.status is ServerStatus.MAC_REJECTED
+
+    def test_replay_fcnt_reuse_rejected_by_counter(self):
+        server = self.make_server()
+        raw = frame(0)
+        server.process_step([forward("gw-0", fcnt=0, mac_bytes=raw, arrival=100.0)])
+        (verdict,) = server.process_step(
+            [forward("gw-0", fcnt=0, mac_bytes=raw, arrival=500.0)]
+        )
+        assert verdict.status is ServerStatus.MAC_REJECTED
+
+    def test_fb_jump_flagged_with_cross_gateway_evidence(self):
+        server = self.make_server()
+        server.bootstrap_fb_profile(DEV_ADDR, [-20e3, -20.01e3, -19.99e3])
+        (verdict,) = server.process_step(
+            [forward(f"gw-{i}", fcnt=0, fb=-20.7e3, snr=20.0) for i in range(3)]
+        )
+        assert verdict.status is ServerStatus.REPLAY_DETECTED
+        assert verdict.detection.is_replay
+        assert verdict.n_gateways == 3
+
+    def test_flagged_fb_never_trains_database(self):
+        server = self.make_server()
+        server.bootstrap_fb_profile(DEV_ADDR, [-20e3, -20.01e3, -19.99e3])
+        before = server.detector.database.sample_count(f"{DEV_ADDR:08x}")
+        server.process_step([forward("gw-0", fcnt=0, fb=-20.7e3)])
+        assert server.detector.database.sample_count(f"{DEV_ADDR:08x}") == before
+
+    def test_process_step_requires_clean_state(self):
+        server = self.make_server()
+        server.ingest(forward("gw-0"))
+        with pytest.raises(ConfigurationError):
+            server.process_step([forward("gw-1")])
+
+    def test_forward_capture_feeds_server(self):
+        """Waveform path: a keyless gateway forwards; the server judges."""
+        import numpy as np
+
+        from repro.clock.clocks import DriftingClock
+        from repro.clock.oscillator import Oscillator
+        from repro.core.softlora import SoftLoRaGateway
+        from repro.lorawan.device import EndDevice
+        from repro.lorawan.gateway import CommodityGateway
+        from repro.phy.chirp import ChirpConfig
+        from repro.sdr.iq import IQTrace
+        from repro.sdr.noise import complex_awgn, noise_power_for_snr
+
+        rng = np.random.default_rng(7)
+        config = ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6)
+        device = EndDevice(
+            name="node",
+            dev_addr=DEV_ADDR,
+            keys=KEYS,
+            radio_oscillator=Oscillator.lora_end_device(np.random.default_rng(1)),
+            clock=DriftingClock(drift_ppm=20.0),
+            rng=rng,
+        )
+        gateway = SoftLoRaGateway(config=config, commodity=CommodityGateway())
+        tx = device.transmit(100.0)
+        waveform = device.modulate(tx, config)
+        snr_db = 20.0
+        noise_power = noise_power_for_snr(1.0, snr_db)
+        padded = np.concatenate(
+            [np.zeros(1200, dtype=complex), waveform, np.zeros(1024, dtype=complex)]
+        )
+        trace = IQTrace(
+            padded + complex_awgn(len(padded), noise_power, rng),
+            config.sample_rate_hz,
+            start_time_s=tx.emission_time_s - 1200 / config.sample_rate_hz,
+        )
+        fwd = gateway.forward_capture(
+            trace, gateway_id="gw-0", snr_db=snr_db, noise_power=noise_power
+        )
+        assert fwd is not None
+        assert fwd.mac_bytes == tx.mac_bytes
+        assert fwd.fb_hz == pytest.approx(device.fb_hz, abs=300.0)
+        # The forwarding gateway never touched MAC or replay state.
+        assert gateway.receptions == []
+        assert gateway.commodity.receptions == []
+
+        server = self.make_server()
+        (verdict,) = server.process_step([fwd])
+        assert verdict.status is ServerStatus.ACCEPTED
+        assert verdict.fused.fb_hz == fwd.fb_hz
+
+    def test_readings_reconstructed_from_fused_timestamp(self):
+        # A sensor payload reconstructs readings against the earliest arrival.
+        from repro.core.timestamping import ElapsedTimeCodec
+        from repro.lorawan.device import encode_sensor_payload
+
+        codec = ElapsedTimeCodec()
+        payload = encode_sensor_payload([21.0], [codec.encode(5.0)], codec)
+        raw = build_uplink(KEYS, DEV_ADDR, 0, payload)
+        server = self.make_server()
+        (verdict,) = server.process_step(
+            [
+                forward("gw-0", mac_bytes=raw, arrival=105.002),
+                forward("gw-1", mac_bytes=raw, arrival=105.000),
+            ]
+        )
+        assert verdict.status is ServerStatus.ACCEPTED
+        assert len(verdict.readings) == 1
+        assert verdict.readings[0].global_time_s == pytest.approx(100.0, abs=1e-6)
