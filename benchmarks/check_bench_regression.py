@@ -8,10 +8,13 @@ regresses by more than the tolerance.  The speedup ratio is
 machine-relative, so the gate is meaningful on CI runners whose absolute
 captures/sec differ from the committed numbers.
 
+All bench artifacts live under ``benchmarks/`` (``--bench-dir``);
+relative ``--baseline`` / ``--fresh`` paths resolve against it.
+
 Usage::
 
-    cp BENCH_pipeline.json /tmp/bench_baseline.json    # before the run
-    pytest benchmarks/test_pipeline_throughput.py      # rewrites the artifact
+    cp benchmarks/BENCH_pipeline.json /tmp/bench_baseline.json  # before the run
+    pytest benchmarks/test_pipeline_throughput.py    # rewrites the artifact
     python benchmarks/check_bench_regression.py \
         --baseline /tmp/bench_baseline.json --fresh BENCH_pipeline.json
 
@@ -43,6 +46,13 @@ def load_speedup(path: Path, label: str) -> float:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent,
+        help="directory holding the bench artifacts; relative --baseline/"
+        "--fresh paths resolve against it (default: benchmarks/)",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         required=True,
@@ -63,9 +73,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         sys.exit(f"bench gate: tolerance must be in [0, 1), got {args.tolerance}")
+    if not args.bench_dir.is_dir():
+        sys.exit(f"bench gate: --bench-dir {args.bench_dir} is not a directory")
 
-    baseline = load_speedup(args.baseline, "baseline")
-    fresh = load_speedup(args.fresh, "fresh")
+    baseline = load_speedup(args.bench_dir / args.baseline, "baseline")
+    fresh = load_speedup(args.bench_dir / args.fresh, "fresh")
     floor = baseline * (1.0 - args.tolerance)
     verdict = "OK" if fresh >= floor else "REGRESSION"
     print(

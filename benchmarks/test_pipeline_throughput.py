@@ -6,7 +6,7 @@ single-capture APIs (`AicDetector.detect` + `LeastSquaresFbEstimator
 .estimate`), once through :class:`repro.pipeline.BatchPipeline`'s
 vectorized stages.  Results must agree bitwise; the batched path must
 clear 3x the per-capture throughput.  Captures/sec for both paths land
-in ``BENCH_pipeline.json`` next to the repo root for trend tracking.
+in ``benchmarks/BENCH_pipeline.json`` for trend tracking.
 """
 
 import json
@@ -28,7 +28,7 @@ SAMPLE_RATE_HZ = 0.25e6
 N_CHIRPS = 8
 SNR_DB = 20.0
 TIMING_ROUNDS = 5
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_pipeline.json"
 
 
 def _build_workload():

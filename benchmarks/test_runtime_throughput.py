@@ -1,0 +1,164 @@
+"""Bench: event-driven runtime throughput + parallel sweep speedup.
+
+Two measurements land in ``benchmarks/BENCH_runtime.json``:
+
+* **runtime throughput** -- a 500-device single-gateway fleet runs five
+  minutes of periodic traffic through :class:`repro.sim.FleetRuntime`
+  (scheduling, duty-cycle backoff, per-gateway collision resolution,
+  windowed batched delivery); reported as simulator events per wall
+  second and frames per wall second.
+* **parallel sweep speedup** -- four independent replicates of one
+  fleet_scale cell run through :class:`SweepExecutor` serially and with
+  spawn workers.  Results must be identical at both worker counts
+  (pinned here); wall-clock speedup is recorded and, on a runner with
+  >= 4 cores, must reach 2x.  The default cell is a smoke size (written
+  to the gitignored ``BENCH_runtime_smoke.json``) so tier-1 stays fast;
+  CI's bench job sets ``BENCH_RUNTIME_FULL=1`` to run the paper-scale
+  8-gateway x 2000-device cell and refresh ``BENCH_runtime.json``.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+from repro.core.softlora import SoftLoRaGateway
+from repro.experiments.fleet_scale import run_fleet_scale
+from repro.lorawan.gateway import CommodityGateway
+from repro.phy.chirp import ChirpConfig
+from repro.radio.channel import LinkBudget
+from repro.radio.geometry import Position
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.sim.network import LoRaWanWorld
+from repro.sim.rng import RngStreams
+from repro.sim.runtime import FleetRuntime
+from repro.sim.scenarios import build_fleet
+from repro.sim.traffic import PeriodicTrafficModel
+
+FULL = os.environ.get("BENCH_RUNTIME_FULL") == "1"
+#: Full-scale runs refresh the committed record; the tier-1 smoke run
+#: writes a gitignored sibling so it never churns the committed numbers.
+ARTIFACT = Path(__file__).resolve().parent / (
+    "BENCH_runtime.json" if FULL else "BENCH_runtime_smoke.json"
+)
+#: The fleet_scale cell fanned out across workers: the paper-scale
+#: 8 x 2000 cell in full mode, a fast miniature for the tier-1 smoke run.
+SWEEP_CELL = (8, 2000) if FULL else (2, 100)
+N_REPLICATES = 4
+SWEEP_ROUNDS = {"clean_rounds": 2, "attack_rounds": 1}
+N_DEVICES = 500
+TRAFFIC_DURATION_S = 300.0
+
+_COMPARED_FIELDS = (
+    "uplink_attempts",
+    "resolved_uplinks",
+    "delivery_rate",
+    "dedup_rate",
+    "collision_rate",
+    "goodput_fps",
+    "fused_fb_mae_hz",
+    "best_single_fb_mae_hz",
+    "detection_tpr",
+    "detection_fpr",
+    "detection_latency_s",
+)
+
+
+def _measure_runtime_throughput() -> dict:
+    streams = RngStreams(1234)
+    devices = build_fleet(n_devices=N_DEVICES, streams=streams, ring_radius_m=400.0)
+    world = LoRaWanWorld(
+        gateway=SoftLoRaGateway(
+            config=ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6),
+            commodity=CommodityGateway(),
+        ),
+        gateway_position=Position(0.0, 0.0, 15.0),
+        link=LinkBudget(pathloss=LogDistancePathLoss(exponent=2.0)),
+        rng=streams.stream("world"),
+    )
+    for device in devices:
+        world.add_device(device)
+    runtime = FleetRuntime(
+        world,
+        PeriodicTrafficModel(period_s=120.0, jitter_s=30.0, rng=streams.stream("traffic")),
+        window_s=2.0,
+    )
+    report = runtime.run(TRAFFIC_DURATION_S)
+    stats = report.contention
+    return {
+        "n_devices": N_DEVICES,
+        "sim_duration_s": TRAFFIC_DURATION_S,
+        "frames_transmitted": stats.attempts,
+        "sim_events": report.sim_events,
+        "wall_s": report.wall_s,
+        "events_per_s": report.events_per_s,
+        "frames_per_wall_s": stats.attempts / report.wall_s,
+        "collision_rate": stats.collision_rate,
+        "goodput_fps": report.goodput_fps,
+    }
+
+
+def _run_replicated_sweep(n_workers: int):
+    n_gateways, n_devices = SWEEP_CELL
+    start = time.perf_counter()
+    result = run_fleet_scale(
+        gateway_counts=(n_gateways,),
+        device_counts=(n_devices,),
+        replicates=N_REPLICATES,
+        n_workers=n_workers,
+        **SWEEP_ROUNDS,
+    )
+    return time.perf_counter() - start, result
+
+
+def test_runtime_throughput_and_parallel_speedup():
+    throughput = _measure_runtime_throughput()
+
+    n_cpus = multiprocessing.cpu_count()
+    # At least two workers so the spawn pool is genuinely exercised even
+    # on a single-core runner (where the speedup gate does not apply).
+    n_workers = max(2, min(4, n_cpus))
+    serial_s, serial = _run_replicated_sweep(n_workers=1)
+    parallel_s, parallel = _run_replicated_sweep(n_workers=n_workers)
+
+    # Correctness first: the worker fan-out must not change a single
+    # measurement before its wall-clock means anything.
+    for cell_a, cell_b in zip(serial.cells, parallel.cells):
+        for field_name in _COMPARED_FIELDS:
+            assert getattr(cell_a, field_name) == getattr(cell_b, field_name), field_name
+
+    speedup = serial_s / parallel_s
+    report = {
+        "runtime": throughput,
+        "parallel_sweep": {
+            "cell": {"n_gateways": SWEEP_CELL[0], "n_devices": SWEEP_CELL[1]},
+            "replicates": N_REPLICATES,
+            "full_scale": FULL,
+            "n_cpus": n_cpus,
+            "n_workers": n_workers,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": speedup,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"runtime throughput: {throughput['events_per_s']:.0f} events/s "
+        f"({throughput['frames_per_wall_s']:.0f} frames/s wall, "
+        f"collision rate {throughput['collision_rate']:.2f})"
+    )
+    print(
+        f"parallel sweep ({SWEEP_CELL[0]}x{SWEEP_CELL[1]} cell x{N_REPLICATES}): "
+        f"serial {serial_s:.1f}s, {n_workers} workers {parallel_s:.1f}s, "
+        f"speedup {speedup:.2f}x on {n_cpus} cpus -> {ARTIFACT.name}"
+    )
+
+    assert throughput["events_per_s"] > 0
+    if n_cpus >= 4:
+        assert speedup >= 2.0, (
+            f"parallel sweep only {speedup:.2f}x with {n_workers} workers "
+            f"on {n_cpus} cpus"
+        )

@@ -79,6 +79,7 @@ __all__ = [
     "EU868_CENTER_FREQUENCY_HZ",
     "FB_ESTIMATION_RESOLUTION_HZ",
     "FbDatabase",
+    "FleetRuntime",
     "FusionPolicy",
     "GatewayForward",
     "GpsClock",
@@ -101,6 +102,7 @@ __all__ = [
     "SessionKeys",
     "ShardedFbDatabase",
     "SoftLoRaGateway",
+    "SweepExecutor",
     "SweepPoint",
     "SyncFreeTimestamper",
     "airtime_s",
@@ -126,8 +128,10 @@ _LAZY = {
     "ServerVerdict": ("repro.server.network_server", "ServerVerdict"),
     "ShardedFbDatabase": ("repro.server.sharding", "ShardedFbDatabase"),
     "ScenarioSpec": ("repro.experiments.common", "ScenarioSpec"),
+    "SweepExecutor": ("repro.experiments.common", "SweepExecutor"),
     "SweepPoint": ("repro.experiments.common", "SweepPoint"),
     "run_sweep": ("repro.experiments.common", "run_sweep"),
+    "FleetRuntime": ("repro.sim.runtime", "FleetRuntime"),
 }
 
 

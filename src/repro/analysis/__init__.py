@@ -1,20 +1,26 @@
 """Metrics and report formatting shared by tests, benches, and examples."""
 
 from repro.analysis.metrics import (
+    ContentionStats,
     DetectionStats,
+    detection_latency_s,
     detection_stats,
     fb_error_hz,
+    goodput_frames_per_s,
     timing_error_s,
     timing_error_upper_bound_s,
 )
 from repro.analysis.report import format_series, format_table
 
 __all__ = [
+    "ContentionStats",
     "DetectionStats",
+    "detection_latency_s",
     "detection_stats",
     "fb_error_hz",
     "format_series",
     "format_table",
+    "goodput_frames_per_s",
     "timing_error_s",
     "timing_error_upper_bound_s",
 ]

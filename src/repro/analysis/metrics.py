@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
@@ -79,6 +80,60 @@ class DetectionStats:
         if not self.total:
             return float("nan")
         return (self.true_positives + self.true_negatives) / self.total
+
+
+@dataclass(frozen=True)
+class ContentionStats:
+    """Channel-contention accounting for one event-driven runtime phase.
+
+    ``attempts`` counts frames actually put on the air (duty-cycle
+    deferrals never transmit, so they are not attempts); the other
+    counters partition those attempts by fate.  Replays are the
+    *attacker's* frames and count separately from genuine deliveries.
+    """
+
+    attempts: int
+    delivered: int
+    collided: int
+    lost_low_snr: int
+    suppressed: int = 0
+    replays_delivered: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of transmitted frames that resolved as genuine deliveries."""
+        return self.delivered / self.attempts if self.attempts else float("nan")
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of transmitted frames lost to co-SF collisions."""
+        return self.collided / self.attempts if self.attempts else float("nan")
+
+    def goodput_frames_per_s(self, duration_s: float) -> float:
+        """Genuine deliveries per second of simulated time."""
+        return goodput_frames_per_s(self.delivered, duration_s)
+
+
+def goodput_frames_per_s(n_delivered: int, duration_s: float) -> float:
+    """Application-level throughput: frames that made it, per second."""
+    if duration_s <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration_s}")
+    return n_delivered / duration_s
+
+
+def detection_latency_s(armed_at_s: float, detection_times_s: Iterable[float]) -> float:
+    """Delay from arming an attack to its first detection.
+
+    ``detection_times_s`` are the instants the defense flagged a replay;
+    detections predating the arming instant are ignored (they belong to
+    an earlier attack).  Returns ``inf`` when the attack was never
+    detected -- a finite mean over cells therefore only aggregates
+    detected attacks.
+    """
+    after = [t for t in detection_times_s if t >= armed_at_s]
+    if not after:
+        return float("inf")
+    return min(after) - armed_at_s
 
 
 def detection_stats(labels: list[bool], predictions: list[bool]) -> DetectionStats:

@@ -12,17 +12,29 @@ pipeline instead:
 * :class:`SweepPoint` -- one point of a sweep: a key (SNR value, survey
   cell, node index ...), the spec (or named spec variants) to synthesize
   there, and a trial count;
-* :func:`run_sweep` -- the single loop that walks every point/trial,
+* :class:`SweepExecutor` -- the engine that walks every point/trial,
   synthesizes the declared captures, and hands them to the driver's
-  ``measure`` callback.
+  ``measure`` callback -- serially, or fanned out over worker processes
+  (``n_workers > 1``) with one point per task;
+* :func:`run_sweep` -- the classic serial entry, now a thin wrapper
+  around ``SweepExecutor(n_workers=1)``.
 
-The runner preserves the classic drivers' rng call order (per trial: FB
-draw, then phase draw, then onset fraction, then noise), so ported
-drivers regenerate the exact numbers their hand-rolled loops produced.
+The serial runner preserves the classic drivers' rng call order (per
+trial: FB draw, then phase draw, then onset fraction, then noise), so
+ported drivers regenerate the exact numbers their hand-rolled loops
+produced.  The parallel backend uses the ``spawn`` start method, so
+everything that crosses the process boundary -- points, specs, the
+``measure`` callable, per-point generators -- must pickle: module-level
+functions (or :func:`functools.partial` over them) instead of closures,
+and :class:`UniformFbLaw` instead of a lambda for the stock FB draw.
+Per-point seeds derive deterministically through
+:class:`repro.sim.rng.RngStreams`, so results are identical at any
+worker count.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
@@ -32,6 +44,7 @@ from repro.errors import ConfigurationError
 from repro.phy.chirp import ChirpConfig, preamble_at_times
 from repro.sdr.iq import IQTrace
 from repro.sdr.noise import RealNoiseModel, complex_awgn, noise_power_for_snr
+from repro.sim.rng import RngStreams
 
 
 @dataclass(frozen=True)
@@ -100,13 +113,25 @@ def synthesize_capture(
     )
 
 
-def uniform_fb(low_hz: float = -25e3, high_hz: float = -17e3) -> Callable:
+@dataclass(frozen=True)
+class UniformFbLaw:
+    """A picklable FB law: uniform over a band, drawn per trial.
+
+    Being a frozen dataclass (not a closure) it survives the ``spawn``
+    pickling boundary, so specs carrying it can cross into
+    :class:`SweepExecutor` worker processes.
+    """
+
+    low_hz: float = -25e3
+    high_hz: float = -17e3
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_hz, self.high_hz))
+
+
+def uniform_fb(low_hz: float = -25e3, high_hz: float = -17e3) -> UniformFbLaw:
     """The drivers' stock FB law: uniform over the paper's measured band."""
-
-    def draw(rng: np.random.Generator) -> float:
-        return float(rng.uniform(low_hz, high_hz))
-
-    return draw
+    return UniformFbLaw(low_hz=low_hz, high_hz=high_hz)
 
 
 @dataclass(frozen=True)
@@ -204,51 +229,113 @@ class SweepResult:
         return [m for point in self.points for m in self.measurements[point.key]]
 
 
+def _execute_point(
+    task: tuple[SweepPoint, Callable, np.random.Generator | None],
+) -> tuple[Any, list[Any]]:
+    """Run every trial of one sweep point (the unit of parallel work).
+
+    Module-level so the spawn backend can pickle it; the per-point
+    generator rides along with its state, keeping any worker count
+    bit-identical to the serial walk.
+    """
+    point, measure, point_rng = task
+    if point.n_trials < 1:
+        raise ConfigurationError(f"point {point.key!r} needs >= 1 trial")
+    if point.spec is not None and point_rng is None:
+        raise ConfigurationError(f"point {point.key!r} declares captures but no rng was provided")
+    trials = []
+    for trial in range(point.n_trials):
+        if point.spec is None:
+            captures = None
+        elif isinstance(point.spec, ScenarioSpec):
+            captures = point.spec.synthesize(point_rng)
+        else:
+            captures = {name: spec.synthesize(point_rng) for name, spec in point.spec.items()}
+        trials.append(measure(point, trial, captures, point_rng))
+    return point.key, trials
+
+
+@dataclass(frozen=True)
+class SweepExecutor:
+    """Walks sweep points serially or across ``n_workers`` processes.
+
+    RNG policy (at most one of the three):
+
+    * ``rng`` -- one shared stream threads through every point/trial in
+      declaration order (the classic SNR-sweep idiom).  Serial only: a
+      shared stream has an inherent order, so parallel runs reject it.
+    * ``rng_factory`` -- an independent generator per point, created in
+      the parent in point order (per-node / per-power sweeps).
+    * ``point_seed`` -- deterministic per-point derivation: each point
+      gets ``RngStreams(point_seed).fresh(f"point:{key!r}")``, so the
+      grid can grow (or be re-partitioned across workers) without
+      perturbing existing points.
+
+    Workers start via the ``spawn`` method: each task ships one point,
+    the ``measure`` callable, and the point's generator, and returns the
+    measured trials -- so ``n_workers`` never changes results, only
+    wall-clock.
+    """
+
+    n_workers: int = 1
+    mp_context: str = "spawn"
+
+    def run(
+        self,
+        points: Iterable[SweepPoint],
+        measure: Callable[[SweepPoint, int, Any, np.random.Generator | None], Any],
+        rng: np.random.Generator | None = None,
+        rng_factory: Callable[[SweepPoint], np.random.Generator] | None = None,
+        point_seed: int | None = None,
+    ) -> SweepResult:
+        """Measure every point/trial; see the class docstring for rng policy."""
+        if self.n_workers < 1:
+            raise ConfigurationError(f"need >= 1 worker, got {self.n_workers}")
+        given = [x for x in (rng, rng_factory, point_seed) if x is not None]
+        if len(given) > 1:
+            raise ConfigurationError("pass at most one of rng, rng_factory, point_seed")
+        points = list(points)
+        keys = [point.key for point in points]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"sweep keys must be unique, got {keys}")
+
+        def rng_for(point: SweepPoint) -> np.random.Generator | None:
+            if rng_factory is not None:
+                return rng_factory(point)
+            if point_seed is not None:
+                return RngStreams(point_seed).fresh(f"point:{point.key!r}")
+            return rng
+
+        tasks = [(point, measure, rng_for(point)) for point in points]
+        if self.n_workers == 1:
+            results = [_execute_point(task) for task in tasks]
+        else:
+            if rng is not None:
+                raise ConfigurationError(
+                    "a shared rng stream is order-dependent and cannot fan out "
+                    "across workers; use rng_factory or point_seed instead"
+                )
+            ctx = multiprocessing.get_context(self.mp_context)
+            with ctx.Pool(processes=self.n_workers) as pool:
+                results = pool.map(_execute_point, tasks, chunksize=1)
+        return SweepResult(points=points, measurements={key: trials for key, trials in results})
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     measure: Callable[[SweepPoint, int, Any, np.random.Generator | None], Any],
     rng: np.random.Generator | None = None,
     rng_factory: Callable[[SweepPoint], np.random.Generator] | None = None,
 ) -> SweepResult:
-    """Walk every sweep point/trial, synthesizing declared captures.
+    """Walk every sweep point/trial serially, synthesizing declared captures.
 
     ``measure(point, trial, captures, rng)`` receives the trial's capture
     (or dict of variant captures, or ``None`` for spec-less points) plus
-    the generator in use, and returns one measurement.
-
-    RNG policy mirrors the two idioms of the classic drivers: pass
-    ``rng`` to share one stream across the whole sweep (SNR sweeps), or
-    ``rng_factory`` to derive an independent stream per point (per-node /
-    per-power sweeps via :class:`repro.sim.rng.RngStreams`).
+    the generator in use, and returns one measurement.  Equivalent to
+    ``SweepExecutor(n_workers=1).run(...)``; drivers that want N-way
+    parallelism construct the executor directly.
     """
-    if rng is not None and rng_factory is not None:
-        raise ConfigurationError("pass either rng or rng_factory, not both")
-    points = list(points)
-    keys = [point.key for point in points]
-    if len(set(keys)) != len(keys):
-        raise ConfigurationError(f"sweep keys must be unique, got {keys}")
-    measurements: dict[Any, list[Any]] = {}
-    for point in points:
-        if point.n_trials < 1:
-            raise ConfigurationError(f"point {point.key!r} needs >= 1 trial")
-        point_rng = rng_factory(point) if rng_factory is not None else rng
-        if point.spec is not None and point_rng is None:
-            raise ConfigurationError(
-                f"point {point.key!r} declares captures but no rng was provided"
-            )
-        trials = []
-        for trial in range(point.n_trials):
-            if point.spec is None:
-                captures = None
-            elif isinstance(point.spec, ScenarioSpec):
-                captures = point.spec.synthesize(point_rng)
-            else:
-                captures = {
-                    name: spec.synthesize(point_rng) for name, spec in point.spec.items()
-                }
-            trials.append(measure(point, trial, captures, point_rng))
-        measurements[point.key] = trials
-    return SweepResult(points=points, measurements=measurements)
+    return SweepExecutor(n_workers=1).run(points, measure, rng=rng, rng_factory=rng_factory)
 
 
 def sweep_means(result: SweepResult) -> dict[Any, float]:

@@ -1,38 +1,50 @@
-"""Fleet scale: gateways × devices sweep over the network-server layer.
+"""Fleet scale: gateways × devices sweep over the event-driven runtime.
 
 The paper evaluates one SoftLoRa gateway over 16 nodes; deployments run
 thousands of devices heard by several gateways each.  This driver grows
 the Fig. 13 fleet workload along both axes -- 1..8 gateways, 100..2000
 devices -- with the devices scattered over a multi-kilometre cell so
-coverage is partial and per-gateway SNRs differ.  Per (gateways,
-devices) cell it reports:
+coverage is partial and per-gateway SNRs differ.  Traffic is no longer
+caller-stepped: each cell schedules periodic-with-jitter reporting on
+the discrete-event :class:`~repro.sim.runtime.FleetRuntime`, so
+concurrent transmissions contend (ALOHA + capture effect) at every
+gateway before the surviving receptions reach the network server.  Per
+(gateways, devices) cell it reports:
 
-* **delivery / dedup** -- fraction of uplinks heard at all, and mean
-  gateway copies folded into each resolved verdict;
+* **delivery / dedup / contention** -- fraction of transmitted frames
+  resolved at all, mean gateway copies folded into each verdict, and
+  the co-SF collision rate the ALOHA channel inflicted;
+* **goodput** -- genuine deliveries per second of simulated time;
 * **fused FB error vs best single gateway** -- the cross-gateway
   fingerprinting payoff: inverse-variance fusion should beat the best
   single link's estimate on average;
-* **detection accuracy** -- TPR/FPR of the fused replay verdict under
-  the frame-delay attack against a slice of the fleet.
+* **detection accuracy + latency** -- TPR/FPR of the fused replay
+  verdict under the frame-delay attack against a slice of the fleet,
+  and the delay from arming the attack to its first detection.
 
-Everything runs the batched path: one :meth:`LoRaWanWorld.uplink_batch`
-per round, one vectorized FB draw per step, one
-:meth:`NetworkServer.process_step` resolution per step.
+Cells are independent worlds derived from per-cell rng streams, so the
+whole grid can fan out over worker processes:
+``run_fleet_scale(n_workers=4)`` runs cells N-way parallel through
+:class:`~repro.experiments.common.SweepExecutor` with results identical
+to the serial walk.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
+from repro.analysis.metrics import detection_latency_s
 from repro.analysis.report import format_table
 from repro.attack.delay_attack import FrameDelayAttack
 from repro.attack.jammer import StealthyJammer
 from repro.attack.replayer import Replayer
 from repro.core.softlora import SoftLoRaGateway
-from repro.experiments.common import SweepPoint, run_sweep
+from repro.errors import ConfigurationError
+from repro.experiments.common import SweepExecutor, SweepPoint
 from repro.lorawan.gateway import CommodityGateway
 from repro.phy.chirp import ChirpConfig
 from repro.radio.channel import LinkBudget
@@ -41,7 +53,9 @@ from repro.radio.pathloss import LogDistancePathLoss
 from repro.server import FusionPolicy, NetworkServer
 from repro.sim.network import EventKind, LoRaWanWorld
 from repro.sim.rng import RngStreams
+from repro.sim.runtime import FleetRuntime
 from repro.sim.scenarios import build_fleet
+from repro.sim.traffic import PeriodicTrafficModel
 
 
 @dataclass(frozen=True)
@@ -54,10 +68,13 @@ class FleetScaleCell:
     resolved_uplinks: int
     delivery_rate: float
     dedup_rate: float
+    collision_rate: float
+    goodput_fps: float
     fused_fb_mae_hz: float
     best_single_fb_mae_hz: float
     detection_tpr: float
     detection_fpr: float
+    detection_latency_s: float
     wall_s: float
 
     @property
@@ -66,6 +83,25 @@ class FleetScaleCell:
         if self.fused_fb_mae_hz == 0:
             return float("inf")
         return self.best_single_fb_mae_hz / self.fused_fb_mae_hz
+
+
+@dataclass(frozen=True)
+class FleetScaleParams:
+    """Everything one cell measurement needs, picklable for spawn workers."""
+
+    clean_rounds: int
+    attack_rounds: int
+    attack_fraction: float
+    attack_delay_s: float
+    fusion: FusionPolicy
+    spreading_factor: int
+    area_radius_m: float
+    gateway_ring_m: float
+    pathloss_exponent: float
+    seed: int
+    period_s: float
+    jitter_s: float
+    window_s: float
 
 
 @dataclass
@@ -87,11 +123,14 @@ class FleetScaleResult:
                     c.n_gateways,
                     c.n_devices,
                     round(c.delivery_rate, 3),
+                    round(c.collision_rate, 3),
+                    round(c.goodput_fps, 2),
                     round(c.dedup_rate, 2),
                     round(c.fused_fb_mae_hz, 1),
                     round(c.best_single_fb_mae_hz, 1),
                     round(c.detection_tpr, 3),
                     round(c.detection_fpr, 4),
+                    round(c.detection_latency_s, 1),
                     round(c.wall_s, 2),
                 ]
             )
@@ -100,15 +139,19 @@ class FleetScaleResult:
                 "gateways",
                 "devices",
                 "delivery",
+                "collisions",
+                "goodput (f/s)",
                 "copies/uplink",
                 "fused MAE (Hz)",
                 "best-GW MAE (Hz)",
                 "TPR",
                 "FPR",
+                "latency (s)",
                 "wall (s)",
             ],
             rows,
-            title=f"Fleet scale -- multi-gateway sweep ({self.fusion.value} fusion)",
+            title=f"Fleet scale -- event-driven multi-gateway sweep "
+            f"({self.fusion.value} fusion)",
         )
 
 
@@ -123,9 +166,7 @@ def _build_cell_world(
 ) -> LoRaWanWorld:
     """One cell: devices scattered over a disk, gateways on an inner ring."""
     config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=0.5e6)
-    devices = build_fleet(
-        n_devices=n_devices, streams=streams, spreading_factor=spreading_factor
-    )
+    devices = build_fleet(n_devices=n_devices, streams=streams, spreading_factor=spreading_factor)
     layout = streams.stream("layout")
     for device in devices:
         radius = area_radius_m * float(np.sqrt(layout.uniform(0.0, 1.0)))
@@ -157,25 +198,23 @@ def _build_cell_world(
 def _measure_cell(
     world: LoRaWanWorld,
     server: NetworkServer,
-    clean_rounds: int,
-    attack_rounds: int,
-    attack_fraction: float,
-    attack_delay_s: float,
+    params: FleetScaleParams,
     streams: RngStreams,
 ) -> dict:
-    """Run the cell's rounds and pull the per-uplink evidence apart."""
+    """Run the cell's clean + attack phases and pull the evidence apart."""
     devices = list(world.devices.values())
     true_fb = {f"{d.dev_addr:08x}": d.fb_hz for d in devices}
-    period_s = 600.0
-    attempts = 0
-    fused_errors: list[float] = []
-    best_errors: list[float] = []
-    t0 = time.perf_counter()
-    for round_index in range(clean_rounds):
-        world.uplink_batch(request_time_s=10.0 + round_index * period_s)
-        attempts += len(devices)
+    traffic = PeriodicTrafficModel(
+        period_s=params.period_s,
+        jitter_s=params.jitter_s,
+        rng=streams.stream("traffic"),
+    )
+    runtime = FleetRuntime(world, traffic, window_s=params.window_s)
 
-    n_attacked = max(1, int(round(attack_fraction * len(devices))))
+    t0 = time.perf_counter()
+    clean_report = runtime.run(params.clean_rounds * params.period_s)
+
+    n_attacked = max(1, int(round(params.attack_fraction * len(devices))))
     attack = FrameDelayAttack(
         jammer=StealthyJammer(),
         replayer=Replayer.single_usrp(streams.stream("replayer")),
@@ -186,30 +225,34 @@ def _measure_cell(
     # have nothing to jam or replay.
     heard = {verdict.node_id for verdict in server.verdicts}
     reachable = [d for d in devices if f"{d.dev_addr:08x}" in heard] or devices
+    armed_at_s = world.simulator.now_s
     world.arm_attack(
-        attack, [d.name for d in reachable[:n_attacked]], delay_s=attack_delay_s
+        attack,
+        [d.name for d in reachable[:n_attacked]],
+        delay_s=params.attack_delay_s,
     )
+    attack_report = runtime.run(params.attack_rounds * params.period_s)
+    wall_s = time.perf_counter() - t0
+
     replays = hits = clean = false_alarms = 0
     replay_keys: set[tuple[int, int]] = set()
-    for round_index in range(clean_rounds, clean_rounds + attack_rounds):
-        events = world.uplink_batch(request_time_s=10.0 + round_index * period_s)
-        attempts += len(devices)
-        for event in events:
-            verdict = event.verdict
-            if verdict is None:
-                continue
-            if event.kind is EventKind.REPLAY_DELIVERED:
-                replays += 1
-                hits += verdict.attack_detected
-                replay_keys.add((verdict.dev_addr, verdict.fcnt))
-            elif event.kind is EventKind.DELIVERED:
-                clean += 1
-                false_alarms += verdict.attack_detected
-    wall_s = time.perf_counter() - t0
+    for event in attack_report.events:
+        verdict = event.verdict
+        if verdict is None:
+            continue
+        if event.kind is EventKind.REPLAY_DELIVERED:
+            replays += 1
+            hits += verdict.attack_detected
+            replay_keys.add((verdict.dev_addr, verdict.fcnt))
+        elif event.kind is EventKind.DELIVERED:
+            clean += 1
+            false_alarms += verdict.attack_detected
 
     # FB error statistics cover genuine transmissions only: a replay's FB
     # carries the ~543 Hz chain offset whether or not the detector caught
     # it, and would swamp the few-Hz estimation errors being measured.
+    fused_errors: list[float] = []
+    best_errors: list[float] = []
     for verdict in server.verdicts:
         if verdict.fused is None or (verdict.dev_addr, verdict.fcnt) in replay_keys:
             continue
@@ -220,18 +263,55 @@ def _measure_cell(
         best_row = int(np.argmax(verdict.gateway_snrs_db))
         best_errors.append(abs(verdict.gateway_fbs_hz[best_row] - truth))
 
+    attempts = clean_report.attempts + attack_report.attempts
+    contention = [clean_report.contention, attack_report.contention]
+    collided = sum(c.collided for c in contention)
+    delivered = sum(c.delivered for c in contention)
+    duration_s = clean_report.duration_s + attack_report.duration_s
     resolved = len(server.verdicts)
     return {
         "uplink_attempts": attempts,
         "resolved_uplinks": resolved,
         "delivery_rate": resolved / attempts if attempts else 0.0,
         "dedup_rate": server.dedup_rate,
+        "collision_rate": collided / attempts if attempts else 0.0,
+        "goodput_fps": delivered / duration_s,
         "fused_fb_mae_hz": float(np.mean(fused_errors)) if fused_errors else 0.0,
         "best_single_fb_mae_hz": float(np.mean(best_errors)) if best_errors else 0.0,
         "detection_tpr": hits / replays if replays else 0.0,
         "detection_fpr": false_alarms / clean if clean else 0.0,
+        "detection_latency_s": detection_latency_s(
+            armed_at_s, attack_report.replay_detection_times_s
+        ),
         "wall_s": wall_s,
     }
+
+
+def measure_fleet_cell(point, trial, captures, prng, params: FleetScaleParams):
+    """One sweep-point measurement: build the cell world, run, score.
+
+    Module-level (and driven purely by ``point.key`` + ``params``) so
+    :class:`SweepExecutor` can ship it to spawn workers.  Keys are
+    ``(n_gateways, n_devices)`` or ``(n_gateways, n_devices, replicate)``
+    -- the replicate salt gives benchmark grids independent copies of
+    one cell.
+    """
+    key = tuple(point.key)
+    n_gateways, n_devices = int(key[0]), int(key[1])
+    replicate = int(key[2]) if len(key) > 2 else 0
+    streams = RngStreams(params.seed + 7919 * n_gateways + n_devices + 104_729 * replicate)
+    world = _build_cell_world(
+        n_gateways,
+        n_devices,
+        streams,
+        params.spreading_factor,
+        params.area_radius_m,
+        params.gateway_ring_m,
+        params.pathloss_exponent,
+    )
+    server = world.attach_server(NetworkServer(fusion=params.fusion))
+    measured = _measure_cell(world, server, params, streams)
+    return FleetScaleCell(n_gateways=n_gateways, n_devices=n_devices, **measured)
 
 
 def run_fleet_scale(
@@ -247,44 +327,46 @@ def run_fleet_scale(
     gateway_ring_m: float = 700.0,
     pathloss_exponent: float = 3.4,
     seed: int = 2020,
+    period_s: float = 600.0,
+    jitter_s: float = 60.0,
+    window_s: float = 30.0,
+    n_workers: int = 1,
+    replicates: int = 1,
 ) -> FleetScaleResult:
-    """Sweep gateway count × fleet size through the network-server stack.
+    """Sweep gateway count × fleet size through the event-driven stack.
 
-    Each cell is an independent world (fresh devices, layout, server)
-    derived from per-cell rng streams, so cells are comparable and the
-    sweep grid can grow without perturbing existing cells.
+    Each cell is an independent world (fresh devices, layout, server,
+    traffic schedule) derived from per-cell rng streams, so cells are
+    comparable, the grid can grow without perturbing existing cells, and
+    ``n_workers > 1`` fans whole cells out across processes with
+    identical results.  ``replicates > 1`` appends a salt to every key,
+    yielding independent copies of each cell (benchmark workloads).
     """
-
-    def measure(point, trial, capture, prng):
-        n_gateways, n_devices = point.key
-        streams = RngStreams(seed + 7919 * n_gateways + n_devices)
-        world = _build_cell_world(
-            n_gateways,
-            n_devices,
-            streams,
-            spreading_factor,
-            area_radius_m,
-            gateway_ring_m,
-            pathloss_exponent,
-        )
-        server = world.attach_server(NetworkServer(fusion=fusion))
-        measured = _measure_cell(
-            world,
-            server,
-            clean_rounds,
-            attack_rounds,
-            attack_fraction,
-            attack_delay_s,
-            streams,
-        )
-        return FleetScaleCell(n_gateways=n_gateways, n_devices=n_devices, **measured)
-
-    sweep = run_sweep(
-        [
-            SweepPoint(key=(n_gateways, n_devices))
-            for n_gateways in gateway_counts
-            for n_devices in device_counts
-        ],
-        measure,
+    params = FleetScaleParams(
+        clean_rounds=clean_rounds,
+        attack_rounds=attack_rounds,
+        attack_fraction=attack_fraction,
+        attack_delay_s=attack_delay_s,
+        fusion=fusion,
+        spreading_factor=spreading_factor,
+        area_radius_m=area_radius_m,
+        gateway_ring_m=gateway_ring_m,
+        pathloss_exponent=pathloss_exponent,
+        seed=seed,
+        period_s=period_s,
+        jitter_s=jitter_s,
+        window_s=window_s,
+    )
+    if replicates < 1:
+        raise ConfigurationError(f"need >= 1 replicate, got {replicates}")
+    keys: list[tuple] = [
+        (n_gateways, n_devices) if replicates == 1 else (n_gateways, n_devices, rep)
+        for n_gateways in gateway_counts
+        for n_devices in device_counts
+        for rep in range(replicates)
+    ]
+    sweep = SweepExecutor(n_workers=n_workers).run(
+        [SweepPoint(key=key) for key in keys],
+        partial(measure_fleet_cell, params=params),
     )
     return FleetScaleResult(cells=[sweep.first(key) for key in sweep.keys()], fusion=fusion)

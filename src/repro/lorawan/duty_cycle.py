@@ -28,7 +28,7 @@ class DutyCycleLimiter:
         if not 0 < self.duty_cycle <= 1:
             raise ConfigurationError(f"duty cycle must be in (0, 1], got {self.duty_cycle}")
 
-    def next_allowed_s(self, sub_band: str) -> float:
+    def next_allowed_s(self, sub_band: str = "g2") -> float:
         """Earliest instant a new transmission may start on the sub-band."""
         return self._not_before_s.get(sub_band, 0.0)
 

@@ -21,6 +21,25 @@ from repro.radio.geometry import Building, Position
 
 
 @dataclass(frozen=True)
+class FixedPathLoss:
+    """A constant, geometry-independent loss.
+
+    Pins a link at an exact budget -- e.g. reproducing a *measured* SNR
+    (the Sec. 8.1.1 cross-building link) where the paper publishes the
+    resulting signal level but not the propagation environment.
+    """
+
+    value_db: float
+
+    def __post_init__(self) -> None:
+        if self.value_db < 0:
+            raise ConfigurationError(f"path loss must be >= 0 dB, got {self.value_db}")
+
+    def loss_db(self, tx: Position, rx: Position) -> float:
+        return self.value_db
+
+
+@dataclass(frozen=True)
 class FreeSpacePathLoss:
     """Friis free-space loss at a given carrier."""
 

@@ -1,25 +1,40 @@
 """Discrete-event simulation substrate: event queue, world wiring, scenarios."""
 
 from repro.sim.events import Simulator
-from repro.sim.network import FbMeasurementModel, LoRaWanWorld, WorldEvent
+from repro.sim.network import (
+    FbMeasurementModel,
+    LoRaWanWorld,
+    StagedTransmission,
+    WorldEvent,
+)
 from repro.sim.rng import RngStreams
+from repro.sim.runtime import CollisionChannel, FleetRuntime, RuntimeReport
 from repro.sim.scenarios import (
     BuildingScenario,
     CampusScenario,
     build_building_scenario,
     build_campus_scenario,
     build_fleet,
+    build_pinned_link_world,
 )
+from repro.sim.traffic import AlohaChannel, PeriodicTrafficModel
 
 __all__ = [
+    "AlohaChannel",
     "BuildingScenario",
     "CampusScenario",
+    "CollisionChannel",
     "FbMeasurementModel",
+    "FleetRuntime",
     "LoRaWanWorld",
+    "PeriodicTrafficModel",
     "RngStreams",
+    "RuntimeReport",
     "Simulator",
+    "StagedTransmission",
     "WorldEvent",
     "build_building_scenario",
     "build_campus_scenario",
     "build_fleet",
+    "build_pinned_link_world",
 ]

@@ -74,12 +74,19 @@ class Simulator:
         self._now = max(self._now, time_s)
 
     def run(self, max_events: int = 1_000_000) -> int:
-        """Drain the queue; returns the number of events processed."""
+        """Drain the queue; returns the number of events processed.
+
+        Raises :class:`SimulationError` only if events are still pending
+        once the budget is spent -- a schedule of exactly ``max_events``
+        events drains cleanly.
+        """
         count = 0
-        while self.step():
-            count += 1
+        while self._queue:
             if count >= max_events:
                 raise SimulationError(
-                    f"event budget of {max_events} exhausted; runaway schedule?"
+                    f"event budget of {max_events} exhausted with "
+                    f"{len(self._queue)} events still pending; runaway schedule?"
                 )
+            self.step()
+            count += 1
         return count

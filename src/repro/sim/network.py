@@ -81,6 +81,7 @@ class FbMeasurementModel:
 class EventKind(enum.Enum):
     DELIVERED = "delivered"
     LOST_LOW_SNR = "lost_low_snr"
+    LOST_COLLISION = "lost_collision"
     SUPPRESSED_BY_JAMMING = "suppressed_by_jamming"
     REPLAY_DELIVERED = "replay_delivered"
 
@@ -111,6 +112,20 @@ class GatewaySite:
     gateway_id: str
     position: Position
     link: LinkBudget
+
+
+@dataclass(frozen=True)
+class StagedTransmission:
+    """A MAC-layer-complete uplink awaiting channel resolution.
+
+    The MAC layer (frame assembly, counters, duty-cycle accounting, the
+    radio-latency draw) has already run; the channel -- contention,
+    per-gateway SNR, delivery -- has not.  The event-driven runtime
+    stages these as device traffic fires and delivers each event window
+    in one batch (:meth:`LoRaWanWorld.deliver_staged`)."""
+
+    device_name: str
+    transmission: UplinkTransmission
 
 
 @dataclass
@@ -194,9 +209,7 @@ class LoRaWanWorld:
             server.register_device(device.dev_addr, device.keys)
         return server
 
-    def arm_attack(
-        self, attack: FrameDelayAttack, targets: list[str], delay_s: float
-    ) -> None:
+    def arm_attack(self, attack: FrameDelayAttack, targets: list[str], delay_s: float) -> None:
         """Enable the frame delay attack against the named devices."""
         unknown = [t for t in targets if t not in self.devices]
         if unknown:
@@ -219,7 +232,7 @@ class LoRaWanWorld:
     def uplink(self, device_name: str, request_time_s: float) -> WorldEvent:
         """Run one uplink through the channel (and attacker) synchronously."""
         if self.server is not None:
-            return self._uplink_batch_fused([device_name], request_time_s)[0]
+            return self._deliver_fused(self.stage_uplinks([device_name], request_time_s))[0]
         if self.extra_gateways:
             raise ConfigurationError(
                 "extra gateways are placed but no network server is attached; "
@@ -307,7 +320,7 @@ class LoRaWanWorld:
         """
         names = list(self.devices) if device_names is None else list(device_names)
         if self.server is not None:
-            return self._uplink_batch_fused(names, request_time_s)
+            return self._deliver_fused(self.stage_uplinks(names, request_time_s))
         if self.extra_gateways:
             raise ConfigurationError(
                 "extra gateways are placed but no network server is attached; "
@@ -315,22 +328,71 @@ class LoRaWanWorld:
             )
         if not names:
             return []
-        staged = []
-        for name in names:
-            device = self.devices[name]
-            tx = device.transmit(request_time_s)
-            snr = self._snr_for(device)
-            delay = propagation_delay_s(device.position, self.gateway_position)
-            staged.append((name, device, tx, snr, delay))
+        return self._deliver_single(self.stage_uplinks(names, request_time_s))
 
-        primary: dict[str, WorldEvent] = {}
+    # -- staged delivery (the event-driven runtime's entry) -----------------------
+
+    def stage_uplinks(
+        self, device_names: list[str], request_time_s: float
+    ) -> list[StagedTransmission]:
+        """Run the MAC layer only: one frame per device, nothing delivered.
+
+        The event-driven runtime stages each device at its *own* request
+        time (one call per traffic event) and later hands a whole event
+        window to :meth:`deliver_staged`; the caller-stepped
+        :meth:`uplink_batch` stages every device at one shared time.
+        """
+        return [
+            StagedTransmission(name, self.devices[name].transmit(request_time_s))
+            for name in device_names
+        ]
+
+    def deliver_staged(
+        self,
+        staged: list[StagedTransmission],
+        site_mask: dict[int, set[int]] | None = None,
+    ) -> list[WorldEvent]:
+        """Run already-staged transmissions through the channel + gateway(s).
+
+        ``site_mask`` carries contention outcomes: it maps a *staged
+        index* to the set of gateway-site indices (positions in
+        :attr:`sites`) at which that transmission survived collision
+        resolution.  Indices absent from the mask are unconstrained.  A
+        transmission masked out of every in-range site becomes a
+        :attr:`EventKind.LOST_COLLISION` event; attacked devices bypass
+        the mask (the jammer suppresses the original regardless, and the
+        attacker replays into a clear window of its choosing).
+        """
+        if self.server is not None:
+            return self._deliver_fused(staged, site_mask)
+        if self.extra_gateways:
+            raise ConfigurationError(
+                "extra gateways are placed but no network server is attached; "
+                "call attach_server() to enable multi-gateway routing"
+            )
+        return self._deliver_single(staged, site_mask)
+
+    def _deliver_single(
+        self,
+        staged: list[StagedTransmission],
+        site_mask: dict[int, set[int]] | None = None,
+    ) -> list[WorldEvent]:
+        """Single-gateway delivery of one staged batch (the classic path)."""
+        if not staged:
+            return []
+        primary: dict[int, WorldEvent] = {}
         direct = []
         attacked = []
-        for name, device, tx, snr, delay in staged:
+        for index, item in enumerate(staged):
+            name = item.device_name
+            device = self.devices[name]
+            tx = item.transmission
+            snr = self._snr_for(device)
+            delay = propagation_delay_s(device.position, self.gateway_position)
             floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
             arrival = tx.emission_time_s + delay
             if snr < floor:
-                primary[name] = WorldEvent(
+                primary[index] = WorldEvent(
                     kind=EventKind.LOST_LOW_SNR,
                     time_s=arrival,
                     device_name=name,
@@ -340,24 +402,33 @@ class LoRaWanWorld:
                     f"floor {floor:.1f} dB",
                 )
             elif self.attack is not None and name in self.attack_targets:
-                attacked.append((name, tx, snr, delay, arrival))
+                attacked.append((index, name, tx, snr, delay, arrival))
+            elif site_mask is not None and 0 not in site_mask.get(index, {0}):
+                primary[index] = WorldEvent(
+                    kind=EventKind.LOST_COLLISION,
+                    time_s=arrival,
+                    device_name=name,
+                    snr_db=snr,
+                    transmission=tx,
+                    detail="lost in co-SF collision at the gateway",
+                )
             else:
-                direct.append((name, tx, snr, arrival))
+                direct.append((index, name, tx, snr, arrival))
 
         if direct:
             fbs = self.fb_model.measure_batch(
-                np.array([tx.fb_hz for _, tx, _, _ in direct]),
-                np.array([snr for _, _, snr, _ in direct]),
+                np.array([tx.fb_hz for _, _, tx, _, _ in direct]),
+                np.array([snr for _, _, _, snr, _ in direct]),
                 self.rng,
             )
             receptions = self.gateway.process_frame_batch(
                 [
                     (tx.mac_bytes, arrival, float(fb))
-                    for (_, tx, _, arrival), fb in zip(direct, fbs)
+                    for (_, _, tx, _, arrival), fb in zip(direct, fbs)
                 ]
             )
-            for (name, tx, snr, arrival), reception in zip(direct, receptions):
-                primary[name] = WorldEvent(
+            for (index, name, tx, snr, arrival), reception in zip(direct, receptions):
+                primary[index] = WorldEvent(
                     kind=EventKind.DELIVERED,
                     time_s=arrival,
                     device_name=name,
@@ -366,10 +437,10 @@ class LoRaWanWorld:
                     reception=reception,
                 )
 
-        suppressed_events: dict[str, WorldEvent] = {}
-        for name, tx, snr, delay, arrival in attacked:
+        suppressed_events: dict[int, WorldEvent] = {}
+        for index, name, tx, snr, delay, arrival in attacked:
             outcome = self.attack.execute(tx, self.attack_delay_s)
-            suppressed_events[name] = WorldEvent(
+            suppressed_events[index] = WorldEvent(
                 kind=EventKind.SUPPRESSED_BY_JAMMING,
                 time_s=arrival,
                 device_name=name,
@@ -383,7 +454,7 @@ class LoRaWanWorld:
             reception = self.gateway.process_frame(
                 outcome.replayed.mac_bytes, replay_arrival, fb_measured
             )
-            primary[name] = WorldEvent(
+            primary[index] = WorldEvent(
                 kind=EventKind.REPLAY_DELIVERED,
                 time_s=replay_arrival,
                 device_name=name,
@@ -394,20 +465,22 @@ class LoRaWanWorld:
             )
 
         ordered = []
-        for name in names:
-            if name in suppressed_events:
-                self.events.append(suppressed_events[name])
-            event = primary[name]
+        for index in range(len(staged)):
+            if index in suppressed_events:
+                self.events.append(suppressed_events[index])
+            event = primary[index]
             self.events.append(event)
             ordered.append(event)
         return ordered
 
     # -- multi-gateway fused path -------------------------------------------------
 
-    def _uplink_batch_fused(
-        self, names: list[str], request_time_s: float
+    def _deliver_fused(
+        self,
+        staged: list[StagedTransmission],
+        site_mask: dict[int, set[int]] | None = None,
     ) -> list[WorldEvent]:
-        """One fleet step routed through every in-range gateway.
+        """One staged batch routed through every in-range gateway.
 
         The MAC layer stays per-device; everything after it is batched
         per step: per-(device, gateway) SNRs from each site's link
@@ -422,15 +495,22 @@ class LoRaWanWorld:
         is suppressed at *every* gateway; the replay is modeled as heard
         by the same in-range set (the replayer's placement is not
         tracked at frame level), which keeps multi-gateway detection a
-        question of FB evidence rather than replay coverage.
+        question of FB evidence rather than replay coverage.  Attacked
+        devices bypass ``site_mask`` for the same reason (see
+        :meth:`deliver_staged`).
         """
-        if not names:
+        if not staged:
             return []
         sites = self.sites
-        staged = []
-        for name in names:
+        primary: dict[int, WorldEvent] = {}
+        suppressed_events: dict[int, WorldEvent] = {}
+        # (name, tx, fb_true, site_index, snr, arrival) per delivery.
+        deliveries: list[tuple[str, UplinkTransmission, float, int, float, float]] = []
+        delivered_meta: dict[int, dict[str, Any]] = {}
+        for index, item in enumerate(staged):
+            name = item.device_name
             device = self.devices[name]
-            tx = device.transmit(request_time_s)
+            tx = item.transmission
             snrs = [
                 site.link.snr_db(device.tx_power_dbm, device.position, site.position)
                 for site in sites
@@ -438,17 +518,9 @@ class LoRaWanWorld:
             delays = [propagation_delay_s(device.position, site.position) for site in sites]
             floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
             in_range = [i for i, snr in enumerate(snrs) if snr >= floor]
-            staged.append((name, device, tx, snrs, delays, floor, in_range))
-
-        primary: dict[str, WorldEvent] = {}
-        suppressed_events: dict[str, WorldEvent] = {}
-        # (name, tx, fb_true, site_index, snr, arrival) per delivery.
-        deliveries: list[tuple[str, UplinkTransmission, float, int, float, float]] = []
-        delivered_meta: dict[str, dict[str, Any]] = {}
-        for name, device, tx, snrs, delays, floor, in_range in staged:
             best_snr = max(snrs)
             if not in_range:
-                primary[name] = WorldEvent(
+                primary[index] = WorldEvent(
                     kind=EventKind.LOST_LOW_SNR,
                     time_s=tx.emission_time_s + min(delays),
                     device_name=name,
@@ -459,10 +531,24 @@ class LoRaWanWorld:
                 )
                 continue
             attacked = self.attack is not None and name in self.attack_targets
+            if not attacked and site_mask is not None and index in site_mask:
+                surviving = [i for i in in_range if i in site_mask[index]]
+                if not surviving:
+                    primary[index] = WorldEvent(
+                        kind=EventKind.LOST_COLLISION,
+                        time_s=tx.emission_time_s + min(delays[i] for i in in_range),
+                        device_name=name,
+                        snr_db=best_snr,
+                        transmission=tx,
+                        detail="lost in co-SF collision at all "
+                        f"{len(in_range)} in-range gateways",
+                    )
+                    continue
+                in_range = surviving
             if attacked:
                 outcome = self.attack.execute(tx, self.attack_delay_s)
                 arrival = tx.emission_time_s + delays[in_range[0]]
-                suppressed_events[name] = WorldEvent(
+                suppressed_events[index] = WorldEvent(
                     kind=EventKind.SUPPRESSED_BY_JAMMING,
                     time_s=arrival,
                     device_name=name,
@@ -482,7 +568,7 @@ class LoRaWanWorld:
                 emission = tx.emission_time_s
             for i in in_range:
                 deliveries.append((name, tx, fb_true, i, snrs[i], emission + delays[i]))
-            delivered_meta[name] = {
+            delivered_meta[index] = {
                 "kind": kind,
                 "meta": base_meta,
                 "snr": best_snr,
@@ -513,26 +599,26 @@ class LoRaWanWorld:
             for verdict in self.server.process_step(forwards):
                 verdicts_by_key[(verdict.dev_addr, verdict.fcnt)] = verdict
 
-        for name, info in delivered_meta.items():
+        for index, info in delivered_meta.items():
             tx = info["tx"]
             verdict = verdicts_by_key.get((tx.dev_addr, tx.fcnt))
             metadata = dict(info["meta"])
             metadata["verdict"] = verdict
             metadata["gateway_ids"] = info["gateways"]
-            primary[name] = WorldEvent(
+            primary[index] = WorldEvent(
                 kind=info["kind"],
                 time_s=info["time"],
-                device_name=name,
+                device_name=staged[index].device_name,
                 snr_db=info["snr"],
                 transmission=tx,
                 metadata=metadata,
             )
 
         ordered = []
-        for name in names:
-            if name in suppressed_events:
-                self.events.append(suppressed_events[name])
-            event = primary[name]
+        for index in range(len(staged)):
+            if index in suppressed_events:
+                self.events.append(suppressed_events[index])
+            event = primary[index]
             self.events.append(event)
             ordered.append(event)
         return ordered

@@ -1,0 +1,288 @@
+"""Event-driven fleet runtime: traffic, contention, and windowed delivery.
+
+The caller-stepped :class:`~repro.sim.network.LoRaWanWorld` APIs
+(``uplink`` / ``uplink_batch``) transmit whole fleets at one shared
+request time and ignore channel contention entirely.  This module puts
+the discrete-event :class:`~repro.sim.events.Simulator` on the hot path
+instead:
+
+1. **traffic** -- a :class:`~repro.sim.traffic.PeriodicTrafficModel`
+   schedules every device's uplink requests on the simulator; a device
+   whose ETSI duty-cycle budget is exhausted at its request instant
+   backs off to the sub-band's next allowed time;
+2. **contention** -- transmissions staged inside one event window are
+   resolved *per gateway* through an :class:`~repro.sim.traffic
+   .AlohaChannel` (LoRa's co-channel power-capture rule: the stronger
+   co-SF frame survives iff it clears every overlapping rival by the
+   capture threshold), using each gateway site's own received powers;
+3. **delivery** -- each window's surviving receptions run through the
+   existing batched machinery (:meth:`LoRaWanWorld.deliver_staged` ->
+   one vectorized FB draw -> ``SoftLoRaGateway.process_frame_batch`` or
+   the multi-gateway ``NetworkServer`` fusion path), emitting the same
+   :class:`~repro.sim.network.WorldEvent` stream the classic path does,
+   plus :attr:`EventKind.LOST_COLLISION` events for contention losses.
+
+With a single device there is nothing to contend with and the runtime
+degenerates to the classic caller-stepped schedule bit for bit
+(``tests/test_runtime.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import ContentionStats
+from repro.core.softlora import SoftLoRaStatus
+from repro.errors import ConfigurationError
+from repro.radio.channel import (
+    DEFAULT_CAPTURE_THRESHOLD_DB,
+    Transmission,
+    propagation_delay_s,
+)
+from repro.sim.network import (
+    EventKind,
+    LoRaWanWorld,
+    StagedTransmission,
+    WorldEvent,
+)
+from repro.sim.traffic import AlohaChannel, PeriodicTrafficModel
+
+
+def replay_detected(event: WorldEvent) -> bool:
+    """Did the defense flag this world event as a replay?
+
+    Works on both topologies: multi-gateway events carry the network
+    server's fused verdict, single-gateway events the gateway's own
+    reception.
+    """
+    if event.verdict is not None:
+        return event.verdict.attack_detected
+    return (
+        event.reception is not None
+        and event.reception.status is SoftLoRaStatus.REPLAY_DETECTED
+    )
+
+
+@dataclass
+class CollisionChannel:
+    """Per-gateway collision/capture resolution for one event window.
+
+    Built on :class:`AlohaChannel`: every staged transmission is offered
+    to one channel per gateway site with the power *that site* receives,
+    so a frame lost in a collision under one gateway can still be
+    captured by another that hears the colliders at very different
+    powers.  Overlap clustering runs once on emission times (propagation
+    differences are microseconds against >=40 ms airtimes), so sparse
+    windows resolve in O(n log n) instead of O(n^2) pair checks.
+    """
+
+    capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
+
+    def _overlap_clusters(self, staged: list[StagedTransmission]) -> list[list[int]]:
+        """Indices of staged transmissions chained by airtime overlap."""
+        order = sorted(range(len(staged)), key=lambda i: staged[i].transmission.emission_time_s)
+        clusters: list[list[int]] = []
+        cluster_end = -math.inf
+        for i in order:
+            tx = staged[i].transmission
+            if tx.emission_time_s < cluster_end:
+                clusters[-1].append(i)
+            else:
+                clusters.append([i])
+            cluster_end = max(cluster_end, tx.end_time_s)
+        return clusters
+
+    def surviving_sites(
+        self, world: LoRaWanWorld, staged: list[StagedTransmission]
+    ) -> dict[int, set[int]]:
+        """Map each staged index to the site indices where it survives."""
+        sites = world.sites
+        mask: dict[int, set[int]] = {index: set(range(len(sites))) for index in range(len(staged))}
+        for cluster in self._overlap_clusters(staged):
+            if len(cluster) < 2:
+                continue
+            for site_index, site in enumerate(sites):
+                channel = AlohaChannel(capture_threshold_db=self.capture_threshold_db)
+                for index in cluster:
+                    device = world.devices[staged[index].device_name]
+                    tx = staged[index].transmission
+                    channel.offer(
+                        Transmission(
+                            sender=f"{index}:{staged[index].device_name}",
+                            start_time_s=tx.emission_time_s
+                            + propagation_delay_s(device.position, site.position),
+                            airtime_s=tx.airtime_s,
+                            rx_power_dbm=site.link.rx_power_dbm(
+                                device.tx_power_dbm, device.position, site.position
+                            ),
+                            spreading_factor=tx.spreading_factor,
+                        )
+                    )
+                for index, outcome in zip(cluster, channel.resolve()):
+                    if not outcome.delivered:
+                        mask[index].discard(site_index)
+        return mask
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    """What one :meth:`FleetRuntime.run` phase put on the air."""
+
+    start_s: float
+    duration_s: float
+    attempts: int
+    deferrals: int
+    sim_events: int
+    wall_s: float
+    events: list[WorldEvent]
+
+    @property
+    def contention(self) -> ContentionStats:
+        kinds = [event.kind for event in self.events]
+        return ContentionStats(
+            attempts=self.attempts,
+            delivered=kinds.count(EventKind.DELIVERED),
+            collided=kinds.count(EventKind.LOST_COLLISION),
+            lost_low_snr=kinds.count(EventKind.LOST_LOW_SNR),
+            suppressed=kinds.count(EventKind.SUPPRESSED_BY_JAMMING),
+            replays_delivered=kinds.count(EventKind.REPLAY_DELIVERED),
+        )
+
+    @property
+    def goodput_fps(self) -> float:
+        """Genuine deliveries per second of simulated time."""
+        return self.contention.goodput_frames_per_s(self.duration_s)
+
+    @property
+    def events_per_s(self) -> float:
+        """Simulator throughput: scheduler events processed per wall second."""
+        return self.sim_events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def replay_detection_times_s(self) -> list[float]:
+        """Instants at which the defense flagged a delivered replay.
+
+        Only actual replays count: a false alarm on a genuine delivery
+        is an FPR event, not a detection of the attack.
+        """
+        return [
+            e.time_s
+            for e in self.events
+            if e.kind is EventKind.REPLAY_DELIVERED and replay_detected(e)
+        ]
+
+
+@dataclass
+class FleetRuntime:
+    """Schedules, contends, and delivers fleet traffic on the simulator.
+
+    One runtime owns one :class:`LoRaWanWorld` (either topology) and
+    drives its :class:`Simulator`.  Repeated :meth:`run` calls extend
+    the same simulation timeline, so a caller can run a clean phase, arm
+    the frame-delay attack, and keep running -- exactly like the
+    caller-stepped drivers, but with realistic ALOHA contention.
+
+    ``window_s`` is the batching grain: staged transmissions flush to
+    the gateways at the next window boundary, so larger windows amortize
+    the vectorized delivery machinery over more frames while collision
+    resolution stays exact *within a window* (it uses true per-frame
+    emission times, not the window).  Transmissions spanning a window
+    boundary are resolved independently per window -- an optimistic
+    approximation (cross-boundary overlaps are never offered to the
+    same channel) whose bias is on the order of airtime/window and thus
+    negligible while airtime << window_s.
+    """
+
+    world: LoRaWanWorld
+    traffic: PeriodicTrafficModel
+    window_s: float = 1.0
+    capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
+    backoff_s: float = 1e-3
+    attempts: int = field(init=False, default=0)
+    deferrals: int = field(init=False, default=0)
+    _pending: list[StagedTransmission] = field(init=False, default_factory=list)
+    _flush_scheduled: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window_s}")
+        if self.backoff_s <= 0:
+            raise ConfigurationError(f"backoff must be positive, got {self.backoff_s}")
+        self._channel = CollisionChannel(capture_threshold_db=self.capture_threshold_db)
+
+    def run(self, duration_s: float, device_names: list[str] | None = None) -> RuntimeReport:
+        """Schedule one phase of fleet traffic and run it to completion.
+
+        Traffic base ticks cover ``[now, now + duration_s)`` on the
+        simulator clock; jitter can push the final requests slightly
+        past the horizon, and the phase runs until every scheduled
+        request has fired (so no frame is silently dropped at the
+        boundary).  Duty-cycle deferrals that back off beyond the
+        horizon stay queued and fire in the next phase.  Returns a
+        report over exactly the world events this phase emitted.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s}")
+        world = self.world
+        sim = world.simulator
+        names = list(world.devices) if device_names is None else list(device_names)
+        unknown = [n for n in names if n not in world.devices]
+        if unknown:
+            raise ConfigurationError(f"unknown devices: {unknown}")
+        start_s = sim.now_s
+        first_event = len(world.events)
+        first_processed = sim.processed
+        attempts0, deferrals0 = self.attempts, self.deferrals
+        schedule = self.traffic.schedule(names, duration_s, start_s=start_s)
+        for uplink in schedule:
+            sim.schedule(uplink.request_time_s, self._request, uplink.device_name)
+        end_s = start_s + duration_s
+        if schedule:
+            # The schedule is time-ordered; its tail bounds the jitter spill.
+            end_s = max(end_s, schedule[-1].request_time_s)
+        wall0 = time.perf_counter()
+        sim.run_until(end_s)
+        self._flush()
+        wall_s = time.perf_counter() - wall0
+        return RuntimeReport(
+            start_s=start_s,
+            duration_s=duration_s,
+            attempts=self.attempts - attempts0,
+            deferrals=self.deferrals - deferrals0,
+            sim_events=sim.processed - first_processed,
+            wall_s=wall_s,
+            events=list(world.events[first_event:]),
+        )
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _request(self, device_name: str) -> None:
+        """One device's uplink request fires: stage it, or back off."""
+        sim = self.world.simulator
+        now = sim.now_s
+        device = self.world.devices[device_name]
+        if not device.duty_cycle.can_transmit(now):
+            self.deferrals += 1
+            retry_at = max(device.duty_cycle.next_allowed_s() + self.backoff_s, now)
+            sim.schedule(retry_at, self._request, device_name)
+            return
+        self.attempts += 1
+        self._pending.append(StagedTransmission(device_name, device.transmit(now)))
+        if not self._flush_scheduled:
+            boundary = (math.floor(now / self.window_s) + 1) * self.window_s
+            self._flush_scheduled = True
+            sim.schedule(max(boundary, now), self._window_boundary)
+
+    def _window_boundary(self) -> None:
+        self._flush_scheduled = False
+        self._flush()
+
+    def _flush(self) -> None:
+        """Resolve and deliver every transmission staged so far."""
+        if not self._pending:
+            return
+        staged, self._pending = self._pending, []
+        mask = self._channel.surviving_sites(self.world, staged)
+        self.world.deliver_staged(staged, site_mask=mask)

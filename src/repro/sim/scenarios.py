@@ -8,6 +8,9 @@
   1.07 km between a rooftop and an open staircase (one-way propagation
   3.57 µs).
 * :func:`build_fleet` -- the 16 RN2483-class transmitters of Fig. 13.
+* :func:`build_pinned_link_world` -- one device + one gateway with the
+  link budget pinned at an exact SNR (for measured links whose
+  propagation environment the paper does not publish).
 
 Absolute received SNR depends on receiver gains the paper does not
 publish, so each scenario calibrates a constant receiver-gain offset so
@@ -24,16 +27,21 @@ import numpy as np
 from repro.clock.clocks import DriftingClock
 from repro.clock.oscillator import Oscillator
 from repro.constants import PAPER_ANALYSIS_DRIFT_PPM
+from repro.core.softlora import SoftLoRaGateway
 from repro.errors import ConfigurationError
 from repro.lorawan.device import EndDevice
+from repro.lorawan.gateway import CommodityGateway
 from repro.lorawan.security import SessionKeys
-from repro.radio.channel import LinkBudget, propagation_delay_s
+from repro.phy.chirp import ChirpConfig
+from repro.radio.channel import LinkBudget, noise_floor_dbm, propagation_delay_s
 from repro.radio.geometry import Building, CampusLink, Position
 from repro.radio.pathloss import (
+    FixedPathLoss,
     FreeSpacePathLoss,
     IndoorMultiWallPathLoss,
     LogDistancePathLoss,
 )
+from repro.sim.network import LoRaWanWorld
 from repro.sim.rng import RngStreams
 
 
@@ -168,9 +176,7 @@ class CampusScenario:
 
     def snr_db(self) -> float:
         budget = LinkBudget(pathloss=FreeSpacePathLoss())
-        raw = budget.snr_db(
-            self.tx_power_dbm, self.link_geometry.site_a, self.link_geometry.site_b
-        )
+        raw = budget.snr_db(self.tx_power_dbm, self.link_geometry.site_a, self.link_geometry.site_b)
         return raw - self.excess_loss_db + self.snr_offset_db
 
     def calibrate(self, target_snr_db: float) -> None:
@@ -183,6 +189,47 @@ def build_campus_scenario(target_snr_db: float = 8.0) -> CampusScenario:
     scenario = CampusScenario(link_geometry=CampusLink())
     scenario.calibrate(target_snr_db)
     return scenario
+
+
+def build_pinned_link_world(
+    streams: RngStreams,
+    spreading_factor: int,
+    link_snr_db: float,
+    dev_addr: int,
+    device_position: Position = Position(0.0, 0.0, 1.0),
+    gateway_position: Position = Position(0.0, 0.0, 15.0),
+    device_name: str = "end-device",
+    sample_rate_hz: float = 0.5e6,
+    drift_ppm: float = 40.0,
+) -> tuple[LoRaWanWorld, EndDevice]:
+    """One device + one gateway with the link pinned at an exact SNR.
+
+    Reproduces *measured* links (the Sec. 8.1.1 cross-building hop, the
+    rainy campus budget) where the paper publishes the received SNR but
+    not the propagation environment: a :class:`FixedPathLoss` absorbs
+    whatever loss makes the budget come out at ``link_snr_db``,
+    independent of the positions (which still set propagation delay).
+    """
+    config = ChirpConfig(spreading_factor=spreading_factor, sample_rate_hz=sample_rate_hz)
+    device = EndDevice(
+        name=device_name,
+        dev_addr=dev_addr,
+        keys=SessionKeys.derive_for_test(dev_addr),
+        radio_oscillator=Oscillator.lora_end_device(streams.stream("pinned-osc")),
+        clock=DriftingClock(drift_ppm=drift_ppm),
+        position=device_position,
+        spreading_factor=spreading_factor,
+        rng=streams.stream("pinned-device"),
+    )
+    loss_db = device.tx_power_dbm - noise_floor_dbm() - link_snr_db
+    world = LoRaWanWorld(
+        gateway=SoftLoRaGateway(config=config, commodity=CommodityGateway()),
+        gateway_position=gateway_position,
+        link=LinkBudget(pathloss=FixedPathLoss(value_db=loss_db)),
+        rng=streams.stream("pinned-world"),
+    )
+    world.add_device(device)
+    return world, device
 
 
 def build_fleet(

@@ -44,6 +44,14 @@ class TestExamples:
         assert "0 missed" in out
         assert "false alarms    : 0" in out
 
+    def test_fleet_runtime(self, capsys):
+        load_example("fleet_runtime").main()
+        out = capsys.readouterr().out
+        assert "offered load" in out
+        assert "goodput" in out
+        assert "collision rate" in out
+        assert "replay-detection TPR : 1.00" in out
+
     def test_multi_gateway(self, capsys):
         load_example("multi_gateway").main()
         out = capsys.readouterr().out

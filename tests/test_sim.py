@@ -127,6 +127,23 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_exact_budget_drains_cleanly(self):
+        # Regression: the budget-th event emptying the queue is success,
+        # not a budget violation.
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), log.append, i)
+        assert sim.run(max_events=5) == 5
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_budget_exceeded_by_one_raises(self):
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+
 
 class TestFbMeasurementModel:
     def test_sigma_shrinks_with_snr(self):
