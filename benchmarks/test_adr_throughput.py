@@ -1,0 +1,86 @@
+"""Bench: closed-loop ADR convergence at deployment scale.
+
+One ``adr_convergence`` cell -- all devices cold-started at SF12 under
+the :class:`~repro.server.AdrController` loop -- runs end to end
+(baseline fleet, convergence rounds, post-convergence measurement,
+frame-delay attack) and lands in ``benchmarks/BENCH_adr.json``:
+
+* **goodput gain** (``speedup``) -- converged-fleet goodput over the
+  ADR-disabled all-SF12 baseline; this is the regression-gated ratio
+  (machine-relative, like the pipeline bench's batched-over-loop
+  speedup), wired into ``check_bench_regression.py --bench-dir``;
+* **convergence** -- median final SF, converged fraction, the
+  LinkADRReq budget, and median convergence time;
+* **detection** -- replay TPR/FPR on the converged multi-SF fleet.
+
+The tier-1 smoke run measures a small cell into the gitignored
+``BENCH_adr_smoke.json``; CI's bench job sets ``BENCH_RUNTIME_FULL=1``
+to run the paper-scale 8-gateway x 2000-device cell and refresh the
+committed ``BENCH_adr.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.adr_convergence import run_adr_convergence
+
+FULL = os.environ.get("BENCH_RUNTIME_FULL") == "1"
+ARTIFACT = Path(__file__).resolve().parent / (
+    "BENCH_adr.json" if FULL else "BENCH_adr_smoke.json"
+)
+#: The paper-scale cell in full mode, a fast miniature for tier-1.
+CELL = (8, 2000) if FULL else (2, 100)
+MAX_ADR_ROUNDS = 18 if FULL else 8
+
+
+def test_adr_convergence_throughput():
+    n_gateways, n_devices = CELL
+    start = time.perf_counter()
+    result = run_adr_convergence(
+        gateway_counts=(n_gateways,),
+        fleet_sizes=(n_devices,),
+        sf_mixes=("sf12",),
+        max_adr_rounds=MAX_ADR_ROUNDS,
+    )
+    wall_s = time.perf_counter() - start
+    cell = result.cells[0]
+
+    report = {
+        "cell": {"n_gateways": n_gateways, "n_devices": n_devices, "sf_mix": "sf12"},
+        "full_scale": FULL,
+        "wall_s": wall_s,
+        "median_final_sf": cell.median_final_sf,
+        "converged_fraction": cell.converged_fraction,
+        "median_convergence_s": cell.median_convergence_s,
+        "commands_sent": cell.commands_sent,
+        "commands_dropped": cell.commands_dropped,
+        "baseline_goodput_fps": cell.baseline_goodput_fps,
+        "converged_goodput_fps": cell.converged_goodput_fps,
+        "converged_collision_rate": cell.converged_collision_rate,
+        "tpr_after": cell.tpr_after,
+        "fpr_after": cell.fpr_after,
+        # The regression-gated ratio: converged over baseline goodput.
+        "speedup": cell.goodput_gain,
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"adr bench ({n_gateways}x{n_devices} sf12 cell): "
+        f"goodput {cell.baseline_goodput_fps:.3f} -> {cell.converged_goodput_fps:.3f} f/s "
+        f"(gain {cell.goodput_gain:.2f}x), median SF {cell.median_final_sf:.0f}, "
+        f"TPR {cell.tpr_after:.2f}, wall {wall_s:.1f}s -> {ARTIFACT.name}"
+    )
+
+    # The loop must actually retune the fleet and keep the defense intact.
+    assert cell.median_final_sf < 12
+    assert cell.commands_sent > 0
+    assert cell.goodput_gain > 1.0
+    assert cell.tpr_after >= 0.85
+    assert cell.fpr_after <= 0.01
+    if FULL:
+        # The acceptance bar for the paper-scale cell: the converged
+        # fleet at least doubles the all-SF12 baseline's goodput.
+        assert cell.goodput_gain >= 2.0

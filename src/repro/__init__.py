@@ -67,6 +67,7 @@ from repro.sdr.receiver import SdrReceiver
 __version__ = "1.2.0"
 
 __all__ = [
+    "AdrController",
     "AicDetector",
     "BatchPipeline",
     "CaptureBatch",
@@ -87,6 +88,8 @@ __all__ = [
     "LORA_BANDWIDTH_HZ",
     "LeastSquaresFbEstimator",
     "LinearRegressionFbEstimator",
+    "LinkADRAns",
+    "LinkADRReq",
     "NetworkServer",
     "Oscillator",
     "PerfectClock",
@@ -122,6 +125,9 @@ _LAZY = {
     "SoftLoRaGateway": ("repro.core.softlora", "SoftLoRaGateway"),
     "BatchPipeline": ("repro.pipeline.engine", "BatchPipeline"),
     "CaptureBatch": ("repro.pipeline.batch", "CaptureBatch"),
+    "AdrController": ("repro.server.adr", "AdrController"),
+    "LinkADRAns": ("repro.lorawan.mac", "LinkADRAns"),
+    "LinkADRReq": ("repro.lorawan.mac", "LinkADRReq"),
     "FusionPolicy": ("repro.server.fusion", "FusionPolicy"),
     "GatewayForward": ("repro.server.forwarding", "GatewayForward"),
     "NetworkServer": ("repro.server.network_server", "NetworkServer"),

@@ -180,6 +180,7 @@ class SoftLoRaGateway:
             arrival_time_s=onset.time_s,
             fb_hz=fb_estimate.fb_hz,
             snr_db=snr_db,
+            spreading_factor=self.config.spreading_factor,
         )
 
     # -- batched waveform path ------------------------------------------------

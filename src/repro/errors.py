@@ -36,6 +36,15 @@ class FrameCounterError(DecodeError):
     """Replayed or out-of-window LoRaWAN frame counter."""
 
 
+class FrameSizeError(ConfigurationError):
+    """A frame would exceed the data rate's regional MAC-payload cap.
+
+    Raised at frame-*build* time (before any device state mutates), so a
+    fleet whose ADR loop pushed a device to SF11/SF12 fails loudly on an
+    oversized buffer instead of emitting an illegal frame.
+    """
+
+
 class DutyCycleError(ReproError):
     """A transmission would violate the regional duty-cycle budget."""
 

@@ -29,5 +29,8 @@ Sec 8.1.1  ``attack_e2e.run_attack_e2e``
 Sec 7.2    ``detection.run_detection``
 (beyond)   ``fleet_scale.run_fleet_scale`` -- gateways × devices sweep
            over the multi-gateway network-server layer
+(beyond)   ``adr_convergence.run_adr_convergence`` -- closed-loop ADR
+           over multi-SF fleets: convergence, goodput payoff, and
+           detection quality before/after the retune
 =========  ==========================================================
 """

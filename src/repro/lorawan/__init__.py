@@ -16,7 +16,15 @@ from repro.lorawan.downlink import (
 from repro.lorawan.duty_cycle import DutyCycleLimiter
 from repro.lorawan.gateway import CommodityGateway, GatewayReception
 from repro.lorawan.join import JoinAccept, JoinRequest, JoinServer, device_join
-from repro.lorawan.mac import MacFrame, MType, parse_mac_frame
+from repro.lorawan.mac import (
+    LinkADRAns,
+    LinkADRReq,
+    MacCommandCid,
+    MacFrame,
+    MType,
+    parse_mac_commands,
+    parse_mac_frame,
+)
 from repro.lorawan.regional import EU868, DataRate
 from repro.lorawan.security import (
     SessionKeys,
@@ -36,6 +44,9 @@ __all__ = [
     "JoinAccept",
     "JoinRequest",
     "JoinServer",
+    "LinkADRAns",
+    "LinkADRReq",
+    "MacCommandCid",
     "MacFrame",
     "MType",
     "SessionKeys",
@@ -47,5 +58,6 @@ __all__ = [
     "device_join",
     "encrypt_frm_payload",
     "parse_downlink",
+    "parse_mac_commands",
     "parse_mac_frame",
 ]

@@ -23,8 +23,15 @@ from repro.clock.oscillator import Oscillator
 from repro.constants import EU868_CENTER_FREQUENCY_HZ
 from repro.core.timestamping import DeviceRecordBuffer, ElapsedTimeCodec
 from repro.errors import ConfigurationError, DecodeError
+from repro.lorawan.downlink import parse_downlink
 from repro.lorawan.duty_cycle import DutyCycleLimiter
-from repro.lorawan.mac import build_uplink
+from repro.lorawan.mac import (
+    LinkADRAns,
+    LinkADRReq,
+    MacFrame,
+    build_uplink,
+    parse_mac_commands,
+)
 from repro.lorawan.regional import EU868
 from repro.lorawan.security import SessionKeys
 from repro.phy.airtime import airtime_s
@@ -57,6 +64,17 @@ def encode_sensor_payload(
     return bytes(out)
 
 
+def sensor_payload_len(n_readings: int, codec: ElapsedTimeCodec) -> int:
+    """Encoded length of :func:`encode_sensor_payload` for ``n_readings``.
+
+    The single source of truth for the wire layout's size -- count byte,
+    packed elapsed fields, int16 values -- used both to validate a frame
+    against its SF-dependent regional cap *before* building it and to
+    check received payloads.
+    """
+    return 1 + (codec.bits * n_readings + 7) // 8 + 2 * n_readings
+
+
 def decode_sensor_payload(
     payload: bytes, codec: ElapsedTimeCodec
 ) -> tuple[list[float], list[int]]:
@@ -65,7 +83,7 @@ def decode_sensor_payload(
         raise DecodeError("empty sensor payload")
     count = payload[0]
     elapsed_bytes = (codec.bits * count + 7) // 8
-    expected = 1 + elapsed_bytes + 2 * count
+    expected = sensor_payload_len(count, codec)
     if len(payload) != expected:
         raise DecodeError(
             f"sensor payload length {len(payload)} does not match {count} readings "
@@ -127,8 +145,10 @@ class EndDevice:
     duty_cycle: DutyCycleLimiter = field(default_factory=DutyCycleLimiter)
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     fcnt: int = 0
+    sf_changes: list[tuple[float, int]] = field(default_factory=list)
     _buffer: DeviceRecordBuffer = field(init=False)
     _event_times: list[float] = field(init=False, default_factory=list)
+    _pending_fopts: bytes = field(init=False, default=b"")
 
     def __post_init__(self) -> None:
         if not 0 <= self.dev_addr <= 0xFFFFFFFF:
@@ -160,12 +180,19 @@ class EndDevice:
         request instant, exactly as the paper prescribes.
         """
         local_now = self.clock.read(global_time_s)
+        fopts = self._pending_fopts
+        frm_payload_len = sensor_payload_len(len(self._buffer), self.codec)
+        # Frame-build-time regional check, *before* any state mutates: the
+        # MACPayload is FHDR (7 + FOpts) + FPort (1) + FRMPayload, and its
+        # cap is SF-dependent -- an ADR-retuned SF11/SF12 device must fail
+        # loudly here (FrameSizeError), keeping its buffer intact.
+        EU868.validate_uplink(self.spreading_factor, 8 + len(fopts) + frm_payload_len)
         values, ticks = self._buffer.flush(local_now)
         true_times = list(self._event_times)
         self._event_times.clear()
+        self._pending_fopts = b""
         payload = encode_sensor_payload(values, ticks, self.codec)
-        mac_bytes = build_uplink(self.keys, self.dev_addr, self.fcnt, payload)
-        EU868.validate_uplink(self.spreading_factor, len(mac_bytes))
+        mac_bytes = build_uplink(self.keys, self.dev_addr, self.fcnt, payload, fopts=fopts)
         frame = PhyFrame(payload=mac_bytes, coding_rate=self.coding_rate)
         on_air = airtime_s(
             len(mac_bytes), self.spreading_factor, coding_rate=self.coding_rate
@@ -193,6 +220,63 @@ class EndDevice:
         )
         self.fcnt = (self.fcnt + 1) & 0xFFFF
         return tx
+
+    # -- class A downlink handling (ADR) ---------------------------------------
+
+    @property
+    def pending_fopts(self) -> bytes:
+        """MAC-command answers queued for the next uplink's FOpts field."""
+        return self._pending_fopts
+
+    def apply_link_adr(self, req: LinkADRReq, at_time_s: float = 0.0) -> LinkADRAns:
+        """Apply a LinkADRReq: retune data rate and TX power, queue the answer.
+
+        The commanded :class:`~repro.lorawan.regional.DataRate` takes
+        effect immediately -- the next :meth:`transmit` uses the new
+        spreading factor (and its airtime / payload cap).  The
+        :class:`LinkADRAns` rides the next uplink's FOpts.  A request
+        naming an unknown data rate, an out-of-range power index, or an
+        empty channel mask is answered negatively and changes nothing.
+        """
+        dr = EU868.DATA_RATES.get(req.data_rate_index)
+        ans = LinkADRAns(
+            channel_mask_ok=req.ch_mask != 0,
+            data_rate_ok=dr is not None,
+            power_ok=0 <= req.tx_power_index <= 7,
+        )
+        if ans.accepted:
+            if dr.spreading_factor != self.spreading_factor:
+                self.spreading_factor = dr.spreading_factor
+                self.sf_changes.append((at_time_s, dr.spreading_factor))
+            self.tx_power_dbm = EU868.tx_power_dbm(req.tx_power_index)
+        self._queue_fopts(ans.encode())
+        return ans
+
+    def receive_downlink(self, raw: bytes, at_time_s: float = 0.0) -> MacFrame:
+        """Verify and act on one class-A downlink PHYPayload.
+
+        Port-0 downlinks carry MAC commands; each parsed
+        :class:`LinkADRReq` is applied via :meth:`apply_link_adr`.
+        Returns the decrypted frame.  Raises
+        :class:`~repro.errors.MicError` / :class:`~repro.errors
+        .DecodeError` on malformed input, leaving the device untouched.
+        """
+        frame = parse_downlink(raw, self.keys)
+        if frame.fport == 0:
+            for command in parse_mac_commands(frame.frm_payload, uplink=False):
+                if isinstance(command, LinkADRReq):
+                    self.apply_link_adr(command, at_time_s=at_time_s)
+        return frame
+
+    def _queue_fopts(self, data: bytes) -> None:
+        """Append MAC-command bytes for the next uplink (FOpts caps at 15).
+
+        A command that would not fit whole is dropped outright --
+        truncating mid-command would corrupt the entire FOpts stream at
+        the parser, losing every queued answer instead of one.
+        """
+        if len(self._pending_fopts) + len(data) <= 15:
+            self._pending_fopts += data
 
     def modulate(
         self, tx: UplinkTransmission, config: ChirpConfig, phase: float | None = None

@@ -153,17 +153,30 @@ class DownlinkScheduler:
     _airtime_spent_s: float = 0.0
     scheduled: list[tuple[float, str]] = field(default_factory=list)
 
-    def schedule(self, uplink_end_s: float, airtime_s: float) -> ReceiveWindow | None:
-        """Try to place a downlink into the device's RX1/RX2 window."""
+    def schedule(
+        self, uplink_end_s: float, airtime_s: float, rx2_airtime_s: float | None = None
+    ) -> ReceiveWindow | None:
+        """Try to place a downlink into the device's RX1/RX2 window.
+
+        ``airtime_s`` is the RX1 transmission time (RX1 mirrors the
+        uplink data rate in EU868).  ``rx2_airtime_s``, when given, is
+        the time the same frame takes in the RX2 window -- EU868 pins
+        RX2 at DR0/SF12, up to ~32x longer -- so the duty-cycle budget
+        is charged for what actually goes on the air; ``None`` keeps
+        the single-airtime behavior.
+        """
         if airtime_s <= 0:
             raise ConfigurationError(f"airtime must be positive, got {airtime_s}")
+        if rx2_airtime_s is not None and rx2_airtime_s <= 0:
+            raise ConfigurationError(f"RX2 airtime must be positive, got {rx2_airtime_s}")
         rx1, rx2 = class_a_windows(uplink_end_s)
-        for window in (rx1, rx2):
+        rx2_airtime = airtime_s if rx2_airtime_s is None else rx2_airtime_s
+        for window, on_air in ((rx1, airtime_s), (rx2, rx2_airtime)):
             start = max(window.opens_at_s, self._busy_until_s)
-            if start + airtime_s <= window.closes_at_s + airtime_s and window.contains(start):
-                off_time = airtime_s * (1.0 / self.duty_cycle - 1.0)
-                self._busy_until_s = start + airtime_s + off_time
-                self._airtime_spent_s += airtime_s
+            if window.contains(start):
+                off_time = on_air * (1.0 / self.duty_cycle - 1.0)
+                self._busy_until_s = start + on_air + off_time
+                self._airtime_spent_s += on_air
                 self.scheduled.append((start, window.which))
                 return window
         return None

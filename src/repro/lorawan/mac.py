@@ -39,6 +39,125 @@ class MType(enum.IntEnum):
 _UPLINK_TYPES = (MType.UNCONFIRMED_UP, MType.CONFIRMED_UP)
 
 
+class MacCommandCid(enum.IntEnum):
+    """MAC command identifiers (LoRaWAN 1.0.2 Sec. 5), uplink + downlink."""
+
+    LINK_ADR = 0x03
+
+
+#: All 16 EU868 channel-mask bits enabled (the repro models one sub-band).
+LINK_ADR_ALL_CHANNELS = 0xFFFF
+
+
+@dataclass(frozen=True)
+class LinkADRReq:
+    """The network server's ADR command: switch data rate and TX power.
+
+    Wire format (LoRaWAN 1.0.2 Sec. 5.2)::
+
+        CID(0x03) | DataRate_TXPower(1) | ChMask(2, LE) | Redundancy(1)
+
+    ``data_rate_index`` addresses :class:`repro.lorawan.regional.EU868`'s
+    DR table (DR0 = SF12 .. DR5 = SF7); ``tx_power_index`` steps the EIRP
+    down from the regional maximum in 2 dB increments.
+    """
+
+    data_rate_index: int
+    tx_power_index: int = 0
+    ch_mask: int = LINK_ADR_ALL_CHANNELS
+    nb_trans: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.data_rate_index <= 15:
+            raise ConfigurationError(f"DataRate field is 4 bits, got {self.data_rate_index}")
+        if not 0 <= self.tx_power_index <= 15:
+            raise ConfigurationError(f"TXPower field is 4 bits, got {self.tx_power_index}")
+        if not 0 <= self.ch_mask <= 0xFFFF:
+            raise ConfigurationError(f"ChMask must fit 16 bits, got {self.ch_mask:#x}")
+        if not 1 <= self.nb_trans <= 15:
+            raise ConfigurationError(f"NbTrans must be in [1, 15], got {self.nb_trans}")
+
+    def encode(self) -> bytes:
+        """The five wire bytes of this command."""
+        dr_power = ((self.data_rate_index & 0x0F) << 4) | (self.tx_power_index & 0x0F)
+        return (
+            bytes([MacCommandCid.LINK_ADR, dr_power])
+            + self.ch_mask.to_bytes(2, "little")
+            + bytes([self.nb_trans & 0x0F])
+        )
+
+
+@dataclass(frozen=True)
+class LinkADRAns:
+    """The device's answer to a :class:`LinkADRReq`.
+
+    Wire format: ``CID(0x03) | Status(1)`` with status bits 0..2 set when
+    the channel mask, data rate, and TX power were each acceptable.
+    """
+
+    channel_mask_ok: bool = True
+    data_rate_ok: bool = True
+    power_ok: bool = True
+
+    @property
+    def accepted(self) -> bool:
+        """True when the device applied every field of the request."""
+        return self.channel_mask_ok and self.data_rate_ok and self.power_ok
+
+    def encode(self) -> bytes:
+        """The two wire bytes of this answer."""
+        status = (
+            (0x01 if self.channel_mask_ok else 0)
+            | (0x02 if self.data_rate_ok else 0)
+            | (0x04 if self.power_ok else 0)
+        )
+        return bytes([MacCommandCid.LINK_ADR, status])
+
+
+def parse_mac_commands(data: bytes, uplink: bool) -> list[LinkADRReq | LinkADRAns]:
+    """Parse a FOpts / port-0 FRMPayload byte stream into MAC commands.
+
+    ``uplink=True`` parses device-originated commands (answers),
+    ``uplink=False`` server-originated ones (requests).  Raises
+    :class:`DecodeError` on unknown CIDs or truncated commands.
+    """
+    commands: list[LinkADRReq | LinkADRAns] = []
+    offset = 0
+    while offset < len(data):
+        cid = data[offset]
+        if cid != MacCommandCid.LINK_ADR:
+            raise DecodeError(f"unknown MAC command CID {cid:#04x} at offset {offset}")
+        if uplink:
+            if offset + 2 > len(data):
+                raise DecodeError("truncated LinkADRAns")
+            status = data[offset + 1]
+            commands.append(
+                LinkADRAns(
+                    channel_mask_ok=bool(status & 0x01),
+                    data_rate_ok=bool(status & 0x02),
+                    power_ok=bool(status & 0x04),
+                )
+            )
+            offset += 2
+        else:
+            if offset + 5 > len(data):
+                raise DecodeError("truncated LinkADRReq")
+            dr_power = data[offset + 1]
+            commands.append(
+                LinkADRReq(
+                    data_rate_index=(dr_power >> 4) & 0x0F,
+                    tx_power_index=dr_power & 0x0F,
+                    ch_mask=int.from_bytes(data[offset + 2 : offset + 4], "little"),
+                    # Wire NbTrans 0 means "keep the current value"
+                    # (LoRaWAN 1.0.2 Sec. 5.2); the default of one
+                    # transmission models exactly that.
+                    nb_trans=(data[offset + 4] & 0x0F) or 1,
+                )
+            )
+            offset += 5
+    return commands
+
+
 @dataclass(frozen=True)
 class MacFrame:
     """A parsed (or to-be-built) LoRaWAN data frame."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import EU868_DUTY_CYCLE_LIMIT, LORA_BANDWIDTH_HZ
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FrameSizeError
 
 
 @dataclass(frozen=True)
@@ -70,11 +70,32 @@ class EU868:
         )
 
     @classmethod
+    def data_rate_index_for_sf(cls, spreading_factor: int) -> int:
+        """The DR table index using a spreading factor at 125 kHz."""
+        return cls.data_rate_for_sf(spreading_factor).index
+
+    @classmethod
+    def tx_power_dbm(cls, tx_power_index: int) -> float:
+        """EIRP for a LinkADRReq TXPower index: max minus 2 dB per step."""
+        if not 0 <= tx_power_index <= 7:
+            raise ConfigurationError(
+                f"EU868 TXPower index must be in [0, 7], got {tx_power_index}"
+            )
+        return cls.MAX_TX_POWER_DBM - 2.0 * tx_power_index
+
+    @classmethod
     def validate_uplink(cls, spreading_factor: int, mac_payload_len: int) -> None:
-        """Raise if a payload exceeds the data rate's regional cap."""
+        """Raise if a payload exceeds the data rate's regional cap.
+
+        The cap is SF-dependent (dwell-time pressure: SF11/SF12 frames
+        already spend seconds on air at 51 bytes), so a fleet retuned by
+        ADR must re-validate at every frame build.  Raises the dedicated
+        :class:`repro.errors.FrameSizeError` naming the offending data
+        rate and its cap.
+        """
         dr = cls.data_rate_for_sf(spreading_factor)
         if mac_payload_len > dr.max_mac_payload:
-            raise ConfigurationError(
+            raise FrameSizeError(
                 f"{mac_payload_len}-byte MAC payload exceeds {dr.name} cap of "
                 f"{dr.max_mac_payload} bytes"
             )

@@ -24,16 +24,13 @@ from repro.sdr.iq import IQTrace
 class CaptureBatch:
     """``n_captures`` stacked SDR captures with absolute timing.
 
-    Attributes
-    ----------
-    samples:
-        Complex samples, shape ``(n_captures, n_samples)``.
-    sample_rate_hz:
-        Common ADC rate of every capture in the batch.
-    start_times_s:
-        Global time of sample 0 of each capture, shape ``(n_captures,)``.
-    metadata:
-        One free-form dict per capture (node id, channel, conditions).
+    Attributes:
+        samples: Complex samples, shape ``(n_captures, n_samples)``.
+        sample_rate_hz: Common ADC rate of every capture in the batch.
+        start_times_s: Global time of sample 0 of each capture, shape
+            ``(n_captures,)``.
+        metadata: One free-form dict per capture (node id, channel,
+            conditions).
     """
 
     samples: np.ndarray
@@ -42,6 +39,7 @@ class CaptureBatch:
     metadata: list[dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        """Coerce/validate the stacked samples, start times, and metadata."""
         if self.sample_rate_hz <= 0:
             raise ConfigurationError(f"sample rate must be positive, got {self.sample_rate_hz}")
         self.samples = np.asarray(self.samples, dtype=complex)
@@ -104,14 +102,17 @@ class CaptureBatch:
         )
 
     def __len__(self) -> int:
+        """Number of stacked captures."""
         return len(self.samples)
 
     @property
     def n_samples(self) -> int:
+        """Samples per capture (all captures share one window length)."""
         return self.samples.shape[1]
 
     @property
     def sample_period_s(self) -> float:
+        """Seconds between consecutive ADC samples."""
         return 1.0 / self.sample_rate_hz
 
     def component(self, name: str) -> np.ndarray:

@@ -47,6 +47,7 @@ class CaptureOutcome:
 
     @property
     def fb_hz(self) -> float | None:
+        """The capture's FB estimate, or ``None`` when estimation failed."""
         return None if self.fb_estimate is None else self.fb_estimate.fb_hz
 
 
@@ -59,6 +60,7 @@ class BatchResult:
     phy_timestamps_s: np.ndarray
 
     def __len__(self) -> int:
+        """Number of per-capture outcomes."""
         return len(self.outcomes)
 
     @property
@@ -70,6 +72,7 @@ class BatchResult:
 
     @property
     def ok(self) -> np.ndarray:
+        """Boolean mask of captures that cleared every stage."""
         return np.array([o.error is None for o in self.outcomes])
 
 
@@ -77,17 +80,16 @@ class BatchResult:
 class BatchPipeline:
     """Vectorized SoftLoRa receive chain over a :class:`CaptureBatch`.
 
-    Parameters
-    ----------
-    config:
-        Chirp parameters of the monitored channel.
-    onset_detector / fb_estimator:
-        The single-capture components; their batch entry points are used,
-        so batched results match the single-capture APIs bitwise.
-    fb_chirp_offset:
-        Which preamble chirp feeds FB estimation, in chirps after the
-        onset.  The default 1 is the paper's second preamble chirp (its
-        amplitude has settled, Sec. 7.1.2).
+    Attributes:
+        config: Chirp parameters of the monitored channel.
+        onset_detector: The single-capture onset detector; its batch
+            entry point is used, so batched results match the
+            single-capture API bitwise.
+        fb_estimator: Likewise for FB estimation (defaults to a
+            least-squares estimator built from ``config``).
+        fb_chirp_offset: Which preamble chirp feeds FB estimation, in
+            chirps after the onset.  The default 1 is the paper's second
+            preamble chirp (its amplitude has settled, Sec. 7.1.2).
     """
 
     config: ChirpConfig
@@ -96,6 +98,7 @@ class BatchPipeline:
     fb_chirp_offset: int = 1
 
     def __post_init__(self) -> None:
+        """Fill in the default estimator and validate the chirp offset."""
         if self.fb_estimator is None:
             self.fb_estimator = LeastSquaresFbEstimator(self.config)
         if self.fb_chirp_offset < 0:

@@ -29,6 +29,66 @@ from repro.radio.geometry import Position
 #: a collision (the LoRa capture effect).
 DEFAULT_CAPTURE_THRESHOLD_DB = 6.0
 
+#: Inter-SF capture thresholds (dB) for the imperfect-orthogonality model
+#: of Croce et al., "Impact of LoRa Imperfect Orthogonality" (IEEE Comm.
+#: Letters 2018, Table I): entry ``[i][j]`` is the power margin an
+#: SF ``7+i`` frame needs over an overlapping SF ``7+j`` interferer to
+#: demodulate.  Negative entries are the quasi-orthogonality headroom: a
+#: cross-SF rival only destroys the frame when it is *much* stronger.
+#: The diagonal is never read -- co-SF pairs resolve through
+#: :attr:`InterSfCaptureMatrix.co_sf_db` (the channel's capture
+#: threshold knob); the 6.0 entries only keep the table shaped like the
+#: published one.
+INTER_SF_CAPTURE_DB = (
+    (6.0, -8.0, -9.0, -9.0, -9.0, -9.0),
+    (-11.0, 6.0, -11.0, -13.0, -13.0, -13.0),
+    (-15.0, -13.0, 6.0, -13.0, -14.0, -15.0),
+    (-19.0, -18.0, -17.0, 6.0, -17.0, -18.0),
+    (-22.0, -22.0, -21.0, -20.0, 6.0, -20.0),
+    (-25.0, -25.0, -25.0, -24.0, -23.0, 6.0),
+)
+
+
+@dataclass(frozen=True)
+class InterSfCaptureMatrix:
+    """Pairwise capture thresholds for SF-heterogeneous contention.
+
+    LoRa spreading factors are only *quasi*-orthogonal: a same-frequency
+    frame at another SF still raises the noise floor, and a strong enough
+    one destroys the reception outright.  ``threshold_db(i, j)`` is the
+    margin a desired SF ``i`` frame must hold over an overlapping SF
+    ``j`` rival; the diagonal is the classic co-SF capture threshold.
+
+    Attributes:
+        co_sf_db: Co-SF capture threshold (dB), overriding the matrix
+            diagonal so the channel's single knob keeps working.
+        cross_sf_db: 6x6 threshold table indexed ``[sf_desired - 7]
+            [sf_interferer - 7]``; defaults to the Croce et al. Table I
+            measurements (:data:`INTER_SF_CAPTURE_DB`).
+    """
+
+    co_sf_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
+    cross_sf_db: tuple = INTER_SF_CAPTURE_DB
+
+    def threshold_db(self, desired_sf: int, interferer_sf: int) -> float:
+        """Margin (dB) a desired-SF frame needs over one interferer.
+
+        Args:
+            desired_sf: Spreading factor of the frame being demodulated.
+            interferer_sf: Spreading factor of the overlapping rival.
+
+        Returns:
+            The capture threshold in dB (negative for cross-SF pairs).
+        """
+        if not (7 <= desired_sf <= 12 and 7 <= interferer_sf <= 12):
+            raise ConfigurationError(
+                f"capture matrix covers SF7-SF12, got desired SF{desired_sf} "
+                f"vs interferer SF{interferer_sf}"
+            )
+        if desired_sf == interferer_sf:
+            return self.co_sf_db
+        return float(self.cross_sf_db[desired_sf - 7][interferer_sf - 7])
+
 
 def propagation_delay_s(tx: Position, rx: Position) -> float:
     """One-way signal propagation time between two positions."""
@@ -112,26 +172,38 @@ def resolve_collisions(
     capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB,
     min_snr_db: dict[int, float] | None = None,
     noise_floor: float | None = None,
+    capture_matrix: InterSfCaptureMatrix | None = None,
 ) -> list[ReceptionOutcome]:
     """Resolve overlapping receptions at one gateway.
 
     Rules (standard LoRa capture model):
 
-    * different spreading factors are quasi-orthogonal: no mutual loss,
-    * co-SF overlap: the stronger survives iff it exceeds every overlapping
-      co-SF rival by ``capture_threshold_db``; otherwise both are lost,
+    * without a ``capture_matrix``, different spreading factors are
+      perfectly orthogonal: no mutual loss; co-SF overlap is resolved by
+      the capture effect -- the stronger survives iff it exceeds every
+      overlapping co-SF rival by ``capture_threshold_db``;
+    * with a ``capture_matrix``, *every* overlapping frame is a rival and
+      a frame survives iff it clears the matrix's pairwise threshold
+      against each one -- co-SF behavior is unchanged (the diagonal is
+      the capture threshold) while a strong cross-SF rival can now
+      destroy a weak frame (imperfect orthogonality);
     * optionally, frames below the SF's demodulation SNR floor are lost.
     """
     outcomes: list[ReceptionOutcome] = []
     floor = noise_floor_dbm() if noise_floor is None else noise_floor
     for tx in transmissions:
-        rivals = [
-            other
-            for other in transmissions
-            if other is not tx
-            and other.spreading_factor == tx.spreading_factor
-            and other.overlaps(tx)
-        ]
+        if capture_matrix is None:
+            rivals = [
+                other
+                for other in transmissions
+                if other is not tx
+                and other.spreading_factor == tx.spreading_factor
+                and other.overlaps(tx)
+            ]
+        else:
+            rivals = [
+                other for other in transmissions if other is not tx and other.overlaps(tx)
+            ]
         if min_snr_db is not None:
             required = min_snr_db.get(tx.spreading_factor)
             if required is not None and (tx.rx_power_dbm - floor) < required:
@@ -140,9 +212,24 @@ def resolve_collisions(
         if not rivals:
             outcomes.append(ReceptionOutcome(tx, True, "clear channel"))
             continue
-        strongest_rival = max(r.rx_power_dbm for r in rivals)
-        if tx.rx_power_dbm >= strongest_rival + capture_threshold_db:
+        if capture_matrix is None:
+            strongest_rival = max(r.rx_power_dbm for r in rivals)
+            if tx.rx_power_dbm >= strongest_rival + capture_threshold_db:
+                outcomes.append(ReceptionOutcome(tx, True, "captured over weaker rivals"))
+            else:
+                outcomes.append(ReceptionOutcome(tx, False, "lost in co-SF collision"))
+            continue
+        fatal = [
+            rival
+            for rival in rivals
+            if tx.rx_power_dbm
+            < rival.rx_power_dbm
+            + capture_matrix.threshold_db(tx.spreading_factor, rival.spreading_factor)
+        ]
+        if not fatal:
             outcomes.append(ReceptionOutcome(tx, True, "captured over weaker rivals"))
-        else:
+        elif any(r.spreading_factor == tx.spreading_factor for r in fatal):
             outcomes.append(ReceptionOutcome(tx, False, "lost in co-SF collision"))
+        else:
+            outcomes.append(ReceptionOutcome(tx, False, "lost to inter-SF interference"))
     return outcomes

@@ -4,10 +4,12 @@ Everything above the gateways: forwarding records
 (:class:`GatewayForward`), cross-gateway deduplication
 (:class:`UplinkDeduplicator`), FB/timestamp fusion policies
 (:class:`FusionPolicy`), sharded per-device FB state
-(:class:`ShardedFbDatabase`), and the :class:`NetworkServer` that ties
-them into one replay verdict per over-the-air transmission.
+(:class:`ShardedFbDatabase`), the closed-loop data-rate controller
+(:class:`AdrController`), and the :class:`NetworkServer` that ties them
+into one replay verdict per over-the-air transmission.
 """
 
+from repro.server.adr import AdrCommand, AdrController
 from repro.server.dedup import DeduplicatedUplink, UplinkDeduplicator, UplinkKey
 from repro.server.forwarding import (
     GatewayForward,
@@ -25,6 +27,8 @@ from repro.server.network_server import NetworkServer, ServerStatus, ServerVerdi
 from repro.server.sharding import ShardedFbDatabase
 
 __all__ = [
+    "AdrCommand",
+    "AdrController",
     "DeduplicatedUplink",
     "FusedFb",
     "FusionPolicy",

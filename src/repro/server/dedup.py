@@ -39,18 +39,22 @@ class DeduplicatedUplink:
 
     @property
     def key(self) -> UplinkKey:
+        """The (DevAddr, FCnt) grouping key."""
         return (self.dev_addr, self.fcnt)
 
     @property
     def n_gateways(self) -> int:
+        """How many distinct gateways contributed a copy."""
         return len(self.contributions)
 
     @property
     def first_arrival_s(self) -> float:
+        """Earliest PHY timestamp across the contributing gateways."""
         return min(c.arrival_time_s for c in self.contributions)
 
     @property
     def gateway_ids(self) -> tuple[str, ...]:
+        """Contributing gateway ids, in contribution order."""
         return tuple(c.gateway_id for c in self.contributions)
 
 
@@ -70,6 +74,7 @@ class UplinkDeduplicator:
     malformed: int = 0
 
     def __post_init__(self) -> None:
+        """Validate the dedup window."""
         if self.window_s <= 0:
             raise ConfigurationError(f"dedup window must be positive, got {self.window_s}")
 

@@ -33,19 +33,20 @@ if TYPE_CHECKING:
 class GatewayForward:
     """One uplink as heard by one gateway, en route to the network server.
 
-    Attributes
-    ----------
-    gateway_id:
-        Stable identifier of the reporting gateway.
-    mac_bytes:
-        The demodulated PHYPayload, untouched: the forwarding gateway has
-        no session keys, so MIC verification happens at the server.
-    arrival_time_s:
-        The gateway's sync-free PHY timestamp of the frame onset.
-    fb_hz:
-        The gateway's own least-squares FB estimate for this frame.
-    snr_db:
-        Link SNR at this gateway -- the fusion weight.
+    Attributes:
+        gateway_id: Stable identifier of the reporting gateway.
+        mac_bytes: The demodulated PHYPayload, untouched: the forwarding
+            gateway has no session keys, so MIC verification happens at
+            the server.
+        arrival_time_s: The gateway's sync-free PHY timestamp of the
+            frame onset.
+        fb_hz: The gateway's own least-squares FB estimate for this
+            frame.
+        snr_db: Link SNR at this gateway -- the fusion weight.
+        spreading_factor: The SF the frame was demodulated at.  The FB
+            estimator works on one preamble chirp whose duration doubles
+            per SF step, so the fusion noise model weights (and the
+            detector enrolls) each estimate at its own SF.
     """
 
     gateway_id: str
@@ -53,8 +54,10 @@ class GatewayForward:
     arrival_time_s: float
     fb_hz: float
     snr_db: float
+    spreading_factor: int = 7
 
     def __post_init__(self) -> None:
+        """Reject forwards missing an id or payload."""
         if not self.gateway_id:
             raise ConfigurationError("a forward needs a non-empty gateway id")
         if not self.mac_bytes:
@@ -62,13 +65,19 @@ class GatewayForward:
 
 
 def forward_from_reception(
-    gateway_id: str, reception: "SoftLoRaReception", snr_db: float, mac_bytes: bytes
+    gateway_id: str,
+    reception: "SoftLoRaReception",
+    snr_db: float,
+    mac_bytes: bytes,
+    spreading_factor: int = 7,
 ) -> GatewayForward:
     """Lift a processed SoftLoRa reception into a server forward.
 
     ``mac_bytes`` must be supplied by the caller: a reception keeps the
     parsed frame, not the wire bytes, and the server re-verifies the MIC
     itself rather than trusting a gateway-side verdict.
+    ``spreading_factor`` should name the SF the capture was demodulated
+    at so fusion weights the estimate with the right per-SF noise.
     """
     return GatewayForward(
         gateway_id=gateway_id,
@@ -76,6 +85,7 @@ def forward_from_reception(
         arrival_time_s=reception.phy_timestamp_s,
         fb_hz=float(reception.fb_hz) if reception.fb_hz is not None else 0.0,
         snr_db=snr_db,
+        spreading_factor=spreading_factor,
     )
 
 
@@ -92,4 +102,5 @@ def forward_from_event(gateway_id: str, event: "WorldEvent") -> GatewayForward:
         arrival_time_s=event.reception.phy_timestamp_s,
         fb_hz=float(fb) if fb is not None else 0.0,
         snr_db=event.snr_db,
+        spreading_factor=event.transmission.spreading_factor,
     )

@@ -21,6 +21,7 @@ without gateway clock sync.
 from __future__ import annotations
 
 import enum
+import inspect
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
@@ -29,9 +30,16 @@ from repro.server.forwarding import GatewayForward
 
 
 class FbNoiseModel(Protocol):
-    """Anything mapping link SNR to FB-estimation noise (1 sigma, Hz)."""
+    """Anything mapping link SNR to FB-estimation noise (1 sigma, Hz).
 
-    def sigma_hz(self, snr_db: float) -> float: ...
+    Implementations may honor the optional ``spreading_factor`` to model
+    per-SF estimator resolution (the chirp the FB is estimated from is
+    ``2^SF`` samples long); ignoring it reproduces the SF7 calibration.
+    """
+
+    def sigma_hz(self, snr_db: float, spreading_factor: int | None = None) -> float:
+        """One-sigma FB estimation noise at a link SNR (optionally per SF)."""
+        ...
 
 
 class FusionPolicy(enum.Enum):
@@ -51,6 +59,31 @@ class FusedFb:
     best_gateway_id: str
     best_snr_db: float
     n_gateways: int
+
+
+_SF_AWARE_MODELS: dict[type, bool] = {}
+
+
+def _model_sigma_hz(
+    noise_model: FbNoiseModel, snr_db: float, spreading_factor: int
+) -> float:
+    """Call ``sigma_hz`` with the SF, tolerating pre-SF one-arg models.
+
+    Arity is probed once per model type via the signature (cached), so
+    a genuine ``TypeError`` raised *inside* an SF-aware implementation
+    propagates instead of being silently retried one-argument.
+    """
+    sf_aware = _SF_AWARE_MODELS.get(type(noise_model))
+    if sf_aware is None:
+        try:
+            inspect.signature(noise_model.sigma_hz).bind(snr_db, spreading_factor)
+            sf_aware = True
+        except TypeError:
+            sf_aware = False
+        _SF_AWARE_MODELS[type(noise_model)] = sf_aware
+    if sf_aware:
+        return noise_model.sigma_hz(snr_db, spreading_factor)
+    return noise_model.sigma_hz(snr_db)
 
 
 def best_snr_contribution(contributions: Sequence[GatewayForward]) -> GatewayForward:
@@ -75,12 +108,14 @@ def fuse_fb(
     ordered = sorted(contributions, key=lambda c: c.gateway_id)
     if policy is FusionPolicy.BEST_SNR:
         fb = best.fb_hz
-        sigma = noise_model.sigma_hz(best.snr_db)
+        sigma = _model_sigma_hz(noise_model, best.snr_db, best.spreading_factor)
     else:
         weight_sum = 0.0
         weighted_fb = 0.0
         for contribution in ordered:
-            sigma_i = noise_model.sigma_hz(contribution.snr_db)
+            sigma_i = _model_sigma_hz(
+                noise_model, contribution.snr_db, contribution.spreading_factor
+            )
             if sigma_i <= 0:
                 raise ConfigurationError(
                     f"noise model returned sigma {sigma_i} <= 0 at "

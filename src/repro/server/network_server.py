@@ -29,9 +29,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.detector import DetectionResult, ReplayDetector
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DecodeError
 from repro.lorawan.gateway import CommodityGateway, GatewayReception, ReceiveStatus
+from repro.lorawan.mac import LinkADRAns, parse_mac_commands
 from repro.lorawan.security import SessionKeys
+from repro.server.adr import AdrController
 from repro.server.dedup import DeduplicatedUplink, UplinkDeduplicator
 from repro.server.forwarding import GatewayForward, forward_from_event
 from repro.server.fusion import (
@@ -77,26 +79,32 @@ class ServerVerdict:
 
     @property
     def accepted(self) -> bool:
+        """True when the uplink passed MAC and replay checks."""
         return self.status is ServerStatus.ACCEPTED
 
     @property
     def attack_detected(self) -> bool:
+        """True when the fused FB flagged the uplink as a replay."""
         return self.status is ServerStatus.REPLAY_DETECTED
 
     @property
     def n_gateways(self) -> int:
+        """How many gateways contributed evidence to this verdict."""
         return len(self.gateway_ids)
 
     @property
     def fused_fb_hz(self) -> float | None:
+        """The fused FB estimate, when the uplink got as far as fusion."""
         return None if self.fused is None else self.fused.fb_hz
 
     @property
     def readings(self) -> "list[TimestampedReading]":
+        """Sync-free reconstructed sensor readings of the accepted frame."""
         return [] if self.reception is None else self.reception.readings
 
 
 def _default_noise_model():
+    """The calibrated Fig. 14 noise model (late import: avoids a cycle)."""
     from repro.sim.network import FbMeasurementModel
 
     return FbMeasurementModel()
@@ -106,24 +114,26 @@ def _default_noise_model():
 class NetworkServer:
     """Deduplicating, FB-fusing resolution point for N SoftLoRa gateways.
 
-    Parameters
-    ----------
-    mac:
-        The MAC back end: session keys, MIC verification, per-device
-        frame counters, and sync-free timestamp reconstruction.  One
-        :meth:`CommodityGateway.receive_frame` call per *deduplicated*
-        uplink, never per gateway copy.
-    detector:
-        The cross-gateway replay detector.  Defaults to a
-        :class:`ShardedFbDatabase`-backed detector so per-device FB
-        state scales to fleet sizes.
-    fusion:
-        FB fusion policy (best-SNR or inverse-variance weighting).
-    fb_noise:
-        Calibrated SNR -> sigma model used to weight (and report
-        confidence for) per-gateway FB estimates.
-    window_s:
-        Dedup airtime window, see :class:`UplinkDeduplicator`.
+    Attributes:
+        mac: The MAC back end: session keys, MIC verification,
+            per-device frame counters, and sync-free timestamp
+            reconstruction.  One :meth:`CommodityGateway.receive_frame`
+            call per *deduplicated* uplink, never per gateway copy.
+        detector: The cross-gateway replay detector.  Defaults to a
+            :class:`ShardedFbDatabase`-backed detector so per-device FB
+            state scales to fleet sizes.
+        fusion: FB fusion policy (best-SNR or inverse-variance
+            weighting).
+        fb_noise: Calibrated SNR -> sigma model used to weight (and
+            report confidence for) per-gateway FB estimates.
+        window_s: Dedup airtime window, see :class:`UplinkDeduplicator`.
+        adr: Optional :class:`~repro.server.adr.AdrController`.  When
+            set, every *accepted* uplink feeds its best-gateway
+            (SNR, SF) evidence to the controller, LinkADRAns answers
+            found in uplink FOpts close the loop, and retune commands
+            queue on ``adr.pending`` for the runtime's class-A downlink
+            path.
+        verdicts: Every verdict issued so far, in resolution order.
     """
 
     mac: CommodityGateway = field(
@@ -135,10 +145,12 @@ class NetworkServer:
     fusion: FusionPolicy = FusionPolicy.INVERSE_VARIANCE
     fb_noise: FbNoiseModel = field(default_factory=_default_noise_model)
     window_s: float = 2.0
+    adr: AdrController | None = None
     verdicts: list[ServerVerdict] = field(default_factory=list)
     _dedup: UplinkDeduplicator = field(init=False)
 
     def __post_init__(self) -> None:
+        """Build the dedup stage from the configured airtime window."""
         self._dedup = UplinkDeduplicator(window_s=self.window_s)
 
     # -- provisioning -----------------------------------------------------------
@@ -217,6 +229,8 @@ class NetworkServer:
         fused = fuse_fb(contributions, self.fusion, self.fb_noise)
         node_id = f"{reception.mac_frame.dev_addr:08x}"
         check = self.detector.check(node_id, fused.fb_hz, time_s=timestamp)
+        if self.adr is not None and not check.is_replay:
+            self._feed_adr(uplink, best, reception, timestamp)
         return ServerVerdict(
             status=(
                 ServerStatus.REPLAY_DETECTED if check.is_replay else ServerStatus.ACCEPTED
@@ -232,9 +246,38 @@ class NetworkServer:
             **evidence,
         )
 
+    def _feed_adr(
+        self,
+        uplink: DeduplicatedUplink,
+        best: GatewayForward,
+        reception: GatewayReception,
+        timestamp: float,
+    ) -> None:
+        """Close the ADR loop on one accepted uplink.
+
+        LinkADRAns answers riding the frame's FOpts re-arm the
+        controller first, then the uplink's best-gateway (SNR, SF)
+        evidence feeds the margin rule (possibly queueing the next
+        command).  Replays never reach here: an attacker's replay chain
+        must not steer a victim's data rate.
+        """
+        fopts = reception.mac_frame.fopts if reception.mac_frame is not None else b""
+        if fopts:
+            try:
+                answers = parse_mac_commands(fopts, uplink=True)
+            except DecodeError:
+                answers = []  # non-command FOpts: not ours to interpret
+            for answer in answers:
+                if isinstance(answer, LinkADRAns):
+                    self.adr.acknowledge(uplink.dev_addr, answer)
+        self.adr.observe(
+            uplink.dev_addr, best.snr_db, best.spreading_factor, time_s=timestamp
+        )
+
     # -- queries ----------------------------------------------------------------
 
     def verdicts_of(self, status: ServerStatus) -> list[ServerVerdict]:
+        """Every recorded verdict with one final status."""
         return [v for v in self.verdicts if v.status is status]
 
     @property

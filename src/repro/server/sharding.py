@@ -26,6 +26,7 @@ class ShardedFbDatabase:
     """``n_shards`` FbDatabase shards behind the FbDatabase interface."""
 
     def __init__(self, n_shards: int = 16, history_len: int = 50):
+        """Create ``n_shards`` independent shards of ``history_len`` depth."""
         if n_shards < 1:
             raise ConfigurationError(f"need at least one shard, got {n_shards}")
         self.n_shards = n_shards
@@ -37,31 +38,39 @@ class ShardedFbDatabase:
         return zlib.crc32(node_id.encode()) % self.n_shards
 
     def shard_for(self, node_id: str) -> FbDatabase:
+        """The shard owning a node's entire FB history."""
         return self._shards[self.shard_index(node_id)]
 
     # -- FbStore interface, delegated to the owning shard -----------------------
 
     def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None:
+        """Store an accepted FB estimate in the node's shard."""
         self.shard_for(node_id).record(node_id, fb_hz, time_s)
 
     def sample_count(self, node_id: str) -> int:
+        """Recorded estimates for one node."""
         return self.shard_for(node_id).sample_count(node_id)
 
     def estimates(self, node_id: str) -> list[float]:
+        """The node's recorded FB values, oldest first."""
         return self.shard_for(node_id).estimates(node_id)
 
     def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
+        """The node's guarded acceptance interval (``None`` if unknown)."""
         return self.shard_for(node_id).interval(node_id, guard_hz)
 
     def forget(self, node_id: str) -> None:
+        """Drop one node's history from its shard."""
         self.shard_for(node_id).forget(node_id)
 
     def known_nodes(self) -> list[str]:
+        """Every tracked node id, across all shards, sorted."""
         return sorted(node for shard in self._shards for node in shard.known_nodes())
 
     # -- shard introspection -----------------------------------------------------
 
     def node_count(self) -> int:
+        """Total tracked nodes across all shards."""
         return sum(shard.node_count() for shard in self._shards)
 
     def shard_sizes(self) -> list[int]:

@@ -51,30 +51,57 @@ class FbMeasurementModel:
     a few Hz at high SNR.  We model the per-frame error as zero-mean
     Gaussian with standard deviation shrinking 10x per 20 dB of SNR,
     clamped to [floor_hz, ceiling_hz].
+
+    The Fig. 14 calibration is an SF7 measurement; the estimator works on
+    one preamble chirp, whose duration doubles per SF step, so its
+    frequency resolution scales as ``2^-(SF - 7)``.  Passing a
+    ``spreading_factor`` applies that scale (clamped to the same floor),
+    letting SF-heterogeneous fleets draw per-SF estimation noise; SF7
+    reproduces the calibrated model bit for bit.
     """
 
     ceiling_hz: float = FB_ESTIMATION_RESOLUTION_HZ
     floor_hz: float = 2.0
     reference_snr_db: float = -25.0
+    reference_sf: int = 7
 
-    def sigma_hz(self, snr_db: float) -> float:
+    def _sf_scale(self, spreading_factor) -> Any:
+        return 2.0 ** -(np.asarray(spreading_factor, dtype=float) - self.reference_sf)
+
+    def sigma_hz(self, snr_db: float, spreading_factor: int | None = None) -> float:
         raw = self.ceiling_hz * 10.0 ** (-(snr_db - self.reference_snr_db) / 20.0)
-        return float(np.clip(raw, self.floor_hz, self.ceiling_hz))
+        sigma = np.clip(raw, self.floor_hz, self.ceiling_hz)
+        if spreading_factor is not None:
+            sigma = np.clip(
+                sigma * self._sf_scale(spreading_factor), self.floor_hz, self.ceiling_hz
+            )
+        return float(sigma)
 
-    def measure(self, true_fb_hz: float, snr_db: float, rng: np.random.Generator) -> float:
-        return true_fb_hz + rng.normal(0.0, self.sigma_hz(snr_db))
+    def measure(
+        self,
+        true_fb_hz: float,
+        snr_db: float,
+        rng: np.random.Generator,
+        spreading_factor: int | None = None,
+    ) -> float:
+        return true_fb_hz + rng.normal(0.0, self.sigma_hz(snr_db, spreading_factor))
 
     def measure_batch(
         self,
         true_fbs_hz: np.ndarray,
         snrs_db: np.ndarray,
         rng: np.random.Generator,
+        spreading_factors: np.ndarray | None = None,
     ) -> np.ndarray:
         """Per-frame FB measurements for a whole fleet step, one rng draw."""
         true_fbs = np.asarray(true_fbs_hz, dtype=float)
         snrs = np.asarray(snrs_db, dtype=float)
         raw = self.ceiling_hz * 10.0 ** (-(snrs - self.reference_snr_db) / 20.0)
         sigmas = np.clip(raw, self.floor_hz, self.ceiling_hz)
+        if spreading_factors is not None:
+            sigmas = np.clip(
+                sigmas * self._sf_scale(spreading_factors), self.floor_hz, self.ceiling_hz
+            )
         return true_fbs + sigmas * rng.standard_normal(true_fbs.shape)
 
 
@@ -269,7 +296,9 @@ class LoRaWanWorld:
             )
             self.events.append(suppressed)
             replay_arrival = outcome.replayed.arrival_time_s + delay
-            fb_measured = self.fb_model.measure(outcome.replayed.fb_hz, snr, self.rng)
+            fb_measured = self.fb_model.measure(
+                outcome.replayed.fb_hz, snr, self.rng, spreading_factor=tx.spreading_factor
+            )
             reception = self.gateway.process_frame(
                 outcome.replayed.mac_bytes, replay_arrival, fb_measured
             )
@@ -284,7 +313,9 @@ class LoRaWanWorld:
             )
             self.events.append(event)
             return event
-        fb_measured = self.fb_model.measure(tx.fb_hz, snr, self.rng)
+        fb_measured = self.fb_model.measure(
+            tx.fb_hz, snr, self.rng, spreading_factor=tx.spreading_factor
+        )
         reception = self.gateway.process_frame(tx.mac_bytes, arrival, fb_measured)
         event = WorldEvent(
             kind=EventKind.DELIVERED,
@@ -387,9 +418,12 @@ class LoRaWanWorld:
             name = item.device_name
             device = self.devices[name]
             tx = item.transmission
-            snr = self._snr_for(device)
+            snr = self.link.snr_db(tx.tx_power_dbm, device.position, self.gateway_position)
             delay = propagation_delay_s(device.position, self.gateway_position)
-            floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
+            # The frame's own SF/power, not the device's current ones: an
+            # ADR downlink may have retuned the device since this frame
+            # was staged.
+            floor = SX1276_DEMOD_SNR_FLOOR_DB[tx.spreading_factor]
             arrival = tx.emission_time_s + delay
             if snr < floor:
                 primary[index] = WorldEvent(
@@ -398,7 +432,7 @@ class LoRaWanWorld:
                     device_name=name,
                     snr_db=snr,
                     transmission=tx,
-                    detail=f"SNR {snr:.1f} dB below SF{device.spreading_factor} "
+                    detail=f"SNR {snr:.1f} dB below SF{tx.spreading_factor} "
                     f"floor {floor:.1f} dB",
                 )
             elif self.attack is not None and name in self.attack_targets:
@@ -420,6 +454,9 @@ class LoRaWanWorld:
                 np.array([tx.fb_hz for _, _, tx, _, _ in direct]),
                 np.array([snr for _, _, _, snr, _ in direct]),
                 self.rng,
+                spreading_factors=np.array(
+                    [tx.spreading_factor for _, _, tx, _, _ in direct]
+                ),
             )
             receptions = self.gateway.process_frame_batch(
                 [
@@ -450,7 +487,9 @@ class LoRaWanWorld:
                 metadata={"attack": outcome},
             )
             replay_arrival = outcome.replayed.arrival_time_s + delay
-            fb_measured = self.fb_model.measure(outcome.replayed.fb_hz, snr, self.rng)
+            fb_measured = self.fb_model.measure(
+                outcome.replayed.fb_hz, snr, self.rng, spreading_factor=tx.spreading_factor
+            )
             reception = self.gateway.process_frame(
                 outcome.replayed.mac_bytes, replay_arrival, fb_measured
             )
@@ -512,11 +551,11 @@ class LoRaWanWorld:
             device = self.devices[name]
             tx = item.transmission
             snrs = [
-                site.link.snr_db(device.tx_power_dbm, device.position, site.position)
+                site.link.snr_db(tx.tx_power_dbm, device.position, site.position)
                 for site in sites
             ]
             delays = [propagation_delay_s(device.position, site.position) for site in sites]
-            floor = SX1276_DEMOD_SNR_FLOOR_DB[device.spreading_factor]
+            floor = SX1276_DEMOD_SNR_FLOOR_DB[tx.spreading_factor]
             in_range = [i for i, snr in enumerate(snrs) if snr >= floor]
             best_snr = max(snrs)
             if not in_range:
@@ -526,7 +565,7 @@ class LoRaWanWorld:
                     device_name=name,
                     snr_db=best_snr,
                     transmission=tx,
-                    detail=f"SNR {best_snr:.1f} dB below SF{device.spreading_factor} "
+                    detail=f"SNR {best_snr:.1f} dB below SF{tx.spreading_factor} "
                     f"floor {floor:.1f} dB at all {len(snrs)} gateways",
                 )
                 continue
@@ -585,6 +624,9 @@ class LoRaWanWorld:
                 np.array([fb_true for _, _, fb_true, _, _, _ in deliveries]),
                 np.array([snr for _, _, _, _, snr, _ in deliveries]),
                 self.rng,
+                spreading_factors=np.array(
+                    [tx.spreading_factor for _, tx, _, _, _, _ in deliveries]
+                ),
             )
             forwards = [
                 GatewayForward(
@@ -593,6 +635,7 @@ class LoRaWanWorld:
                     arrival_time_s=arrival,
                     fb_hz=float(fb),
                     snr_db=snr,
+                    spreading_factor=tx.spreading_factor,
                 )
                 for (_, tx, _, i, snr, arrival), fb in zip(deliveries, fbs)
             ]

@@ -12,19 +12,27 @@ instead:
    backs off to the sub-band's next allowed time;
 2. **contention** -- transmissions staged inside one event window are
    resolved *per gateway* through an :class:`~repro.sim.traffic
-   .AlohaChannel` (LoRa's co-channel power-capture rule: the stronger
-   co-SF frame survives iff it clears every overlapping rival by the
-   capture threshold), using each gateway site's own received powers;
+   .AlohaChannel` (co-SF power capture plus the inter-SF
+   quasi-orthogonality matrix for SF-heterogeneous fleets), using each
+   gateway site's own received powers;
 3. **delivery** -- each window's surviving receptions run through the
    existing batched machinery (:meth:`LoRaWanWorld.deliver_staged` ->
    one vectorized FB draw -> ``SoftLoRaGateway.process_frame_batch`` or
    the multi-gateway ``NetworkServer`` fusion path), emitting the same
    :class:`~repro.sim.network.WorldEvent` stream the classic path does,
-   plus :attr:`EventKind.LOST_COLLISION` events for contention losses.
+   plus :attr:`EventKind.LOST_COLLISION` events for contention losses;
+4. **control** -- when the attached server runs an
+   :class:`~repro.server.adr.AdrController`, each delivery window's
+   queued ``LinkADRReq`` commands are scheduled through per-gateway
+   :class:`~repro.lorawan.downlink.DownlinkScheduler` chains into the
+   answering devices' class-A RX1/RX2 windows, so spreading factors
+   retune *mid-run* (duty-cycle permitting).
 
 With a single device there is nothing to contend with and the runtime
 degenerates to the classic caller-stepped schedule bit for bit
-(``tests/test_runtime.py`` pins this).
+(``tests/test_runtime.py`` pins this); with ADR disabled the whole
+downlink path is inert and single-SF runs stay bit-identical to the
+pre-ADR runtime (``tests/test_adr.py`` golden-pins this).
 """
 
 from __future__ import annotations
@@ -36,8 +44,11 @@ from dataclasses import dataclass, field
 from repro.analysis.metrics import ContentionStats
 from repro.core.softlora import SoftLoRaStatus
 from repro.errors import ConfigurationError
+from repro.lorawan.downlink import DownlinkScheduler, build_downlink
+from repro.phy.airtime import airtime_s
 from repro.radio.channel import (
     DEFAULT_CAPTURE_THRESHOLD_DB,
+    InterSfCaptureMatrix,
     Transmission,
     propagation_delay_s,
 )
@@ -76,9 +87,22 @@ class CollisionChannel:
     powers.  Overlap clustering runs once on emission times (propagation
     differences are microseconds against >=40 ms airtimes), so sparse
     windows resolve in O(n log n) instead of O(n^2) pair checks.
+
+    SF-heterogeneous fleets contend through an
+    :class:`~repro.radio.channel.InterSfCaptureMatrix`: cross-SF
+    overlaps are quasi-orthogonal (a rival only kills the frame beyond
+    its large negative threshold) while co-SF overlaps keep the classic
+    ``capture_threshold_db`` rule, so single-SF fleets resolve exactly
+    as before.
     """
 
     capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
+    capture_matrix: InterSfCaptureMatrix | None = None
+
+    def __post_init__(self) -> None:
+        """Derive the default capture matrix from the co-SF threshold."""
+        if self.capture_matrix is None:
+            self.capture_matrix = InterSfCaptureMatrix(co_sf_db=self.capture_threshold_db)
 
     def _overlap_clusters(self, staged: list[StagedTransmission]) -> list[list[int]]:
         """Indices of staged transmissions chained by airtime overlap."""
@@ -104,7 +128,10 @@ class CollisionChannel:
             if len(cluster) < 2:
                 continue
             for site_index, site in enumerate(sites):
-                channel = AlohaChannel(capture_threshold_db=self.capture_threshold_db)
+                channel = AlohaChannel(
+                    capture_threshold_db=self.capture_threshold_db,
+                    capture_matrix=self.capture_matrix,
+                )
                 for index in cluster:
                     device = world.devices[staged[index].device_name]
                     tx = staged[index].transmission
@@ -115,7 +142,7 @@ class CollisionChannel:
                             + propagation_delay_s(device.position, site.position),
                             airtime_s=tx.airtime_s,
                             rx_power_dbm=site.link.rx_power_dbm(
-                                device.tx_power_dbm, device.position, site.position
+                                tx.tx_power_dbm, device.position, site.position
                             ),
                             spreading_factor=tx.spreading_factor,
                         )
@@ -128,7 +155,22 @@ class CollisionChannel:
 
 @dataclass(frozen=True)
 class RuntimeReport:
-    """What one :meth:`FleetRuntime.run` phase put on the air."""
+    """What one :meth:`FleetRuntime.run` phase put on the air.
+
+    Attributes:
+        start_s: Simulation time the phase began at.
+        duration_s: Requested phase length in simulated seconds.
+        attempts: Frames actually transmitted (deferrals excluded).
+        deferrals: Duty-cycle backoffs that re-queued a request.
+        sim_events: Discrete-event callbacks processed this phase.
+        wall_s: Wall-clock spent inside the simulator loop.
+        events: Every :class:`~repro.sim.network.WorldEvent` emitted.
+        adr_commands_sent: LinkADRReq downlinks that made a receive
+            window this phase.
+        adr_commands_dropped: LinkADRReq downlinks lost to the
+            gateway's duty-cycle/window budget (device keeps its SF).
+        adr_commands_applied: Downlinks a device acted on this phase.
+    """
 
     start_s: float
     duration_s: float
@@ -137,9 +179,13 @@ class RuntimeReport:
     sim_events: int
     wall_s: float
     events: list[WorldEvent]
+    adr_commands_sent: int = 0
+    adr_commands_dropped: int = 0
+    adr_commands_applied: int = 0
 
     @property
     def contention(self) -> ContentionStats:
+        """Attempt accounting: delivered / collided / lost / suppressed."""
         kinds = [event.kind for event in self.events]
         return ContentionStats(
             attempts=self.attempts,
@@ -202,10 +248,15 @@ class FleetRuntime:
     backoff_s: float = 1e-3
     attempts: int = field(init=False, default=0)
     deferrals: int = field(init=False, default=0)
+    adr_sent: int = field(init=False, default=0)
+    adr_dropped: int = field(init=False, default=0)
+    adr_applied: int = field(init=False, default=0)
     _pending: list[StagedTransmission] = field(init=False, default_factory=list)
     _flush_scheduled: bool = field(init=False, default=False)
+    _downlink_schedulers: dict[int, DownlinkScheduler] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Validate the batching grain and build the collision channel."""
         if self.window_s <= 0:
             raise ConfigurationError(f"window must be positive, got {self.window_s}")
         if self.backoff_s <= 0:
@@ -235,6 +286,7 @@ class FleetRuntime:
         first_event = len(world.events)
         first_processed = sim.processed
         attempts0, deferrals0 = self.attempts, self.deferrals
+        adr0 = (self.adr_sent, self.adr_dropped, self.adr_applied)
         schedule = self.traffic.schedule(names, duration_s, start_s=start_s)
         for uplink in schedule:
             sim.schedule(uplink.request_time_s, self._request, uplink.device_name)
@@ -245,6 +297,9 @@ class FleetRuntime:
         wall0 = time.perf_counter()
         sim.run_until(end_s)
         self._flush()
+        # The final flush can queue ADR downlinks whose receive windows
+        # already fall inside this phase; fire those before reporting.
+        sim.run_until(end_s)
         wall_s = time.perf_counter() - wall0
         return RuntimeReport(
             start_s=start_s,
@@ -254,6 +309,9 @@ class FleetRuntime:
             sim_events=sim.processed - first_processed,
             wall_s=wall_s,
             events=list(world.events[first_event:]),
+            adr_commands_sent=self.adr_sent - adr0[0],
+            adr_commands_dropped=self.adr_dropped - adr0[1],
+            adr_commands_applied=self.adr_applied - adr0[2],
         )
 
     # -- event handlers ---------------------------------------------------------
@@ -276,6 +334,7 @@ class FleetRuntime:
             sim.schedule(max(boundary, now), self._window_boundary)
 
     def _window_boundary(self) -> None:
+        """A batching-window boundary fires: deliver everything staged."""
         self._flush_scheduled = False
         self._flush()
 
@@ -285,4 +344,94 @@ class FleetRuntime:
             return
         staged, self._pending = self._pending, []
         mask = self._channel.surviving_sites(self.world, staged)
-        self.world.deliver_staged(staged, site_mask=mask)
+        events = self.world.deliver_staged(staged, site_mask=mask)
+        server = self.world.server
+        if server is not None and server.adr is not None:
+            self._dispatch_adr(events)
+
+    # -- class A downlink path (ADR) --------------------------------------------
+
+    def _scheduler_for(self, site_index: int) -> DownlinkScheduler:
+        """The per-gateway downlink chain (one transmission at a time)."""
+        if site_index not in self._downlink_schedulers:
+            self._downlink_schedulers[site_index] = DownlinkScheduler()
+        return self._downlink_schedulers[site_index]
+
+    def _dispatch_adr(self, events: list[WorldEvent]) -> None:
+        """Ship queued LinkADRReq commands into class-A receive windows.
+
+        Each command anchors to its device's uplink from the window just
+        delivered: RX1/RX2 open off that uplink's *real* end-of-airtime.
+        The downlink leaves through the first gateway that heard the
+        uplink *and* has duty-cycle budget left (the server's gateway
+        choice); when no hearing gateway can hit either window the
+        command is dropped and the device simply keeps its data rate
+        (the controller re-arms for a retry).
+        """
+        server = self.world.server
+        commands = server.adr.take_pending()
+        if not commands:
+            return
+        sim = self.world.simulator
+        site_index_of = {site.gateway_id: i for i, site in enumerate(self.world.sites)}
+        anchors: dict[int, WorldEvent] = {}
+        for event in events:
+            if event.kind is EventKind.DELIVERED and event.transmission is not None:
+                anchors[event.transmission.dev_addr] = event
+        for command in commands:
+            anchor = anchors.get(command.dev_addr)
+            if anchor is None:
+                # The triggering uplink resolved outside this window
+                # (e.g. caller-stepped use); retry off a later uplink.
+                self.adr_dropped += 1
+                server.adr.command_dropped(command.dev_addr)
+                continue
+            tx = anchor.transmission
+            device = self.world.devices[anchor.device_name]
+            raw = build_downlink(
+                device.keys,
+                command.dev_addr,
+                server.adr.next_fcnt_down(command.dev_addr),
+                payload=command.request.encode(),
+                fport=0,
+            )
+            # RX1 mirrors the uplink data rate; EU868 pins RX2 at
+            # DR0/SF12, so the same frame costs up to ~32x more airtime
+            # (and duty-cycle budget) when it slips to the second window.
+            rx1_airtime = airtime_s(len(raw), tx.spreading_factor)
+            rx2_airtime = airtime_s(len(raw), 12)
+            gateway_ids = anchor.metadata.get("gateway_ids", ()) or (
+                self.world.sites[0].gateway_id,
+            )
+            window = None
+            for gateway_id in gateway_ids:
+                site_index = site_index_of.get(gateway_id, 0)
+                scheduler = self._scheduler_for(site_index)
+                window = scheduler.schedule(tx.end_time_s, rx1_airtime, rx2_airtime)
+                if window is not None:
+                    # The scheduler records the true transmit start
+                    # (window opening, pushed back by its busy chain).
+                    start_s = scheduler.scheduled[-1][0]
+                    break
+            if window is None:
+                self.adr_dropped += 1
+                server.adr.command_dropped(command.dev_addr)
+                continue
+            self.adr_sent += 1
+            # The device acts once the downlink is fully received.
+            # Windowed batching can resolve an uplink after its receive
+            # windows conceptually passed; the device then applies the
+            # command at the flush instant rather than in the past.
+            on_air = rx1_airtime if window.which == "RX1" else rx2_airtime
+            sim.schedule(
+                max(start_s + on_air, sim.now_s),
+                self._apply_downlink,
+                anchor.device_name,
+                raw,
+            )
+
+    def _apply_downlink(self, device_name: str, raw: bytes) -> None:
+        """A device's receive window fires: parse and act on the downlink."""
+        device = self.world.devices[device_name]
+        device.receive_downlink(raw, at_time_s=self.world.simulator.now_s)
+        self.adr_applied += 1

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.radio.channel import (
+    InterSfCaptureMatrix,
     ReceptionOutcome,
     Transmission,
     resolve_collisions,
@@ -68,9 +69,16 @@ class PeriodicTrafficModel:
 
 @dataclass
 class AlohaChannel:
-    """Collision accounting over a window of frame-level transmissions."""
+    """Collision accounting over a window of frame-level transmissions.
+
+    With a ``capture_matrix`` the channel models imperfect SF
+    orthogonality (cross-SF rivals can destroy a frame when strong
+    enough); without one, only co-SF overlaps contend -- the classic
+    single-SF model.
+    """
 
     capture_threshold_db: float = 6.0
+    capture_matrix: InterSfCaptureMatrix | None = None
     transmissions: list[Transmission] = field(default_factory=list)
 
     def offer(self, transmission: Transmission) -> None:
@@ -79,7 +87,9 @@ class AlohaChannel:
     def resolve(self) -> list[ReceptionOutcome]:
         """Resolve all offered transmissions with the capture model."""
         return resolve_collisions(
-            self.transmissions, capture_threshold_db=self.capture_threshold_db
+            self.transmissions,
+            capture_threshold_db=self.capture_threshold_db,
+            capture_matrix=self.capture_matrix,
         )
 
     def delivery_ratio(self) -> float:

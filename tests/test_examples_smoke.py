@@ -61,6 +61,15 @@ class TestExamples:
         assert "false alarms    : 0" in out
 
     @pytest.mark.slow
+    def test_adr_fleet(self, capsys):
+        load_example("adr_fleet").main()
+        out = capsys.readouterr().out
+        assert "all SF12" in out
+        assert "SF7:120" in out
+        assert "LinkADRReq total" in out
+        assert "TPR 1.00" in out
+
+    @pytest.mark.slow
     def test_campus_link(self, capsys):
         load_example("campus_link").main()
         out = capsys.readouterr().out
