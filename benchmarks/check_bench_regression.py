@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the batched pipeline.
+"""Benchmark regression gate over a recorded speedup ratio.
 
-Compares a freshly generated ``BENCH_pipeline.json`` (written by
-``benchmarks/test_pipeline_throughput.py``) against a baseline copy of
-the committed one and fails when the batched-over-per-capture *speedup*
-regresses by more than the tolerance.  The speedup ratio is
-machine-relative, so the gate is meaningful on CI runners whose absolute
-captures/sec differ from the committed numbers.
+Compares a freshly generated bench artifact (e.g. ``BENCH_pipeline.json``
+written by ``benchmarks/test_pipeline_throughput.py``) against a baseline
+copy of the committed one and fails when the gated *speedup* ratio
+regresses by more than the tolerance.  ``--metric`` selects the ratio by
+dot-path (default the top-level ``speedup``; the runtime bench gates
+``columnar.speedup_vs_legacy``).  Speedup ratios are machine-relative,
+so the gate is meaningful on CI runners whose absolute throughput
+differs from the committed numbers.
 
 All bench artifacts live under ``benchmarks/`` (``--bench-dir``);
 relative ``--baseline`` / ``--fresh`` paths resolve against it.
@@ -30,17 +32,22 @@ import sys
 from pathlib import Path
 
 
-def load_speedup(path: Path, label: str) -> float:
+def load_speedup(path: Path, label: str, metric: str = "speedup") -> float:
     try:
         report = json.loads(path.read_text())
     except FileNotFoundError:
         sys.exit(f"bench gate: {label} report {path} does not exist")
     except json.JSONDecodeError as exc:
         sys.exit(f"bench gate: {label} report {path} is not valid JSON: {exc}")
-    speedup = report.get("speedup")
-    if not isinstance(speedup, (int, float)) or speedup <= 0:
-        sys.exit(f"bench gate: {label} report {path} has no usable 'speedup' field")
-    return float(speedup)
+    value = report
+    for part in metric.split("."):
+        if not isinstance(value, dict):
+            value = None
+            break
+        value = value.get(part)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        sys.exit(f"bench gate: {label} report {path} has no usable {metric!r} field")
+    return float(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,6 +72,12 @@ def main(argv: list[str] | None = None) -> int:
         help="artifact written by the just-finished benchmark run",
     )
     parser.add_argument(
+        "--metric",
+        default="speedup",
+        help="dot-path of the gated ratio inside the report JSON "
+        "(default 'speedup'; e.g. 'columnar.speedup_vs_legacy')",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.20,
@@ -76,19 +89,19 @@ def main(argv: list[str] | None = None) -> int:
     if not args.bench_dir.is_dir():
         sys.exit(f"bench gate: --bench-dir {args.bench_dir} is not a directory")
 
-    baseline = load_speedup(args.bench_dir / args.baseline, "baseline")
-    fresh = load_speedup(args.bench_dir / args.fresh, "fresh")
+    baseline = load_speedup(args.bench_dir / args.baseline, "baseline", args.metric)
+    fresh = load_speedup(args.bench_dir / args.fresh, "fresh", args.metric)
     floor = baseline * (1.0 - args.tolerance)
     verdict = "OK" if fresh >= floor else "REGRESSION"
     print(
-        f"bench gate: baseline speedup {baseline:.2f}x, fresh {fresh:.2f}x, "
+        f"bench gate: baseline {args.metric} {baseline:.2f}x, fresh {fresh:.2f}x, "
         f"floor {floor:.2f}x ({args.tolerance:.0%} tolerance) -> {verdict}"
     )
     if fresh < floor:
         print(
-            "bench gate: the batched pipeline lost more than "
-            f"{args.tolerance:.0%} of its committed speedup; see "
-            "benchmarks/test_pipeline_throughput.py"
+            f"bench gate: {args.metric} lost more than "
+            f"{args.tolerance:.0%} of its committed value; see the "
+            "benchmark that writes this artifact under benchmarks/"
         )
         return 1
     return 0

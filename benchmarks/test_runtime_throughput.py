@@ -1,20 +1,31 @@
-"""Bench: event-driven runtime throughput + parallel sweep speedup.
+"""Bench: runtime throughput (legacy vs columnar) + parallel sweep speedup.
 
-Two measurements land in ``benchmarks/BENCH_runtime.json``:
+Three measurements land in ``benchmarks/BENCH_runtime.json``:
 
-* **runtime throughput** -- a 500-device single-gateway fleet runs five
-  minutes of periodic traffic through :class:`repro.sim.FleetRuntime`
-  (scheduling, duty-cycle backoff, per-gateway collision resolution,
-  windowed batched delivery); reported as simulator events per wall
-  second and frames per wall second.
+* **legacy runtime throughput** -- a 500-device single-gateway fleet
+  runs five minutes of periodic traffic through
+  :class:`repro.sim.FleetRuntime` (scheduling, duty-cycle backoff,
+  per-gateway collision resolution, windowed batched delivery);
+  reported as simulator events per wall second.
+* **columnar runtime throughput** -- the scale cell: a full-mode
+  100k-device fleet runs one simulated hour through
+  :class:`repro.sim.ColumnarRuntime` in counters mode (time-wheel
+  scheduling, struct-of-arrays MAC, vectorized collision sweep, no
+  per-frame event objects).  ``speedup_vs_legacy`` is the same-run
+  events-per-wall-second ratio between the two engines; full-scale runs
+  must clear 100x, the tier-1 smoke cell (2000 devices x 10 minutes)
+  10x.
 * **parallel sweep speedup** -- four independent replicates of one
   fleet_scale cell run through :class:`SweepExecutor` serially and with
   spawn workers.  Results must be identical at both worker counts
   (pinned here); wall-clock speedup is recorded and, on a runner with
-  >= 4 cores, must reach 2x.  The default cell is a smoke size (written
-  to the gitignored ``BENCH_runtime_smoke.json``) so tier-1 stays fast;
-  CI's bench job sets ``BENCH_RUNTIME_FULL=1`` to run the paper-scale
-  8-gateway x 2000-device cell and refresh ``BENCH_runtime.json``.
+  >= 4 cores, must reach 2x -- on smaller runners the gate is *skipped*
+  (recording ``n_cpus``), not silently passed.
+
+The default sizes are smoke sizes (written to the gitignored
+``BENCH_runtime_smoke.json``) so tier-1 stays fast; CI's bench job sets
+``BENCH_RUNTIME_FULL=1`` to run the paper-scale cells and refresh the
+committed ``BENCH_runtime.json``.
 """
 
 import json
@@ -23,6 +34,8 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.core.softlora import SoftLoRaGateway
 from repro.experiments.fleet_scale import run_fleet_scale
 from repro.lorawan.gateway import CommodityGateway
@@ -30,6 +43,7 @@ from repro.phy.chirp import ChirpConfig
 from repro.radio.channel import LinkBudget
 from repro.radio.geometry import Position
 from repro.radio.pathloss import LogDistancePathLoss
+from repro.sim.columnar import ColumnarRuntime
 from repro.sim.network import LoRaWanWorld
 from repro.sim.rng import RngStreams
 from repro.sim.runtime import FleetRuntime
@@ -49,6 +63,17 @@ N_REPLICATES = 4
 SWEEP_ROUNDS = {"clean_rounds": 2, "attack_rounds": 1}
 N_DEVICES = 500
 TRAFFIC_DURATION_S = 300.0
+#: The columnar scale cell: 100k devices x 1 simulated hour in full
+#: mode, a 2000-device x 10-minute miniature for the smoke run.
+COLUMNAR_N_DEVICES = 100_000 if FULL else 2000
+COLUMNAR_DURATION_S = 3600.0 if FULL else 600.0
+COLUMNAR_PERIOD_S = 600.0 if FULL else 120.0
+COLUMNAR_JITTER_S = 60.0 if FULL else 30.0
+COLUMNAR_WINDOW_S = 1.0
+#: Events-per-wall-second ratio the columnar engine must clear over the
+#: legacy runtime measured in the same process.  The ratio is
+#: machine-relative, so the gate holds on slow runners too.
+SPEEDUP_FLOOR = 100.0 if FULL else 10.0
 
 _COMPARED_FIELDS = (
     "uplink_attempts",
@@ -65,9 +90,9 @@ _COMPARED_FIELDS = (
 )
 
 
-def _measure_runtime_throughput() -> dict:
-    streams = RngStreams(1234)
-    devices = build_fleet(n_devices=N_DEVICES, streams=streams, ring_radius_m=400.0)
+def _build_bench_world(n_devices: int, seed: int) -> tuple[LoRaWanWorld, RngStreams]:
+    streams = RngStreams(seed)
+    devices = build_fleet(n_devices=n_devices, streams=streams, ring_radius_m=400.0)
     world = LoRaWanWorld(
         gateway=SoftLoRaGateway(
             config=ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6),
@@ -79,6 +104,11 @@ def _measure_runtime_throughput() -> dict:
     )
     for device in devices:
         world.add_device(device)
+    return world, streams
+
+
+def _measure_runtime_throughput() -> dict:
+    world, streams = _build_bench_world(N_DEVICES, seed=1234)
     runtime = FleetRuntime(
         world,
         PeriodicTrafficModel(period_s=120.0, jitter_s=30.0, rng=streams.stream("traffic")),
@@ -89,6 +119,38 @@ def _measure_runtime_throughput() -> dict:
     return {
         "n_devices": N_DEVICES,
         "sim_duration_s": TRAFFIC_DURATION_S,
+        "frames_transmitted": stats.attempts,
+        "sim_events": report.sim_events,
+        "wall_s": report.wall_s,
+        "events_per_s": report.events_per_s,
+        "frames_per_wall_s": stats.attempts / report.wall_s,
+        "collision_rate": stats.collision_rate,
+        "goodput_fps": report.goodput_fps,
+    }
+
+
+def _measure_columnar_throughput() -> dict:
+    build0 = time.perf_counter()
+    world, streams = _build_bench_world(COLUMNAR_N_DEVICES, seed=1234)
+    build_s = time.perf_counter() - build0
+    runtime = ColumnarRuntime(
+        world,
+        PeriodicTrafficModel(
+            period_s=COLUMNAR_PERIOD_S,
+            jitter_s=COLUMNAR_JITTER_S,
+            rng=streams.stream("traffic"),
+        ),
+        window_s=COLUMNAR_WINDOW_S,
+        mode="counters",
+    )
+    report = runtime.run(COLUMNAR_DURATION_S)
+    stats = report.contention
+    return {
+        "n_devices": COLUMNAR_N_DEVICES,
+        "sim_duration_s": COLUMNAR_DURATION_S,
+        "period_s": COLUMNAR_PERIOD_S,
+        "window_s": COLUMNAR_WINDOW_S,
+        "build_s": build_s,
         "frames_transmitted": stats.attempts,
         "sim_events": report.sim_events,
         "wall_s": report.wall_s,
@@ -112,9 +174,48 @@ def _run_replicated_sweep(n_workers: int):
     return time.perf_counter() - start, result
 
 
-def test_runtime_throughput_and_parallel_speedup():
-    throughput = _measure_runtime_throughput()
+def _merge_artifact(section: str, payload: dict) -> dict:
+    """Fold one section into the artifact, keeping the others."""
+    report = {}
+    if ARTIFACT.exists():
+        report = json.loads(ARTIFACT.read_text())
+    report[section] = payload
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
 
+
+def test_runtime_vs_columnar_throughput():
+    legacy = _measure_runtime_throughput()
+    columnar = _measure_columnar_throughput()
+    speedup = columnar["events_per_s"] / legacy["events_per_s"]
+    columnar["speedup_vs_legacy"] = speedup
+    columnar["full_scale"] = FULL
+
+    _merge_artifact("runtime", legacy)
+    _merge_artifact("columnar", columnar)
+
+    print()
+    print(
+        f"legacy runtime: {legacy['events_per_s']:.0f} events/s "
+        f"({legacy['n_devices']} devices, collision rate "
+        f"{legacy['collision_rate']:.2f})"
+    )
+    print(
+        f"columnar runtime: {columnar['events_per_s']:.0f} events/s "
+        f"({columnar['n_devices']} devices x {columnar['sim_duration_s']:.0f}s, "
+        f"{columnar['frames_transmitted']} frames, build {columnar['build_s']:.1f}s, "
+        f"run {columnar['wall_s']:.1f}s) -> {speedup:.0f}x legacy -> {ARTIFACT.name}"
+    )
+
+    assert legacy["events_per_s"] > 0
+    assert columnar["frames_transmitted"] > 0
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar engine only {speedup:.1f}x the legacy runtime "
+        f"(floor {SPEEDUP_FLOOR:.0f}x at {'full' if FULL else 'smoke'} scale)"
+    )
+
+
+def test_parallel_sweep_speedup():
     n_cpus = multiprocessing.cpu_count()
     # At least two workers so the spawn pool is genuinely exercised even
     # on a single-core runner (where the speedup gate does not apply).
@@ -129,9 +230,9 @@ def test_runtime_throughput_and_parallel_speedup():
             assert getattr(cell_a, field_name) == getattr(cell_b, field_name), field_name
 
     speedup = serial_s / parallel_s
-    report = {
-        "runtime": throughput,
-        "parallel_sweep": {
+    _merge_artifact(
+        "parallel_sweep",
+        {
             "cell": {"n_gateways": SWEEP_CELL[0], "n_devices": SWEEP_CELL[1]},
             "replicates": N_REPLICATES,
             "full_scale": FULL,
@@ -141,24 +242,17 @@ def test_runtime_throughput_and_parallel_speedup():
             "parallel_s": parallel_s,
             "speedup": speedup,
         },
-    }
-    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    )
 
     print()
-    print(
-        f"runtime throughput: {throughput['events_per_s']:.0f} events/s "
-        f"({throughput['frames_per_wall_s']:.0f} frames/s wall, "
-        f"collision rate {throughput['collision_rate']:.2f})"
-    )
     print(
         f"parallel sweep ({SWEEP_CELL[0]}x{SWEEP_CELL[1]} cell x{N_REPLICATES}): "
         f"serial {serial_s:.1f}s, {n_workers} workers {parallel_s:.1f}s, "
         f"speedup {speedup:.2f}x on {n_cpus} cpus -> {ARTIFACT.name}"
     )
 
-    assert throughput["events_per_s"] > 0
-    if n_cpus >= 4:
-        assert speedup >= 2.0, (
-            f"parallel sweep only {speedup:.2f}x with {n_workers} workers "
-            f"on {n_cpus} cpus"
-        )
+    if n_cpus < 4:
+        pytest.skip(f"parallel speedup gate needs >= 4 cpus, have {n_cpus}")
+    assert speedup >= 2.0, (
+        f"parallel sweep only {speedup:.2f}x with {n_workers} workers on {n_cpus} cpus"
+    )

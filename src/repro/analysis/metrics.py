@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.errors import ConfigurationError
 
@@ -98,6 +98,36 @@ class ContentionStats:
     lost_low_snr: int
     suppressed: int = 0
     replays_delivered: int = 0
+
+    @classmethod
+    def from_kind_counts(cls, attempts: int, counts: Mapping[str, int]) -> "ContentionStats":
+        """Build the partition from a one-pass tally of event-kind values.
+
+        ``counts`` maps :class:`~repro.sim.network.EventKind` *values*
+        (the wire strings, so this module stays import-light) to
+        occurrence counts -- typically a ``collections.Counter`` built
+        in a single scan over a phase's events.  Missing kinds count as
+        zero.
+        """
+        return cls(
+            attempts=attempts,
+            delivered=int(counts.get("delivered", 0)),
+            collided=int(counts.get("lost_collision", 0)),
+            lost_low_snr=int(counts.get("lost_low_snr", 0)),
+            suppressed=int(counts.get("suppressed_by_jamming", 0)),
+            replays_delivered=int(counts.get("replay_delivered", 0)),
+        )
+
+    def merge(self, other: "ContentionStats") -> "ContentionStats":
+        """Field-wise sum: combine the partitions of consecutive phases."""
+        return ContentionStats(
+            attempts=self.attempts + other.attempts,
+            delivered=self.delivered + other.delivered,
+            collided=self.collided + other.collided,
+            lost_low_snr=self.lost_low_snr + other.lost_low_snr,
+            suppressed=self.suppressed + other.suppressed,
+            replays_delivered=self.replays_delivered + other.replays_delivered,
+        )
 
     @property
     def delivery_rate(self) -> float:

@@ -34,6 +34,7 @@ worker count.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
@@ -274,11 +275,15 @@ class SweepExecutor:
     Workers start via the ``spawn`` method: each task ships one point,
     the ``measure`` callable, and the point's generator, and returns the
     measured trials -- so ``n_workers`` never changes results, only
-    wall-clock.
+    wall-clock.  Tasks ship in batches of ``chunksize`` points per
+    worker round-trip; the default splits the grid into about four
+    batches per worker, amortizing pickling overhead on fine-grained
+    grids while keeping the load balanced.
     """
 
     n_workers: int = 1
     mp_context: str = "spawn"
+    chunksize: int | None = None
 
     def run(
         self,
@@ -291,6 +296,8 @@ class SweepExecutor:
         """Measure every point/trial; see the class docstring for rng policy."""
         if self.n_workers < 1:
             raise ConfigurationError(f"need >= 1 worker, got {self.n_workers}")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {self.chunksize}")
         given = [x for x in (rng, rng_factory, point_seed) if x is not None]
         if len(given) > 1:
             raise ConfigurationError("pass at most one of rng, rng_factory, point_seed")
@@ -315,9 +322,12 @@ class SweepExecutor:
                     "a shared rng stream is order-dependent and cannot fan out "
                     "across workers; use rng_factory or point_seed instead"
                 )
+            chunksize = self.chunksize
+            if chunksize is None:
+                chunksize = max(1, math.ceil(len(tasks) / (4 * self.n_workers)))
             ctx = multiprocessing.get_context(self.mp_context)
             with ctx.Pool(processes=self.n_workers) as pool:
-                results = pool.map(_execute_point, tasks, chunksize=1)
+                results = pool.map(_execute_point, tasks, chunksize=chunksize)
         return SweepResult(points=points, measurements={key: trials for key, trials in results})
 
 

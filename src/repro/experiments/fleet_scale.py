@@ -51,6 +51,7 @@ from repro.radio.channel import LinkBudget
 from repro.radio.geometry import Position
 from repro.radio.pathloss import LogDistancePathLoss
 from repro.server import FusionPolicy, NetworkServer
+from repro.sim.columnar import ColumnarRuntime
 from repro.sim.network import EventKind, LoRaWanWorld
 from repro.sim.rng import RngStreams
 from repro.sim.runtime import FleetRuntime
@@ -102,6 +103,7 @@ class FleetScaleParams:
     period_s: float
     jitter_s: float
     window_s: float
+    engine: str = "legacy"
 
 
 @dataclass
@@ -209,7 +211,12 @@ def _measure_cell(
         jitter_s=params.jitter_s,
         rng=streams.stream("traffic"),
     )
-    runtime = FleetRuntime(world, traffic, window_s=params.window_s)
+    if params.engine == "columnar":
+        # Events mode is golden-pinned bit-identical to the legacy
+        # runtime, so cells measure the same numbers on either engine.
+        runtime = ColumnarRuntime(world, traffic, window_s=params.window_s, mode="events")
+    else:
+        runtime = FleetRuntime(world, traffic, window_s=params.window_s)
 
     t0 = time.perf_counter()
     clean_report = runtime.run(params.clean_rounds * params.period_s)
@@ -332,6 +339,7 @@ def run_fleet_scale(
     window_s: float = 30.0,
     n_workers: int = 1,
     replicates: int = 1,
+    engine: str = "legacy",
 ) -> FleetScaleResult:
     """Sweep gateway count × fleet size through the event-driven stack.
 
@@ -341,7 +349,12 @@ def run_fleet_scale(
     ``n_workers > 1`` fans whole cells out across processes with
     identical results.  ``replicates > 1`` appends a salt to every key,
     yielding independent copies of each cell (benchmark workloads).
+    ``engine="columnar"`` drives each cell through the time-wheel
+    :class:`~repro.sim.columnar.ColumnarRuntime` in its bit-identical
+    events mode instead of the legacy heap runtime.
     """
+    if engine not in ("legacy", "columnar"):
+        raise ConfigurationError(f"engine must be 'legacy' or 'columnar', got {engine!r}")
     params = FleetScaleParams(
         clean_rounds=clean_rounds,
         attack_rounds=attack_rounds,
@@ -356,6 +369,7 @@ def run_fleet_scale(
         period_s=period_s,
         jitter_s=jitter_s,
         window_s=window_s,
+        engine=engine,
     )
     if replicates < 1:
         raise ConfigurationError(f"need >= 1 replicate, got {replicates}")

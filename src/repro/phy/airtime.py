@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.constants import (
     LORA_BANDWIDTH_HZ,
@@ -107,6 +108,7 @@ class AirtimeBreakdown:
         return self.preamble_s + self.header_s
 
 
+@lru_cache(maxsize=4096)
 def airtime_breakdown(
     payload_len: int,
     spreading_factor: int,
@@ -123,6 +125,11 @@ def airtime_breakdown(
     the header at CR 4/8 together with the first payload nibbles); we
     attribute those 8 symbols to the header segment, which is the region
     whose corruption the RN2483 drops silently (paper Sec. 4.3).
+
+    Memoized: the hot paths (one call per transmitted frame, two per ADR
+    command) see only a handful of distinct (payload_len, SF, ...) keys
+    per run, and the returned breakdown is frozen, so sharing one
+    instance across callers is safe.
     """
     t_sym = symbol_time_s(spreading_factor, bandwidth_hz)
     n_sym = n_payload_symbols(

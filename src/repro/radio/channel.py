@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.constants import (
     LORA_BANDWIDTH_HZ,
     SPEED_OF_LIGHT_M_S,
@@ -88,6 +90,18 @@ class InterSfCaptureMatrix:
         if desired_sf == interferer_sf:
             return self.co_sf_db
         return float(self.cross_sf_db[desired_sf - 7][interferer_sf - 7])
+
+    def threshold_table(self) -> np.ndarray:
+        """The full 6x6 threshold grid with the co-SF diagonal applied.
+
+        ``table[sf_i - 7, sf_j - 7] == threshold_db(sf_i, sf_j)`` for
+        every SF7..SF12 pair -- the broadcastable form the vectorized
+        collision sweep indexes instead of calling :meth:`threshold_db`
+        per pair.
+        """
+        table = np.array(self.cross_sf_db, dtype=float)
+        np.fill_diagonal(table, self.co_sf_db)
+        return table
 
 
 def propagation_delay_s(tx: Position, rx: Position) -> float:

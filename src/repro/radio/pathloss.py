@@ -38,6 +38,10 @@ class FixedPathLoss:
     def loss_db(self, tx: Position, rx: Position) -> float:
         return self.value_db
 
+    def loss_db_from_distance(self, distance_m: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`loss_db` over an array of link distances."""
+        return np.full_like(np.asarray(distance_m, dtype=float), self.value_db)
+
 
 @dataclass(frozen=True)
 class FreeSpacePathLoss:
@@ -48,6 +52,16 @@ class FreeSpacePathLoss:
     def loss_db(self, tx: Position, rx: Position) -> float:
         distance = max(tx.distance_to(rx), 1.0)
         return 20.0 * math.log10(4.0 * math.pi * distance * self.carrier_hz / SPEED_OF_LIGHT_M_S)
+
+    def loss_db_from_distance(self, distance_m: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`loss_db` over an array of link distances.
+
+        Mirrors the scalar arithmetic operation for operation, so the
+        only scalar/vector divergence is the ~1 ulp difference between
+        ``math.log10`` and ``np.log10``.
+        """
+        distance = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
+        return 20.0 * np.log10(4.0 * math.pi * distance * self.carrier_hz / SPEED_OF_LIGHT_M_S)
 
 
 @dataclass(frozen=True)
@@ -95,6 +109,20 @@ class LogDistancePathLoss:
             distance / self.reference_distance_m
         )
         return loss + self._shadowing(tx, rx)
+
+    def loss_db_from_distance(self, distance_m: np.ndarray) -> np.ndarray | None:
+        """Vectorized :meth:`loss_db`, or ``None`` when shadowing is on.
+
+        The per-link shadowing term hashes endpoint *positions*, which a
+        distance-only column cannot reproduce -- callers fall back to
+        the scalar path when this returns ``None``.
+        """
+        if self.shadowing_sigma_db != 0.0:
+            return None
+        distance = np.maximum(np.asarray(distance_m, dtype=float), self.reference_distance_m)
+        return self._reference_loss() + 10.0 * self.exponent * np.log10(
+            distance / self.reference_distance_m
+        )
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate: event queue, world wiring, scenarios."""
 
-from repro.sim.events import Simulator
+from repro.sim.columnar import ColumnarRuntime, FleetState
+from repro.sim.events import Simulator, TimeWheel
 from repro.sim.network import (
     FbMeasurementModel,
     LoRaWanWorld,
@@ -24,14 +25,17 @@ __all__ = [
     "BuildingScenario",
     "CampusScenario",
     "CollisionChannel",
+    "ColumnarRuntime",
     "FbMeasurementModel",
     "FleetRuntime",
+    "FleetState",
     "LoRaWanWorld",
     "PeriodicTrafficModel",
     "RngStreams",
     "RuntimeReport",
     "Simulator",
     "StagedTransmission",
+    "TimeWheel",
     "WorldEvent",
     "build_building_scenario",
     "build_campus_scenario",

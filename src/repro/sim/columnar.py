@@ -1,0 +1,552 @@
+"""Columnar fleet engine: the event-driven runtime as array operations.
+
+:class:`~repro.sim.runtime.FleetRuntime` pays a Python callback plus a
+heap operation per traffic event, which caps fleet simulations around
+10^3..10^4 devices.  This module re-expresses the same loop over a
+struct-of-arrays fleet:
+
+* traffic schedules land on a :class:`~repro.sim.events.TimeWheel` as
+  whole numpy arrays (one push per phase, not one heap push per frame);
+* each popped window resolves duty-cycle gates, transmit bookkeeping,
+  and collision survival as vectorized column operations over a
+  :class:`FleetState`;
+* contention outcomes accumulate straight into
+  :class:`~repro.analysis.metrics.ContentionStats` counters, so a
+  million-frame phase never materializes per-frame
+  :class:`~repro.sim.network.WorldEvent` objects.
+
+Two modes, one engine:
+
+* ``mode="events"`` replays the legacy runtime *bit for bit*: real
+  :class:`~repro.lorawan.device.EndDevice` MAC state, full
+  ``WorldEvent`` emission, ADR downlinks -- only the scheduler changed
+  (``tests/test_columnar.py`` golden-pins equality for single-gateway,
+  fused, and ADR-on runs);
+* ``mode="counters"`` is the scale mode: the MAC layer runs on
+  :class:`FleetState` columns, frames are never assembled, and the
+  report carries counters only.  Duty-cycle attempt/deferral accounting
+  stays *exactly* equal to the events mode (the gate arithmetic is
+  identical); delivery/collision splits are statistically equivalent
+  (emission jitter draws come from one engine stream instead of per-
+  device streams).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import ContentionStats
+from repro.constants import SX1276_DEMOD_SNR_FLOOR_DB
+from repro.errors import ConfigurationError
+from repro.lorawan.device import sensor_payload_len
+from repro.lorawan.downlink import DownlinkScheduler
+from repro.phy.airtime import airtime_s
+from repro.radio.channel import DEFAULT_CAPTURE_THRESHOLD_DB, noise_floor_dbm
+from repro.sim.events import TimeWheel
+from repro.sim.network import LoRaWanWorld, StagedTransmission
+from repro.sim.runtime import (
+    CollisionChannel,
+    RuntimeReport,
+    cluster_survival_matrix,
+    dispatch_adr_downlinks,
+    overlap_cluster_indices,
+    site_power_columns,
+)
+from repro.sim.traffic import PeriodicTrafficModel
+
+#: LoRaWAN framing overhead of an empty-buffer uplink: MHDR (1) + FHDR
+#: without FOpts (7) + FPort (1) + MIC (4).
+_FRAME_OVERHEAD_BYTES = 13
+
+
+@dataclass
+class FleetState:
+    """Struct-of-arrays snapshot of a fleet's MAC-layer state.
+
+    One row per device, in :attr:`LoRaWanWorld.devices` order.  The
+    counters-mode engine runs its duty-cycle gates, transmit
+    bookkeeping, and link-budget lookups against these columns instead
+    of the per-device objects; positions, spreading factors, and powers
+    are frozen at snapshot time (counters mode rejects ADR, so nothing
+    retunes mid-run).
+
+    Attributes:
+        names: Device names, row order of every column.
+        positions: ``(n, 3)`` device coordinates in metres.
+        spreading_factor: ``(n,)`` integer SFs in 7..12.
+        tx_power_dbm: ``(n,)`` transmit powers.
+        frame_bytes: ``(n,)`` empty-buffer uplink frame lengths.
+        airtime_s: ``(n,)`` per-frame airtimes at each device's SF.
+        duty_cycle: ``(n,)`` ETSI duty-cycle fractions.
+        next_allowed_s: ``(n,)`` earliest next transmit instant
+            (mutated by the engine as frames register).
+        latency_mean_s: ``(n,)`` mean radio TX latencies.
+        latency_jitter_s: ``(n,)`` TX latency jitter sigmas.
+        fcnt: ``(n,)`` uplink frame counters (mutated).
+        powers_dbm: ``(n, n_sites)`` received power at every gateway.
+        delays_s: ``(n, n_sites)`` propagation delays to every gateway.
+        in_range: ``(n, n_sites)`` whether each link clears the SF's
+            demodulation SNR floor.
+    """
+
+    names: list[str]
+    positions: np.ndarray
+    spreading_factor: np.ndarray
+    tx_power_dbm: np.ndarray
+    frame_bytes: np.ndarray
+    airtime_s: np.ndarray
+    duty_cycle: np.ndarray
+    next_allowed_s: np.ndarray
+    latency_mean_s: np.ndarray
+    latency_jitter_s: np.ndarray
+    fcnt: np.ndarray
+    powers_dbm: np.ndarray
+    delays_s: np.ndarray
+    in_range: np.ndarray
+
+    @classmethod
+    def from_world(cls, world: LoRaWanWorld) -> "FleetState":
+        """Columnize a world's fleet (devices, links, duty budgets).
+
+        Airtimes are evaluated through the memoized
+        :func:`~repro.phy.airtime.airtime_s`, so a 100k-device fleet
+        with a handful of distinct (length, SF) combinations costs a
+        handful of real computations.  Received powers reuse the
+        vectorized per-site path-loss columns of the collision sweep.
+
+        Args:
+            world: The world to snapshot; must hold at least one device.
+
+        Returns:
+            A fully populated state, duty budgets copied from the live
+            devices (a fleet mid-simulation snapshots mid-budget).
+        """
+        devices = list(world.devices.values())
+        if not devices:
+            raise ConfigurationError("cannot columnize a world with no devices")
+        n = len(devices)
+        positions = np.array([[d.position.x, d.position.y, d.position.z] for d in devices])
+        sf = np.array([d.spreading_factor for d in devices], dtype=np.int64)
+        tx_power = np.array([d.tx_power_dbm for d in devices])
+        frame_bytes = np.array(
+            [_FRAME_OVERHEAD_BYTES + sensor_payload_len(0, d.codec) for d in devices],
+            dtype=np.int64,
+        )
+        airtime = np.array(
+            [
+                airtime_s(int(frame_bytes[i]), int(sf[i]), coding_rate=d.coding_rate)
+                for i, d in enumerate(devices)
+            ]
+        )
+        sites, site_xyz = world.site_columns()
+        powers, delays = site_power_columns(sites, site_xyz, devices, positions, tx_power)
+        floors = np.array([SX1276_DEMOD_SNR_FLOOR_DB[int(s)] for s in sf])
+        site_noise = np.array(
+            [noise_floor_dbm(site.link.bandwidth_hz, site.link.noise_figure_db) for site in sites]
+        )
+        in_range = (powers - site_noise[None, :]) >= floors[:, None]
+        return cls(
+            names=[d.name for d in devices],
+            positions=positions,
+            spreading_factor=sf,
+            tx_power_dbm=tx_power,
+            frame_bytes=frame_bytes,
+            airtime_s=airtime,
+            duty_cycle=np.array([d.duty_cycle.duty_cycle for d in devices]),
+            next_allowed_s=np.array([d.duty_cycle.next_allowed_s() for d in devices]),
+            latency_mean_s=np.array([d.tx_latency_mean_s for d in devices]),
+            latency_jitter_s=np.array([d.tx_latency_jitter_s for d in devices]),
+            fcnt=np.array([d.fcnt for d in devices], dtype=np.int64),
+            powers_dbm=powers,
+            delays_s=delays,
+            in_range=in_range,
+        )
+
+    @property
+    def n_devices(self) -> int:
+        """Number of fleet rows."""
+        return len(self.names)
+
+
+@dataclass
+class ColumnarRuntime:
+    """Array-at-a-time fleet runtime over a bucketed time wheel.
+
+    Drop-in peer of :class:`~repro.sim.runtime.FleetRuntime`: same
+    constructor shape, same :meth:`run` contract, same
+    :class:`~repro.sim.runtime.RuntimeReport`.  Repeated :meth:`run`
+    calls extend one timeline, so clean/arm-attack/attack phase
+    sequences work unchanged (events mode only -- counters mode rejects
+    an armed attack, and an attached ADR controller, outright).
+
+    Attributes:
+        world: The world to drive (either topology).
+        traffic: Periodic-with-jitter schedule source.
+        window_s: Batching grain; also the wheel's bucket width.
+        capture_threshold_db: Co-SF capture margin for contention.
+        backoff_s: Extra wait after a duty-cycle deferral.
+        mode: ``"events"`` (bit-identical, full ``WorldEvent`` stream)
+            or ``"counters"`` (columnar MAC, counter-only reports).
+    """
+
+    world: LoRaWanWorld
+    traffic: PeriodicTrafficModel
+    window_s: float = 1.0
+    capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
+    backoff_s: float = 1e-3
+    mode: str = "events"
+    attempts: int = field(init=False, default=0)
+    deferrals: int = field(init=False, default=0)
+    adr_sent: int = field(init=False, default=0)
+    adr_dropped: int = field(init=False, default=0)
+    adr_applied: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        """Validate knobs and set up the wheel, channel, and indices."""
+        if self.window_s <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window_s}")
+        if self.backoff_s <= 0:
+            raise ConfigurationError(f"backoff must be positive, got {self.backoff_s}")
+        if self.mode not in ("events", "counters"):
+            raise ConfigurationError(f"mode must be 'events' or 'counters', got {self.mode!r}")
+        self._channel = CollisionChannel(capture_threshold_db=self.capture_threshold_db)
+        self._wheel = TimeWheel(self.window_s)
+        self._now = self.world.simulator.now_s
+        self._names = list(self.world.devices)
+        self._index_of = {name: i for i, name in enumerate(self._names)}
+        self._pending: list[StagedTransmission] = []
+        self._apply_payloads: list[tuple[str, bytes]] = []
+        self._downlink_schedulers: dict[int, DownlinkScheduler] = {}
+        self._state: FleetState | None = None
+        self._processed = 0
+        # Counters-mode staging: per-window emission/device columns.
+        self._pend_emission: list[np.ndarray] = []
+        self._pend_device: list[np.ndarray] = []
+        self._counts = np.zeros(3, dtype=np.int64)  # delivered, collided, low-SNR
+
+    def run(self, duration_s: float, device_names: list[str] | None = None) -> RuntimeReport:
+        """Schedule one phase of fleet traffic and run it to completion.
+
+        Mirrors :meth:`FleetRuntime.run`: base ticks cover
+        ``[now, now + duration_s)``, jitter spill extends the horizon,
+        deferrals backing off beyond it stay queued for the next phase.
+
+        Args:
+            duration_s: Phase length in simulated seconds.
+            device_names: Subset of devices to schedule; ``None`` means
+                the whole fleet.
+
+        Returns:
+            A :class:`RuntimeReport` over exactly this phase -- with the
+            full event list (events mode) or pre-tallied counters and an
+            empty event list (counters mode).
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s}")
+        world = self.world
+        names = self._names if device_names is None else list(device_names)
+        unknown = [n for n in names if n not in world.devices]
+        if unknown:
+            raise ConfigurationError(f"unknown devices: {unknown}")
+        start_s = self._now
+        times, indices = self.traffic.schedule_arrays(len(names), duration_s, start_s=start_s)
+        if device_names is not None and times.size:
+            indices = np.array([self._index_of[n] for n in names], dtype=np.int64)[indices]
+        self._wheel.push(times, indices)
+        end_s = start_s + duration_s
+        if times.size:
+            # The schedule is time-ordered; its tail bounds the jitter spill.
+            end_s = max(end_s, float(times[-1]))
+        attempts0, deferrals0 = self.attempts, self.deferrals
+        adr0 = (self.adr_sent, self.adr_dropped, self.adr_applied)
+        first_event = len(world.events)
+        processed0 = self._processed
+        counts0 = self._counts.copy()
+        wall0 = time.perf_counter()
+        if self.mode == "events":
+            self._drive_events(end_s)
+        else:
+            self._drive_counters(end_s)
+        wall_s = time.perf_counter() - wall0
+        self._now = end_s
+        # Keep the world's own clock in step so callers reading
+        # ``world.simulator.now_s`` (phase anchors, attack arming) see
+        # the engine's timeline.
+        world.simulator.run_until(end_s)
+        counters = None
+        if self.mode == "counters":
+            delivered, collided, low = (self._counts - counts0).tolist()
+            counters = ContentionStats(
+                attempts=self.attempts - attempts0,
+                delivered=delivered,
+                collided=collided,
+                lost_low_snr=low,
+            )
+        return RuntimeReport(
+            start_s=start_s,
+            duration_s=duration_s,
+            attempts=self.attempts - attempts0,
+            deferrals=self.deferrals - deferrals0,
+            sim_events=self._processed - processed0,
+            wall_s=wall_s,
+            events=list(world.events[first_event:]),
+            adr_commands_sent=self.adr_sent - adr0[0],
+            adr_commands_dropped=self.adr_dropped - adr0[1],
+            adr_commands_applied=self.adr_applied - adr0[2],
+            counters=counters,
+        )
+
+    # -- events mode: bit-identical replay of FleetRuntime ----------------------
+
+    def _drive_events(self, end_s: float) -> None:
+        """Pop windows and replay them through the per-device MAC layer."""
+        while True:
+            peek = self._wheel.peek_time_s()
+            if peek is None or peek > end_s:
+                break
+            key, w_times, w_seq, w_items = self._wheel.pop_window()
+            boundary = self._wheel.window_end_s(key)
+            self._process_window_events(w_times, w_seq, w_items, boundary, end_s)
+            if boundary <= end_s:
+                self._flush_events(boundary)
+        # The horizon can split a window: frames staged before ``end_s``
+        # flush now (the legacy runtime's explicit end-of-phase flush);
+        # the window's remaining events stay on the wheel.
+        self._flush_events(end_s)
+        # That flush can queue ADR applies landing exactly at ``end_s``;
+        # fire those before reporting, like the legacy second run_until.
+        while True:
+            peek = self._wheel.peek_time_s()
+            if peek is None or peek > end_s:
+                break
+            key, w_times, w_seq, w_items = self._wheel.pop_window()
+            self._process_window_events(
+                w_times, w_seq, w_items, self._wheel.window_end_s(key), end_s
+            )
+        self._flush_events(end_s)
+
+    def _process_window_events(
+        self,
+        w_times: np.ndarray,
+        w_seq: np.ndarray,
+        w_items: np.ndarray,
+        boundary: float,
+        end_s: float,
+    ) -> None:
+        """Run one popped window's events in exact ``(time, seq)`` order.
+
+        A local heap merges the window's events with anything scheduled
+        *into* the window while processing it (duty-cycle retries), so
+        the total order matches the legacy shared event heap.  Events
+        past ``end_s`` go back on the wheel for the next phase.
+        """
+        world = self.world
+        heap = list(zip(w_times.tolist(), w_seq.tolist(), w_items.tolist()))
+        heapq.heapify(heap)
+        while heap:
+            t, _, item = heapq.heappop(heap)
+            if t > end_s:
+                rest = sorted(heap)
+                rest.insert(0, (t, _, item))
+                self._wheel.push(
+                    np.array([r[0] for r in rest]), np.array([r[2] for r in rest])
+                )
+                return
+            self._processed += 1
+            if item < 0:
+                name, raw = self._apply_payloads[-int(item) - 1]
+                world.devices[name].receive_downlink(raw, at_time_s=t)
+                self.adr_applied += 1
+                continue
+            name = self._names[int(item)]
+            device = world.devices[name]
+            if not device.duty_cycle.can_transmit(t):
+                self.deferrals += 1
+                retry = max(device.duty_cycle.next_allowed_s() + self.backoff_s, t)
+                if retry < boundary and retry <= end_s:
+                    heapq.heappush(heap, (retry, self._wheel.reserve_sequence(), item))
+                else:
+                    self._wheel.push(np.array([retry]), np.array([item]))
+                continue
+            self.attempts += 1
+            self._pending.append(StagedTransmission(name, device.transmit(t)))
+
+    def _flush_events(self, now_s: float) -> None:
+        """Resolve and deliver everything staged, then dispatch ADR."""
+        if not self._pending:
+            return
+        staged, self._pending = self._pending, []
+        mask = self._channel.surviving_sites(self.world, staged)
+        events = self.world.deliver_staged(staged, site_mask=mask)
+        server = self.world.server
+        if server is not None and server.adr is not None:
+            sent, dropped = dispatch_adr_downlinks(
+                self.world, self._scheduler_for, events, self._schedule_apply, now_s
+            )
+            self.adr_sent += sent
+            self.adr_dropped += dropped
+
+    def _scheduler_for(self, site_index: int) -> DownlinkScheduler:
+        """The per-gateway downlink chain (one transmission at a time)."""
+        if site_index not in self._downlink_schedulers:
+            self._downlink_schedulers[site_index] = DownlinkScheduler()
+        return self._downlink_schedulers[site_index]
+
+    def _schedule_apply(self, time_s: float, device_name: str, raw: bytes) -> None:
+        """Queue a downlink application on the wheel (negative item codes)."""
+        self._apply_payloads.append((device_name, raw))
+        self._wheel.push(np.array([time_s]), np.array([-len(self._apply_payloads)]))
+
+    # -- counters mode: columnar MAC, no events ---------------------------------
+
+    def _drive_counters(self, end_s: float) -> None:
+        """Pop windows and resolve them as whole-array operations."""
+        world = self.world
+        if world.attack is not None:
+            raise ConfigurationError(
+                "counters mode cannot model the frame delay attack; use mode='events'"
+            )
+        if world.server is not None and world.server.adr is not None:
+            raise ConfigurationError(
+                "counters mode cannot apply ADR downlinks; use mode='events'"
+            )
+        if world.extra_gateways and world.server is None:
+            raise ConfigurationError(
+                "extra gateways are placed but no network server is attached; "
+                "call attach_server() to enable multi-gateway routing"
+            )
+        if self._state is None:
+            self._state = FleetState.from_world(world)
+        state = self._state
+        table = self._channel.capture_matrix.threshold_table()
+        while True:
+            peek = self._wheel.peek_time_s()
+            if peek is None or peek > end_s:
+                break
+            key, w_times, w_seq, w_items = self._wheel.pop_window()
+            boundary = self._wheel.window_end_s(key)
+            beyond = w_times > end_s
+            if beyond.any():
+                self._wheel.push(w_times[beyond], w_items[beyond])
+                keep = ~beyond
+                w_times, w_seq, w_items = w_times[keep], w_seq[keep], w_items[keep]
+            if w_times.size:
+                if np.unique(w_items).size == w_items.size:
+                    self._window_pass_vector(w_times, w_items, state)
+                else:
+                    # A device appearing twice in one pass (retry chains
+                    # inside a long window) needs sequential duty-state
+                    # updates; fall back to the exact heap walk.
+                    self._window_pass_sequential(w_times, w_seq, w_items, state, boundary, end_s)
+            if boundary <= end_s:
+                self._flush_counters(state, table)
+        self._flush_counters(state, table)
+
+    def _window_pass_vector(
+        self, w_times: np.ndarray, w_items: np.ndarray, state: FleetState
+    ) -> None:
+        """One vectorized duty-gate/transmit pass over unique devices.
+
+        In-window retries go back on the wheel, re-creating the bucket;
+        the drive loop re-pops it as a follow-up pass, so retry chains
+        resolve with the same per-device outcomes as the event heap
+        (each pass holds one event per device, and only a device's own
+        event order affects its duty budget).
+        """
+        self._processed += w_times.size
+        gate = w_times >= state.next_allowed_s[w_items]
+        blocked_t, blocked_d = w_times[~gate], w_items[~gate]
+        if blocked_t.size:
+            self.deferrals += blocked_t.size
+            retry = np.maximum(state.next_allowed_s[blocked_d] + self.backoff_s, blocked_t)
+            self._wheel.push(retry, blocked_d)
+        att_t, att_d = w_times[gate], w_items[gate]
+        if att_t.size:
+            self.attempts += att_t.size
+            self._register_attempts(att_t, att_d, state)
+
+    def _window_pass_sequential(
+        self,
+        w_times: np.ndarray,
+        w_seq: np.ndarray,
+        w_items: np.ndarray,
+        state: FleetState,
+        boundary: float,
+        end_s: float,
+    ) -> None:
+        """Exact heap walk for passes where one device appears twice."""
+        heap = list(zip(w_times.tolist(), w_seq.tolist(), w_items.tolist()))
+        heapq.heapify(heap)
+        att_t: list[float] = []
+        att_d: list[int] = []
+        while heap:
+            t, _, item = heapq.heappop(heap)
+            self._processed += 1
+            device = int(item)
+            if t < state.next_allowed_s[device]:
+                self.deferrals += 1
+                retry = max(float(state.next_allowed_s[device]) + self.backoff_s, t)
+                if retry < boundary and retry <= end_s:
+                    heapq.heappush(heap, (retry, self._wheel.reserve_sequence(), item))
+                else:
+                    self._wheel.push(np.array([retry]), np.array([device]))
+                continue
+            self.attempts += 1
+            att_t.append(t)
+            att_d.append(device)
+            air = float(state.airtime_s[device])
+            state.next_allowed_s[device] = t + air + air * (
+                1.0 / float(state.duty_cycle[device]) - 1.0
+            )
+            state.fcnt[device] = (state.fcnt[device] + 1) & 0xFFFF
+        if att_t:
+            self._stage_counters(np.array(att_t), np.array(att_d, dtype=np.int64), state)
+
+    def _register_attempts(self, att_t: np.ndarray, att_d: np.ndarray, state: FleetState) -> None:
+        """Duty/FCnt bookkeeping plus emission staging for one attempt batch."""
+        air = state.airtime_s[att_d]
+        # Same expression (and FP op order) as DutyCycleLimiter.register.
+        state.next_allowed_s[att_d] = att_t + air + air * (1.0 / state.duty_cycle[att_d] - 1.0)
+        state.fcnt[att_d] = (state.fcnt[att_d] + 1) & 0xFFFF
+        self._stage_counters(att_t, att_d, state)
+
+    def _stage_counters(self, att_t: np.ndarray, att_d: np.ndarray, state: FleetState) -> None:
+        """Draw emission latencies and stage the frames for the window flush."""
+        jitter = self.world.rng.standard_normal(att_t.size) * state.latency_jitter_s[att_d]
+        emission = att_t + np.maximum(state.latency_mean_s[att_d] + jitter, 0.0)
+        self._pend_emission.append(emission)
+        self._pend_device.append(att_d)
+
+    def _flush_counters(self, state: FleetState, table: np.ndarray) -> None:
+        """Resolve one window's staged frames straight into counters."""
+        if not self._pend_emission:
+            return
+        emission = np.concatenate(self._pend_emission)
+        devices = np.concatenate(self._pend_device)
+        self._pend_emission, self._pend_device = [], []
+        air = state.airtime_s[devices]
+        in_range = state.in_range[devices]
+        survives = np.ones_like(in_range)
+        if emission.size >= 2:
+            powers = state.powers_dbm[devices]
+            delays = state.delays_s[devices]
+            sf = state.spreading_factor[devices]
+            for cluster in overlap_cluster_indices(emission, emission + air):
+                if cluster.size < 2:
+                    continue
+                survives[cluster] = cluster_survival_matrix(
+                    emission[cluster, None] + delays[cluster],
+                    air[cluster],
+                    powers[cluster],
+                    sf[cluster],
+                    table,
+                )
+        reachable = in_range.any(axis=1)
+        delivered = (in_range & survives).any(axis=1)
+        n_low = int((~reachable).sum())
+        n_delivered = int(delivered.sum())
+        self._counts += (n_delivered, emission.size - n_low - n_delivered, n_low)

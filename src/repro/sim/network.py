@@ -194,6 +194,21 @@ class LoRaWanWorld:
         )
         return [primary, *self.extra_gateways]
 
+    def site_columns(self) -> tuple[list[GatewaySite], np.ndarray]:
+        """Sites plus their positions stacked as one ``(n_sites, 3)`` array.
+
+        The :attr:`sites` property rebuilds its list on every access;
+        hot paths needing every gateway placement at once (the
+        vectorized collision sweep, the columnar engine) grab the list
+        and the coordinate columns in one call.
+        """
+        sites = self.sites
+        xyz = np.array(
+            [[site.position.x, site.position.y, site.position.z] for site in sites],
+            dtype=float,
+        )
+        return sites, xyz
+
     def add_gateway(
         self,
         position: Position,

@@ -39,9 +39,14 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
 
 from repro.analysis.metrics import ContentionStats
+from repro.constants import SPEED_OF_LIGHT_M_S
 from repro.core.softlora import SoftLoRaStatus
 from repro.errors import ConfigurationError
 from repro.lorawan.downlink import DownlinkScheduler, build_downlink
@@ -54,11 +59,116 @@ from repro.radio.channel import (
 )
 from repro.sim.network import (
     EventKind,
+    GatewaySite,
     LoRaWanWorld,
     StagedTransmission,
     WorldEvent,
 )
 from repro.sim.traffic import AlohaChannel, PeriodicTrafficModel
+
+
+def overlap_cluster_indices(starts: np.ndarray, ends: np.ndarray) -> list[np.ndarray]:
+    """Chain intervals into overlap clusters with one sorted sweep.
+
+    Sorts by start (stable, so equal starts keep input order), then
+    walks the running maximum of interval ends: an interval starting at
+    or after everything seen so far opens a new cluster -- exactly the
+    chaining rule the legacy per-item loop applied, as one
+    ``np.maximum.accumulate`` pass.  Returns index arrays into the
+    input, one per cluster, in sweep order.
+    """
+    order = np.argsort(starts, kind="stable")
+    running_end = np.maximum.accumulate(ends[order])
+    opens_cluster = np.empty(order.size, dtype=bool)
+    opens_cluster[0] = True
+    opens_cluster[1:] = starts[order][1:] >= running_end[:-1]
+    breaks = np.flatnonzero(opens_cluster[1:]) + 1
+    return np.split(order, breaks)
+
+
+def site_power_columns(
+    sites: list[GatewaySite],
+    site_xyz: np.ndarray,
+    devices: list,
+    dev_xyz: np.ndarray,
+    tx_power_dbm: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(frame, site) received powers and propagation delays.
+
+    One vectorized distance/path-loss evaluation per gateway site,
+    mirroring the scalar :meth:`LinkBudget.rx_power_dbm` arithmetic
+    operation for operation.  Path-loss models without a closed
+    distance-only form (``loss_db_from_distance`` missing or returning
+    ``None``, e.g. log-distance with shadowing) fall back to the scalar
+    per-device call, which stays exact.
+
+    Args:
+        sites: Gateway placements, as returned by ``world.site_columns()``.
+        site_xyz: ``(n_sites, 3)`` site coordinates, same call.
+        devices: The staged frames' :class:`EndDevice` objects (scalar
+            fallback only).
+        dev_xyz: ``(n, 3)`` device coordinates, one row per staged frame.
+        tx_power_dbm: ``(n,)`` per-frame transmit powers.
+
+    Returns:
+        ``(powers, delays)``, each ``(n, n_sites)``.
+    """
+    n = dev_xyz.shape[0]
+    powers = np.empty((n, len(sites)))
+    delays = np.empty((n, len(sites)))
+    for column, site in enumerate(sites):
+        diff = dev_xyz - site_xyz[column]
+        distance = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2 + diff[:, 2] ** 2)
+        loss = None
+        vectorized = getattr(site.link.pathloss, "loss_db_from_distance", None)
+        if vectorized is not None:
+            loss = vectorized(distance)
+        if loss is None:
+            loss = np.array(
+                [site.link.pathloss.loss_db(device.position, site.position) for device in devices]
+            )
+        powers[:, column] = (
+            tx_power_dbm + site.link.tx_antenna_gain_db + site.link.rx_antenna_gain_db - loss
+        )
+        delays[:, column] = distance / SPEED_OF_LIGHT_M_S
+    return powers, delays
+
+
+def cluster_survival_matrix(
+    starts: np.ndarray,
+    airtime: np.ndarray,
+    powers: np.ndarray,
+    spreading_factor: np.ndarray,
+    threshold_table: np.ndarray,
+) -> np.ndarray:
+    """Which (frame, site) receptions survive one overlap cluster.
+
+    Broadcast form of the capture-matrix rule in
+    :func:`~repro.radio.channel.resolve_collisions`: at each site, frame
+    ``i`` dies iff some other frame ``j`` overlaps it there (strict
+    interval overlap on propagation-shifted times) with
+    ``P_i < P_j + threshold(sf_i, sf_j)``.
+
+    Args:
+        starts: ``(k, n_sites)`` per-site arrival times.
+        airtime: ``(k,)`` frame airtimes.
+        powers: ``(k, n_sites)`` per-site received powers (dBm).
+        spreading_factor: ``(k,)`` integer SFs in 7..12.
+        threshold_table: The 6x6 grid from
+            :meth:`InterSfCaptureMatrix.threshold_table`.
+
+    Returns:
+        ``(k, n_sites)`` boolean survival matrix.
+    """
+    ends = starts + airtime[:, None]
+    overlap = (starts[:, None, :] < ends[None, :, :]) & (starts[None, :, :] < ends[:, None, :])
+    diagonal = np.arange(starts.shape[0])
+    overlap[diagonal, diagonal, :] = False
+    thresholds = threshold_table[
+        (spreading_factor - 7)[:, None], (spreading_factor - 7)[None, :]
+    ]
+    fatal = overlap & (powers[:, None, :] < powers[None, :, :] + thresholds[:, :, None])
+    return ~fatal.any(axis=1)
 
 
 def replay_detected(event: WorldEvent) -> bool:
@@ -74,6 +184,95 @@ def replay_detected(event: WorldEvent) -> bool:
         event.reception is not None
         and event.reception.status is SoftLoRaStatus.REPLAY_DETECTED
     )
+
+
+def dispatch_adr_downlinks(
+    world: LoRaWanWorld,
+    scheduler_for: Callable[[int], DownlinkScheduler],
+    events: list[WorldEvent],
+    schedule_apply: Callable[[float, str, bytes], None],
+    now_s: float,
+) -> tuple[int, int]:
+    """Ship queued LinkADRReq commands into class-A receive windows.
+
+    Each command anchors to its device's uplink from the window just
+    delivered: RX1/RX2 open off that uplink's *real* end-of-airtime.
+    The downlink leaves through the first gateway that heard the uplink
+    *and* has duty-cycle budget left (the server's gateway choice); when
+    no hearing gateway can hit either window the command is dropped and
+    the device simply keeps its data rate (the controller re-arms for a
+    retry).  Shared by :class:`FleetRuntime` and the columnar engine so
+    both retune fleets through the exact same downlink arithmetic.
+
+    Args:
+        world: The world whose server queued the commands.
+        scheduler_for: Maps a site index to that gateway's
+            :class:`DownlinkScheduler` (one busy chain per gateway).
+        events: The delivery window's emitted events (anchor source).
+        schedule_apply: Callback ``(time_s, device_name, raw)`` that
+            arranges for the device to act on the downlink at
+            ``time_s`` -- the engines differ only in *how* they queue
+            this.
+        now_s: Current simulation time; applies never fire in the past.
+
+    Returns:
+        ``(sent, dropped)`` LinkADRReq counts for this window.
+    """
+    server = world.server
+    commands = server.adr.take_pending()
+    if not commands:
+        return 0, 0
+    sent = dropped = 0
+    site_index_of = {site.gateway_id: i for i, site in enumerate(world.sites)}
+    anchors: dict[int, WorldEvent] = {}
+    for event in events:
+        if event.kind is EventKind.DELIVERED and event.transmission is not None:
+            anchors[event.transmission.dev_addr] = event
+    for command in commands:
+        anchor = anchors.get(command.dev_addr)
+        if anchor is None:
+            # The triggering uplink resolved outside this window
+            # (e.g. caller-stepped use); retry off a later uplink.
+            dropped += 1
+            server.adr.command_dropped(command.dev_addr)
+            continue
+        tx = anchor.transmission
+        device = world.devices[anchor.device_name]
+        raw = build_downlink(
+            device.keys,
+            command.dev_addr,
+            server.adr.next_fcnt_down(command.dev_addr),
+            payload=command.request.encode(),
+            fport=0,
+        )
+        # RX1 mirrors the uplink data rate; EU868 pins RX2 at
+        # DR0/SF12, so the same frame costs up to ~32x more airtime
+        # (and duty-cycle budget) when it slips to the second window.
+        rx1_airtime = airtime_s(len(raw), tx.spreading_factor)
+        rx2_airtime = airtime_s(len(raw), 12)
+        gateway_ids = anchor.metadata.get("gateway_ids", ()) or (world.sites[0].gateway_id,)
+        window = None
+        for gateway_id in gateway_ids:
+            site_index = site_index_of.get(gateway_id, 0)
+            scheduler = scheduler_for(site_index)
+            window = scheduler.schedule(tx.end_time_s, rx1_airtime, rx2_airtime)
+            if window is not None:
+                # The scheduler records the true transmit start
+                # (window opening, pushed back by its busy chain).
+                start_s = scheduler.scheduled[-1][0]
+                break
+        if window is None:
+            dropped += 1
+            server.adr.command_dropped(command.dev_addr)
+            continue
+        sent += 1
+        # The device acts once the downlink is fully received.
+        # Windowed batching can resolve an uplink after its receive
+        # windows conceptually passed; the device then applies the
+        # command at the flush instant rather than in the past.
+        on_air = rx1_airtime if window.which == "RX1" else rx2_airtime
+        schedule_apply(max(start_s + on_air, now_s), anchor.device_name, raw)
+    return sent, dropped
 
 
 @dataclass
@@ -121,7 +320,63 @@ class CollisionChannel:
     def surviving_sites(
         self, world: LoRaWanWorld, staged: list[StagedTransmission]
     ) -> dict[int, set[int]]:
-        """Map each staged index to the site indices where it survives."""
+        """Map each staged index to the site indices where it survives.
+
+        One sorted-interval sweep clusters the window's emissions, then
+        every multi-frame cluster resolves all (frame, site) fates in a
+        single broadcast against the capture-threshold table -- no
+        per-site :class:`AlohaChannel` objects, no per-pair Python
+        calls.  :meth:`surviving_sites_reference` keeps the original
+        object-per-frame loop as the property-test oracle; the two
+        agree except where a received-power comparison lands within
+        ~1 ulp of the capture threshold (``np.log10`` vs
+        ``math.log10`` in the path-loss evaluation).
+        """
+        sites, site_xyz = world.site_columns()
+        mask: dict[int, set[int]] = {index: set(range(len(sites))) for index in range(len(staged))}
+        if len(staged) < 2:
+            return mask
+        emission = np.array([item.transmission.emission_time_s for item in staged])
+        airtime = np.array([item.transmission.airtime_s for item in staged])
+        clusters = [
+            cluster
+            for cluster in overlap_cluster_indices(emission, emission + airtime)
+            if cluster.size >= 2
+        ]
+        if not clusters:
+            return mask
+        spreading_factor = np.array(
+            [item.transmission.spreading_factor for item in staged], dtype=np.int64
+        )
+        tx_power = np.array([item.transmission.tx_power_dbm for item in staged])
+        devices = [world.devices[item.device_name] for item in staged]
+        dev_xyz = np.array(
+            [[device.position.x, device.position.y, device.position.z] for device in devices]
+        )
+        powers, delays = site_power_columns(sites, site_xyz, devices, dev_xyz, tx_power)
+        table = self.capture_matrix.threshold_table()
+        for cluster in clusters:
+            survives = cluster_survival_matrix(
+                emission[cluster, None] + delays[cluster],
+                airtime[cluster],
+                powers[cluster],
+                spreading_factor[cluster],
+                table,
+            )
+            for row, site_index in zip(*np.nonzero(~survives)):
+                mask[int(cluster[row])].discard(int(site_index))
+        return mask
+
+    def surviving_sites_reference(
+        self, world: LoRaWanWorld, staged: list[StagedTransmission]
+    ) -> dict[int, set[int]]:
+        """The original per-cluster, per-site loop (property-test oracle).
+
+        Semantically identical to :meth:`surviving_sites` but built on
+        scalar :class:`AlohaChannel` resolution -- kept as the reference
+        implementation the hypothesis equivalence tests compare the
+        vectorized sweep against.
+        """
         sites = world.sites
         mask: dict[int, set[int]] = {index: set(range(len(sites))) for index in range(len(staged))}
         for cluster in self._overlap_clusters(staged):
@@ -170,6 +425,11 @@ class RuntimeReport:
         adr_commands_dropped: LinkADRReq downlinks lost to the
             gateway's duty-cycle/window budget (device keeps its SF).
         adr_commands_applied: Downlinks a device acted on this phase.
+        counters: Pre-tallied :class:`ContentionStats` from a
+            counters-mode :class:`~repro.sim.columnar.ColumnarRuntime`
+            phase, which never materializes per-frame ``WorldEvent``
+            objects (``events`` is empty then).  ``None`` on
+            event-emitting phases.
     """
 
     start_s: float
@@ -182,19 +442,20 @@ class RuntimeReport:
     adr_commands_sent: int = 0
     adr_commands_dropped: int = 0
     adr_commands_applied: int = 0
+    counters: ContentionStats | None = None
 
     @property
     def contention(self) -> ContentionStats:
-        """Attempt accounting: delivered / collided / lost / suppressed."""
-        kinds = [event.kind for event in self.events]
-        return ContentionStats(
-            attempts=self.attempts,
-            delivered=kinds.count(EventKind.DELIVERED),
-            collided=kinds.count(EventKind.LOST_COLLISION),
-            lost_low_snr=kinds.count(EventKind.LOST_LOW_SNR),
-            suppressed=kinds.count(EventKind.SUPPRESSED_BY_JAMMING),
-            replays_delivered=kinds.count(EventKind.REPLAY_DELIVERED),
-        )
+        """Attempt accounting: delivered / collided / lost / suppressed.
+
+        Counters-mode phases return their pre-tallied stats; otherwise
+        the partition is built in one pass over the event stream (a
+        million-event report is scanned once, not once per kind).
+        """
+        if self.counters is not None:
+            return self.counters
+        counts = Counter(event.kind.value for event in self.events)
+        return ContentionStats.from_kind_counts(self.attempts, counts)
 
     @property
     def goodput_fps(self) -> float:
@@ -358,77 +619,17 @@ class FleetRuntime:
         return self._downlink_schedulers[site_index]
 
     def _dispatch_adr(self, events: list[WorldEvent]) -> None:
-        """Ship queued LinkADRReq commands into class-A receive windows.
-
-        Each command anchors to its device's uplink from the window just
-        delivered: RX1/RX2 open off that uplink's *real* end-of-airtime.
-        The downlink leaves through the first gateway that heard the
-        uplink *and* has duty-cycle budget left (the server's gateway
-        choice); when no hearing gateway can hit either window the
-        command is dropped and the device simply keeps its data rate
-        (the controller re-arms for a retry).
-        """
-        server = self.world.server
-        commands = server.adr.take_pending()
-        if not commands:
-            return
+        """Ship the window's queued ADR commands (shared dispatch core)."""
         sim = self.world.simulator
-        site_index_of = {site.gateway_id: i for i, site in enumerate(self.world.sites)}
-        anchors: dict[int, WorldEvent] = {}
-        for event in events:
-            if event.kind is EventKind.DELIVERED and event.transmission is not None:
-                anchors[event.transmission.dev_addr] = event
-        for command in commands:
-            anchor = anchors.get(command.dev_addr)
-            if anchor is None:
-                # The triggering uplink resolved outside this window
-                # (e.g. caller-stepped use); retry off a later uplink.
-                self.adr_dropped += 1
-                server.adr.command_dropped(command.dev_addr)
-                continue
-            tx = anchor.transmission
-            device = self.world.devices[anchor.device_name]
-            raw = build_downlink(
-                device.keys,
-                command.dev_addr,
-                server.adr.next_fcnt_down(command.dev_addr),
-                payload=command.request.encode(),
-                fport=0,
-            )
-            # RX1 mirrors the uplink data rate; EU868 pins RX2 at
-            # DR0/SF12, so the same frame costs up to ~32x more airtime
-            # (and duty-cycle budget) when it slips to the second window.
-            rx1_airtime = airtime_s(len(raw), tx.spreading_factor)
-            rx2_airtime = airtime_s(len(raw), 12)
-            gateway_ids = anchor.metadata.get("gateway_ids", ()) or (
-                self.world.sites[0].gateway_id,
-            )
-            window = None
-            for gateway_id in gateway_ids:
-                site_index = site_index_of.get(gateway_id, 0)
-                scheduler = self._scheduler_for(site_index)
-                window = scheduler.schedule(tx.end_time_s, rx1_airtime, rx2_airtime)
-                if window is not None:
-                    # The scheduler records the true transmit start
-                    # (window opening, pushed back by its busy chain).
-                    start_s = scheduler.scheduled[-1][0]
-                    break
-            if window is None:
-                self.adr_dropped += 1
-                server.adr.command_dropped(command.dev_addr)
-                continue
-            self.adr_sent += 1
-            # The device acts once the downlink is fully received.
-            # Windowed batching can resolve an uplink after its receive
-            # windows conceptually passed; the device then applies the
-            # command at the flush instant rather than in the past.
-            on_air = rx1_airtime if window.which == "RX1" else rx2_airtime
-            sim.schedule(
-                max(start_s + on_air, sim.now_s),
-                self._apply_downlink,
-                anchor.device_name,
-                raw,
-            )
+        sent, dropped = dispatch_adr_downlinks(
+            self.world,
+            self._scheduler_for,
+            events,
+            lambda time_s, name, raw: sim.schedule(time_s, self._apply_downlink, name, raw),
+            sim.now_s,
+        )
+        self.adr_sent += sent
+        self.adr_dropped += dropped
 
     def _apply_downlink(self, device_name: str, raw: bytes) -> None:
         """A device's receive window fires: parse and act on the downlink."""

@@ -66,6 +66,49 @@ class PeriodicTrafficModel:
         uplinks.sort(key=lambda u: u.request_time_s)
         return uplinks
 
+    def schedule_arrays(
+        self, n_devices: int, duration_s: float, start_s: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`schedule`: ``(request_times, device_indices)``.
+
+        Bit-identical to :meth:`schedule` over devices ``0..n-1`` -- same
+        rng draw order (one phase per device, then one jitter per kept
+        tick), same repeated-addition tick arithmetic (``np.cumsum``
+        over ``[phase, period, period, ...]`` accumulates exactly like
+        the scalar ``t += period`` loop), same stable time sort -- but
+        the per-tick Python object churn is gone, so scheduling 100k
+        devices costs 100k small array ops instead of millions of
+        appends.
+        """
+        horizon = start_s + duration_s
+        times_parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
+        for index in range(n_devices):
+            phase = float(self.rng.uniform(0.0, self.period_s))
+            first = start_s + phase
+            if first >= horizon:
+                continue
+            # Overestimate the tick count, accumulate, then keep the
+            # ticks the scalar loop would have appended (t < horizon on
+            # the *accumulated* value, so boundary rounding matches).
+            n_over = int(np.ceil((horizon - first) / self.period_s)) + 2
+            steps = np.full(n_over, self.period_s)
+            steps[0] = first
+            base = np.cumsum(steps)
+            base = base[base < horizon]
+            if base.size == 0:
+                continue
+            if self.jitter_s:
+                base = base + self.rng.uniform(0.0, self.jitter_s, size=base.size)
+            times_parts.append(base)
+            index_parts.append(np.full(base.size, index, dtype=np.int64))
+        if not times_parts:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        times = np.concatenate(times_parts)
+        indices = np.concatenate(index_parts)
+        order = np.argsort(times, kind="stable")
+        return times[order], indices[order]
+
 
 @dataclass
 class AlohaChannel:

@@ -1,0 +1,156 @@
+"""Property test: vectorized collision sweep == per-site AlohaChannel loop.
+
+:meth:`CollisionChannel.surviving_sites` resolves a window's contention
+as one sorted-interval sweep plus a broadcast capture-matrix pass;
+:meth:`CollisionChannel.surviving_sites_reference` keeps the original
+object-per-frame loop as the oracle.  Hypothesis drives both over
+SF-heterogeneous clusters, capture-edge power ties (discrete power and
+position grids, mirrored geometry), 1..3 gateway sites, and path-loss
+models with and without a vectorized distance-only form (the latter
+exercising the scalar fallback inside ``site_power_columns``).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lorawan.device import UplinkTransmission
+from repro.phy.airtime import airtime_s
+from repro.radio.geometry import Position
+from repro.radio.pathloss import FixedPathLoss, LogDistancePathLoss
+from repro.radio.channel import LinkBudget
+from repro.sim.network import GatewaySite, StagedTransmission
+from repro.sim.runtime import CollisionChannel
+
+
+class OpaquePathLoss:
+    """A path-loss model without ``loss_db_from_distance``.
+
+    Forces ``site_power_columns`` onto its scalar per-device fallback,
+    the branch real models with shadowing (or no closed distance-only
+    form) take.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def loss_db(self, tx: Position, rx: Position) -> float:
+        return self._inner.loss_db(tx, rx)
+
+
+class _StubDevice:
+    def __init__(self, name: str, position: Position):
+        self.name = name
+        self.position = position
+
+
+class _StubWorld:
+    """The slice of LoRaWanWorld the collision sweep reads."""
+
+    def __init__(self, sites: list[GatewaySite], devices: dict):
+        self.sites = sites
+        self.devices = devices
+
+    def site_columns(self):
+        xyz = np.array(
+            [[s.position.x, s.position.y, s.position.z] for s in self.sites], dtype=float
+        )
+        return self.sites, xyz
+
+
+def _transmission(name, emission_s, sf, tx_power_dbm):
+    air = airtime_s(14, sf)
+    return UplinkTransmission(
+        device_name=name,
+        dev_addr=0,
+        mac_bytes=b"",
+        phy_frame=None,
+        request_time_s=emission_s,
+        emission_time_s=emission_s,
+        fb_hz=0.0,
+        tx_power_dbm=tx_power_dbm,
+        spreading_factor=sf,
+        airtime_s=air,
+    )
+
+
+# Discrete grids manufacture exact ties: mirrored positions give two
+# devices identical distances (identical received powers) at a site, and
+# the coarse power ladder lands rivals exactly on the capture threshold.
+_POSITION_GRID = st.tuples(
+    st.sampled_from([-200.0, -50.0, 0.0, 50.0, 200.0]),
+    st.sampled_from([-200.0, 0.0, 200.0]),
+)
+_FRAME = st.tuples(
+    _POSITION_GRID,
+    st.sampled_from([7, 8, 9, 10, 11, 12]),
+    st.sampled_from([8.0, 14.0, 14.0, 20.0]),
+    # Emission offsets quantized to ~one SF7 airtime so frames tie,
+    # overlap partially, or just miss each other's intervals.
+    st.integers(min_value=0, max_value=8),
+)
+_PATHLOSS = st.sampled_from(["fixed", "logdistance", "opaque"])
+
+
+def _build_case(site_specs, frames, pathloss_kind):
+    if pathloss_kind == "fixed":
+        model = FixedPathLoss(value_db=80.0)
+    elif pathloss_kind == "logdistance":
+        model = LogDistancePathLoss(exponent=2.5)
+    else:
+        model = OpaquePathLoss(LogDistancePathLoss(exponent=2.5))
+    link = LinkBudget(pathloss=model)
+    sites = [
+        GatewaySite(gateway_id=f"gw{i}", position=Position(x, y, 15.0), link=link)
+        for i, (x, y) in enumerate(site_specs)
+    ]
+    devices = {}
+    staged = []
+    for i, ((x, y), sf, power, slot) in enumerate(frames):
+        name = f"dev{i}"
+        devices[name] = _StubDevice(name, Position(x, y, 1.0))
+        emission = slot * airtime_s(14, 7) / 2.0
+        staged.append(StagedTransmission(name, _transmission(name, emission, sf, power)))
+    return _StubWorld(sites, devices), staged
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    site_specs=st.lists(_POSITION_GRID, min_size=1, max_size=3),
+    frames=st.lists(_FRAME, min_size=1, max_size=7),
+    pathloss_kind=_PATHLOSS,
+    threshold=st.sampled_from([0.0, 6.0]),
+)
+def test_vectorized_sweep_matches_reference(site_specs, frames, pathloss_kind, threshold):
+    world, staged = _build_case(site_specs, frames, pathloss_kind)
+    channel = CollisionChannel(capture_threshold_db=threshold)
+    fast = channel.surviving_sites(world, staged)
+    slow = channel.surviving_sites_reference(world, staged)
+    assert fast == slow
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sf_pair=st.tuples(
+        st.sampled_from([7, 8, 9, 10, 11, 12]), st.sampled_from([7, 8, 9, 10, 11, 12])
+    ),
+    overlap_half_slots=st.integers(min_value=0, max_value=3),
+)
+def test_mirrored_tie_matches_reference(sf_pair, overlap_half_slots):
+    """Two mirrored devices, equal powers, (partially) overlapping frames.
+
+    The geometry pins both received powers exactly equal at the central
+    site, so survival rides entirely on the threshold comparison's
+    boundary -- the case a vectorized reimplementation most easily gets
+    wrong by one ulp or one strictness flip.
+    """
+    site_specs = [(0.0, 0.0)]
+    frames = [
+        ((200.0, 0.0), sf_pair[0], 14.0, 0),
+        ((-200.0, 0.0), sf_pair[1], 14.0, overlap_half_slots),
+    ]
+    world, staged = _build_case(site_specs, frames, "logdistance")
+    channel = CollisionChannel(capture_threshold_db=6.0)
+    assert channel.surviving_sites(world, staged) == channel.surviving_sites_reference(
+        world, staged
+    )

@@ -1,0 +1,461 @@
+"""The columnar engine: TimeWheel, FleetState, and engine equivalence.
+
+The contract under test is the ISSUE's tentpole: the time-wheel
+:class:`ColumnarRuntime` in events mode replays the legacy heap-driven
+:class:`FleetRuntime` *bit for bit* (single-gateway, fused multi-
+gateway, ADR-on, and attack phase sequences), while counters mode keeps
+the attempt/deferral accounting exactly equal and resolves contention
+into counters without materializing events.  Golden SHA pins anchor
+both engines to the recorded streams, so a regression in *either*
+engine (not just a divergence between them) fails loudly.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.attack.delay_attack import FrameDelayAttack
+from repro.attack.jammer import StealthyJammer
+from repro.attack.replayer import Replayer
+from repro.core.softlora import SoftLoRaGateway
+from repro.errors import ConfigurationError, SimulationError
+from repro.lorawan.gateway import CommodityGateway
+from repro.phy.airtime import airtime_s
+from repro.phy.chirp import ChirpConfig
+from repro.radio.channel import LinkBudget
+from repro.radio.geometry import Position
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.server import AdrController, NetworkServer
+from repro.sim.columnar import ColumnarRuntime, FleetState
+from repro.sim.events import TimeWheel
+from repro.sim.network import LoRaWanWorld
+from repro.sim.rng import RngStreams
+from repro.sim.runtime import FleetRuntime
+from repro.sim.scenarios import build_fleet
+from repro.sim.traffic import PeriodicTrafficModel
+
+
+def build_world(seed, n, ring=400.0, sf=7, exponent=2.0, extra_gw=False, server=None):
+    streams = RngStreams(seed)
+    devices = build_fleet(n_devices=n, streams=streams, spreading_factor=sf)
+    for i, d in enumerate(devices):
+        ang = 2 * np.pi * i / max(n, 1)
+        d.position = Position(ring * float(np.cos(ang)), ring * float(np.sin(ang)), 1.0)
+    world = LoRaWanWorld(
+        gateway=SoftLoRaGateway(
+            config=ChirpConfig(spreading_factor=7, sample_rate_hz=0.5e6),
+            commodity=CommodityGateway(),
+        ),
+        gateway_position=Position(0.0, 0.0, 15.0),
+        link=LinkBudget(pathloss=LogDistancePathLoss(exponent=exponent)),
+        rng=streams.stream("world"),
+    )
+    if extra_gw:
+        world.add_gateway(Position(150.0, 150.0, 1.0))
+    for d in devices:
+        world.add_device(d)
+    if server is not None:
+        world.attach_server(server())
+    return world, streams
+
+
+def event_sha(events):
+    h = hashlib.sha256()
+    for e in events:
+        fb = None if e.reception is None else e.reception.fb_hz
+        h.update(
+            repr(
+                (
+                    e.kind.value,
+                    e.time_s,
+                    e.device_name,
+                    e.snr_db,
+                    fb,
+                    None if e.transmission is None else e.transmission.fcnt,
+                    None
+                    if e.verdict is None
+                    else (e.verdict.status.value, e.verdict.fused_fb_hz),
+                )
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def _traffic(streams, period_s, jitter_s):
+    return PeriodicTrafficModel(period_s=period_s, jitter_s=jitter_s, rng=streams.stream("traffic"))
+
+
+#: Event-stream SHAs recorded from the legacy FleetRuntime on the seed
+#: tree; both engines must keep reproducing them bit for bit.
+GOLDEN_SINGLE_GW = "5d56de6cb46619a949a6c53d50a8b2020efef823568216fc441ae1c0bc4f2406"
+GOLDEN_FUSED = "170cd02c39980cf2c5c21564d49d38c20c1e8e05f18d1081377d0ad624bd982d"
+GOLDEN_ADR = "f9a38fc702e31c1eaf38bf90cb3dbfe3688a6ce0dec219d09a84f25596164468"
+
+
+def _report_tuple(report):
+    return (
+        report.attempts,
+        report.deferrals,
+        report.adr_commands_sent,
+        report.adr_commands_dropped,
+        report.adr_commands_applied,
+    )
+
+
+class TestEngineEquivalence:
+    """Events mode replays the legacy runtime bit for bit (golden-pinned)."""
+
+    def _run_pair(self, world_kwargs, period_s, jitter_s, durations, window_s=2.0):
+        reports = []
+        for engine in ("legacy", "columnar"):
+            world, streams = build_world(**world_kwargs)
+            traffic = _traffic(streams, period_s, jitter_s)
+            runtime = (
+                FleetRuntime(world, traffic, window_s=window_s)
+                if engine == "legacy"
+                else ColumnarRuntime(world, traffic, window_s=window_s, mode="events")
+            )
+            reports.append([runtime.run(d) for d in durations])
+        legacy, columnar = reports
+        for a, b in zip(legacy, columnar):
+            assert _report_tuple(a) == _report_tuple(b)
+            assert len(a.events) == len(b.events)
+        sha_a = event_sha([e for r in legacy for e in r.events])
+        sha_b = event_sha([e for r in columnar for e in r.events])
+        assert sha_a == sha_b, "event streams diverged between engines"
+        return legacy, sha_a
+
+    def test_single_gateway_pinned(self):
+        reports, sha = self._run_pair(
+            dict(seed=4, n=30), period_s=60.0, jitter_s=20.0, durations=(300.0,)
+        )
+        assert reports[0].attempts == 150
+        assert sha == GOLDEN_SINGLE_GW
+
+    def test_fused_multi_gateway_pinned(self):
+        reports, sha = self._run_pair(
+            dict(seed=6, n=12, extra_gw=True, server=NetworkServer),
+            period_s=30.0,
+            jitter_s=10.0,
+            durations=(120.0,),
+        )
+        assert reports[0].attempts == 48
+        assert sha == GOLDEN_FUSED
+
+    def test_adr_on_pinned(self):
+        reports, sha = self._run_pair(
+            dict(
+                seed=21,
+                n=6,
+                ring=50.0,
+                sf=12,
+                server=lambda: NetworkServer(adr=AdrController(min_history=2)),
+            ),
+            period_s=30.0,
+            jitter_s=10.0,
+            durations=(180.0, 120.0),
+        )
+        # A weak workload where ADR never fires would pin nothing.
+        assert sum(r.adr_commands_sent for r in reports) > 0
+        assert sum(r.adr_commands_applied for r in reports) > 0
+        assert sha == GOLDEN_ADR
+
+    def test_attack_phases_identical(self):
+        shas = []
+        replays = []
+        for engine in ("legacy", "columnar"):
+            world, streams = build_world(
+                seed=7, n=10, ring=300.0, sf=7, extra_gw=True, server=NetworkServer
+            )
+            traffic = _traffic(streams, 60.0, 20.0)
+            runtime = (
+                FleetRuntime(world, traffic, window_s=2.0)
+                if engine == "legacy"
+                else ColumnarRuntime(world, traffic, window_s=2.0, mode="events")
+            )
+            r1 = runtime.run(180.0)
+            attack = FrameDelayAttack(
+                jammer=StealthyJammer(),
+                replayer=Replayer.single_usrp(streams.stream("replayer")),
+                rng=streams.stream("attack"),
+            )
+            world.arm_attack(attack, list(world.devices)[:3], delay_s=30.0)
+            r2 = runtime.run(180.0)
+            shas.append(event_sha(r1.events + r2.events))
+            replays.append(sum(1 for e in r2.events if e.kind.value == "replay_delivered"))
+        assert shas[0] == shas[1]
+        assert replays[0] == replays[1]
+        assert replays[0] > 0, "attack never replayed -- weak workload"
+
+    def test_device_subset_matches_legacy(self):
+        reports = []
+        for engine in ("legacy", "columnar"):
+            world, streams = build_world(seed=4, n=8)
+            subset = list(world.devices)[2:6]
+            traffic = _traffic(streams, 60.0, 20.0)
+            runtime = (
+                FleetRuntime(world, traffic, window_s=2.0)
+                if engine == "legacy"
+                else ColumnarRuntime(world, traffic, window_s=2.0, mode="events")
+            )
+            reports.append(runtime.run(120.0, device_names=subset))
+        assert event_sha(reports[0].events) == event_sha(reports[1].events)
+        assert {e.device_name for e in reports[1].events} <= set(
+            list(build_world(seed=4, n=8)[0].devices)[2:6]
+        )
+
+    def test_validation_matches_legacy(self):
+        world, streams = build_world(seed=4, n=4)
+        traffic = _traffic(streams, 60.0, 20.0)
+        runtime = ColumnarRuntime(world, traffic, window_s=2.0)
+        with pytest.raises(ConfigurationError):
+            runtime.run(0.0)
+        with pytest.raises(ConfigurationError):
+            runtime.run(60.0, device_names=["nope"])
+        with pytest.raises(ConfigurationError):
+            ColumnarRuntime(world, traffic, window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ColumnarRuntime(world, traffic, backoff_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ColumnarRuntime(world, traffic, mode="fast")
+
+
+class TestCountersMode:
+    def _pair(self, seed=11, n=40, ring=900.0, exponent=3.2, duration=600.0):
+        results = []
+        for mode in ("events", "counters"):
+            world, streams = build_world(seed=seed, n=n, ring=ring, exponent=exponent)
+            traffic = _traffic(streams, 60.0, 20.0)
+            results.append(
+                ColumnarRuntime(world, traffic, window_s=2.0, mode=mode).run(duration)
+            )
+        return results
+
+    def test_attempt_accounting_matches_events_mode(self):
+        events_report, counters_report = self._pair()
+        assert events_report.attempts == counters_report.attempts
+        assert events_report.deferrals == counters_report.deferrals
+        assert counters_report.events == []
+        assert counters_report.counters is not None
+        stats = counters_report.contention
+        assert stats.attempts == counters_report.attempts
+        assert stats.attempts == stats.delivered + stats.collided + stats.lost_low_snr
+        # Delivery splits are statistically equivalent, not bit-identical
+        # (one engine stream draws the emission jitter); they must stay
+        # within a few frames of the event-mode partition.
+        reference = events_report.contention
+        assert abs(stats.delivered - reference.delivered) <= max(5, stats.attempts // 10)
+        assert abs(stats.lost_low_snr - reference.lost_low_snr) <= max(
+            5, stats.attempts // 10
+        )
+
+    def test_multi_gateway_counters_run(self):
+        world, streams = build_world(seed=9, n=20, ring=600.0, extra_gw=True, server=NetworkServer)
+        traffic = _traffic(streams, 60.0, 20.0)
+        report = ColumnarRuntime(world, traffic, window_s=2.0, mode="counters").run(300.0)
+        stats = report.contention
+        assert stats.attempts == report.attempts > 0
+        assert stats.attempts == stats.delivered + stats.collided + stats.lost_low_snr
+
+    def test_rejects_armed_attack(self):
+        world, streams = build_world(seed=7, n=4)
+        attack = FrameDelayAttack(
+            jammer=StealthyJammer(),
+            replayer=Replayer.single_usrp(streams.stream("replayer")),
+            rng=streams.stream("attack"),
+        )
+        world.arm_attack(attack, list(world.devices)[:1], delay_s=10.0)
+        runtime = ColumnarRuntime(world, _traffic(streams, 60.0, 20.0), mode="counters")
+        with pytest.raises(ConfigurationError, match="frame delay attack"):
+            runtime.run(60.0)
+
+    def test_rejects_adr(self):
+        world, streams = build_world(
+            seed=21, n=4, server=lambda: NetworkServer(adr=AdrController(min_history=2))
+        )
+        runtime = ColumnarRuntime(world, _traffic(streams, 60.0, 20.0), mode="counters")
+        with pytest.raises(ConfigurationError, match="ADR"):
+            runtime.run(60.0)
+
+    def test_rejects_serverless_extra_gateways(self):
+        world, streams = build_world(seed=4, n=4, extra_gw=True)
+        runtime = ColumnarRuntime(world, _traffic(streams, 60.0, 20.0), mode="counters")
+        with pytest.raises(ConfigurationError, match="attach_server"):
+            runtime.run(60.0)
+
+
+class TestTimeWheel:
+    def test_pop_window_orders_like_global_sort(self):
+        wheel = TimeWheel(2.0)
+        rng = np.random.default_rng(3)
+        times = rng.uniform(0.0, 20.0, size=200)
+        items = np.arange(200)
+        # Two pushes: sequences must keep FIFO order across batches.
+        wheel.push(times[:120], items[:120])
+        wheel.push(times[120:], items[120:])
+        assert wheel.pending == 200
+        popped_t, popped_i = [], []
+        while (window := wheel.pop_window()) is not None:
+            key, w_times, w_seq, w_items = window
+            assert np.all(w_times >= wheel.window_start_s(key))
+            assert np.all(w_times < wheel.window_end_s(key))
+            popped_t.extend(w_times.tolist())
+            popped_i.extend(w_items.tolist())
+        assert wheel.pending == 0
+        order = np.lexsort((items, times))
+        assert popped_t == times[order].tolist()
+        assert popped_i == items[order].tolist()
+
+    def test_fifo_tie_break_across_pushes(self):
+        wheel = TimeWheel(1.0)
+        wheel.push(np.array([0.5, 0.5]), np.array([1, 2]))
+        wheel.push(np.array([0.5]), np.array([3]))
+        _, _, _, w_items = wheel.pop_window()
+        assert w_items.tolist() == [1, 2, 3]
+
+    def test_repush_into_popped_window(self):
+        wheel = TimeWheel(1.0)
+        wheel.push(np.array([0.2, 3.4]), np.array([0, 1]))
+        key, w_times, _, _ = wheel.pop_window()
+        assert key == 0
+        # A retry landing back in the popped window re-creates the
+        # bucket; the wheel serves it before later windows.
+        wheel.push(np.array([0.7]), np.array([2]))
+        assert wheel.peek_time_s() == 0.7
+        key, w_times, _, w_items = wheel.pop_window()
+        assert (key, w_items.tolist()) == (0, [2])
+        key, _, _, w_items = wheel.pop_window()
+        assert (key, w_items.tolist()) == (3, [1])
+        assert wheel.pop_window() is None
+        assert wheel.peek_time_s() is None
+
+    def test_reserve_sequence_interleaves(self):
+        wheel = TimeWheel(1.0)
+        wheel.push(np.array([0.1]), np.array([0]))
+        seq = wheel.reserve_sequence()
+        wheel.push(np.array([0.1]), np.array([1]))
+        _, _, w_seq, w_items = wheel.pop_window()
+        # The reserved number sits between the two pushes.
+        assert w_seq[0] < seq < w_seq[1]
+        assert w_items.tolist() == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TimeWheel(0.0)
+        wheel = TimeWheel(1.0)
+        with pytest.raises(SimulationError):
+            wheel.push(np.array([1.0, 2.0]), np.array([1]))
+        wheel.push(np.empty(0), np.empty(0, dtype=np.int64))
+        assert wheel.pending == 0
+
+
+class TestScheduleArrays:
+    @pytest.mark.parametrize(
+        "period_s,jitter_s,duration_s,start_s",
+        [
+            (60.0, 20.0, 300.0, 0.0),
+            (60.0, 0.0, 300.0, 0.0),
+            (5.0, 4.9, 31.0, 120.0),
+            (120.0, 30.0, 60.0, 7.5),
+        ],
+    )
+    def test_bit_identical_to_schedule(self, period_s, jitter_s, duration_s, start_s):
+        names = [f"d{i}" for i in range(23)]
+        scalar_model = PeriodicTrafficModel(
+            period_s=period_s, jitter_s=jitter_s, rng=np.random.default_rng(42)
+        )
+        array_model = PeriodicTrafficModel(
+            period_s=period_s, jitter_s=jitter_s, rng=np.random.default_rng(42)
+        )
+        uplinks = scalar_model.schedule(names, duration_s, start_s=start_s)
+        times, indices = array_model.schedule_arrays(len(names), duration_s, start_s=start_s)
+        assert times.tolist() == [u.request_time_s for u in uplinks]
+        assert [names[i] for i in indices] == [u.device_name for u in uplinks]
+        # The generators must land in the same state: a later phase draws
+        # the exact same schedule through either code path.
+        assert (
+            scalar_model.rng.bit_generator.state == array_model.rng.bit_generator.state
+        )
+
+    def test_empty_horizon(self):
+        model = PeriodicTrafficModel(period_s=60.0, jitter_s=0.0, rng=np.random.default_rng(1))
+        times, indices = model.schedule_arrays(5, 1e-9)
+        assert times.size == 0 and indices.size == 0
+
+
+class TestFleetState:
+    def test_rejects_empty_world(self):
+        world, _ = build_world(seed=4, n=1)
+        world.devices.clear()
+        with pytest.raises(ConfigurationError):
+            FleetState.from_world(world)
+
+    def test_columns_match_devices(self):
+        world, _ = build_world(seed=4, n=6, extra_gw=True, server=NetworkServer)
+        state = FleetState.from_world(world)
+        # A twin world supplies real empty-buffer transmissions to check
+        # the frame/airtime columns against, without mutating the
+        # snapshotted devices.
+        probe_world, _ = build_world(seed=4, n=6, extra_gw=True, server=NetworkServer)
+        devices = list(world.devices.values())
+        probes = list(probe_world.devices.values())
+        assert state.n_devices == 6
+        assert state.names == [d.name for d in devices]
+        assert state.powers_dbm.shape == (6, 2)
+        for row, (device, probe) in enumerate(zip(devices, probes)):
+            tx = probe.transmit(0.0)
+            assert state.frame_bytes[row] == len(tx.mac_bytes)
+            assert state.airtime_s[row] == airtime_s(
+                len(tx.mac_bytes), device.spreading_factor, coding_rate=device.coding_rate
+            )
+            assert state.fcnt[row] == device.fcnt
+            assert state.duty_cycle[row] == device.duty_cycle.duty_cycle
+            for col, site in enumerate(world.sites):
+                expected = site.link.rx_power_dbm(
+                    device.tx_power_dbm, device.position, site.position
+                )
+                assert state.powers_dbm[row, col] == pytest.approx(expected, abs=1e-9)
+
+
+class TestFleetScaleEngine:
+    def test_columnar_engine_matches_legacy_cells(self):
+        from repro.experiments.fleet_scale import run_fleet_scale
+
+        results = {}
+        for engine in ("legacy", "columnar"):
+            results[engine] = run_fleet_scale(
+                gateway_counts=(2,),
+                device_counts=(25,),
+                clean_rounds=1,
+                attack_rounds=1,
+                period_s=120.0,
+                jitter_s=30.0,
+                window_s=5.0,
+                engine=engine,
+            )
+        legacy_cell = results["legacy"].cells[0]
+        columnar_cell = results["columnar"].cells[0]
+        for field_name in (
+            "uplink_attempts",
+            "resolved_uplinks",
+            "delivery_rate",
+            "dedup_rate",
+            "collision_rate",
+            "goodput_fps",
+            "fused_fb_mae_hz",
+            "best_single_fb_mae_hz",
+            "detection_tpr",
+            "detection_fpr",
+            "detection_latency_s",
+        ):
+            assert getattr(legacy_cell, field_name) == getattr(columnar_cell, field_name), (
+                field_name
+            )
+
+    def test_rejects_unknown_engine(self):
+        from repro.experiments.fleet_scale import run_fleet_scale
+
+        with pytest.raises(ConfigurationError):
+            run_fleet_scale(gateway_counts=(1,), device_counts=(4,), engine="gpu")
+
