@@ -36,6 +36,10 @@ class FbInterval:
     def width_hz(self) -> float:
         return self.high_hz - self.low_hz
 
+    def as_dict(self) -> dict:
+        """JSON-safe form for the service control plane (exact floats)."""
+        return {"low_hz": self.low_hz, "high_hz": self.high_hz}
+
 
 @dataclass(frozen=True)
 class DetectionResult:
@@ -47,6 +51,17 @@ class DetectionResult:
     reason: str
     interval: FbInterval | None = None
     deviation_hz: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for the service control plane (exact floats)."""
+        return {
+            "node_id": self.node_id,
+            "fb_hz": self.fb_hz,
+            "is_replay": self.is_replay,
+            "reason": self.reason,
+            "interval": None if self.interval is None else self.interval.as_dict(),
+            "deviation_hz": self.deviation_hz,
+        }
 
 
 class FbStore(Protocol):

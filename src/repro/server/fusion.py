@@ -60,6 +60,17 @@ class FusedFb:
     best_snr_db: float
     n_gateways: int
 
+    def as_dict(self) -> dict:
+        """JSON-safe form for the service control plane (exact floats)."""
+        return {
+            "fb_hz": self.fb_hz,
+            "sigma_hz": self.sigma_hz,
+            "policy": self.policy.value,
+            "best_gateway_id": self.best_gateway_id,
+            "best_snr_db": self.best_snr_db,
+            "n_gateways": self.n_gateways,
+        }
+
 
 _SF_AWARE_MODELS: dict[type, bool] = {}
 

@@ -102,6 +102,33 @@ class ServerVerdict:
         """Sync-free reconstructed sensor readings of the accepted frame."""
         return [] if self.reception is None else self.reception.readings
 
+    def as_dict(self) -> dict:
+        """JSON-safe form of the verdict for the service control plane.
+
+        Floats are carried verbatim (JSON round-trips Python floats
+        exactly), so two verdict streams agree field for field iff they
+        agree bit for bit -- the property the daemon's golden tests
+        compare through.  The in-process-only ``reception`` object is
+        reduced to its reconstructed reading timestamps.
+        """
+        return {
+            "status": self.status.value,
+            "node_id": self.node_id,
+            "dev_addr": self.dev_addr,
+            "fcnt": self.fcnt,
+            "timestamp_s": self.timestamp_s,
+            "fused": None if self.fused is None else self.fused.as_dict(),
+            "detection": None if self.detection is None else self.detection.as_dict(),
+            "gateway_ids": list(self.gateway_ids),
+            "gateway_fbs_hz": list(self.gateway_fbs_hz),
+            "gateway_snrs_db": list(self.gateway_snrs_db),
+            "duplicates_dropped": self.duplicates_dropped,
+            "detail": self.detail,
+            "readings": [
+                {"value": r.value, "timestamp_s": r.global_time_s} for r in self.readings
+            ],
+        }
+
 
 def _default_noise_model():
     """The calibrated Fig. 14 noise model (late import: avoids a cycle)."""
@@ -279,6 +306,39 @@ class NetworkServer:
     def verdicts_of(self, status: ServerStatus) -> list[ServerVerdict]:
         """Every recorded verdict with one final status."""
         return [v for v in self.verdicts if v.status is status]
+
+    def device_state(self, dev_addr: int) -> dict | None:
+        """One device's server-side state, JSON-safe (the REST ``/devices`` body).
+
+        Collects the learned FB profile (sample count plus the guarded
+        acceptance interval the detector currently enforces), the ADR
+        loop's view of the device (last observed SF, commands issued)
+        when a controller is attached, and the most recent verdict.
+        Returns ``None`` for a device that was never registered.
+        """
+        if dev_addr not in self.mac._keys:
+            return None
+        node_id = f"{dev_addr:08x}"
+        database = self.detector.database
+        interval = database.interval(node_id, self.detector.guard_hz)
+        last = next((v for v in reversed(self.verdicts) if v.dev_addr == dev_addr), None)
+        state: dict = {
+            "dev_addr": dev_addr,
+            "node_id": node_id,
+            "fb_profile": {
+                "sample_count": database.sample_count(node_id),
+                "guard_hz": self.detector.guard_hz,
+                "interval": None if interval is None else interval.as_dict(),
+            },
+            "last_verdict": None if last is None else last.as_dict(),
+        }
+        if self.adr is not None:
+            state["adr"] = {
+                "last_sf": self.adr.last_sf(dev_addr),
+                "commands_issued": self.adr.commands_issued(dev_addr),
+                "converged": self.adr.converged(dev_addr),
+            }
+        return state
 
     @property
     def dedup_rate(self) -> float:

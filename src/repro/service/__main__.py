@@ -1,0 +1,107 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Boots a :class:`~repro.service.daemon.NetworkServerDaemon` around a
+fresh :class:`~repro.server.NetworkServer` and runs until interrupted.
+Devices can be pre-provisioned from a JSON file (see ``--devices``);
+without one the daemon starts empty and every uplink is rejected as
+coming from an unknown device -- fine for wire-level smoke tests.
+
+The ``--devices`` file maps hex DevAddrs to session key material::
+
+    {"26000000": {"nwk_skey": "<32 hex>", "app_skey": "<32 hex>",
+                  "fb_profile": [-20.0, 5.0, 30.0]}}
+
+See ``docs/service.md`` for the full operator guide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.lorawan.security import SessionKeys
+from repro.server.network_server import NetworkServer
+from repro.service.config import ServiceConfig
+from repro.service.daemon import NetworkServerDaemon
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the SoftLoRa network-server daemon.",
+    )
+    parser.add_argument("--udp-host", default="0.0.0.0", help="Semtech UDP bind host")
+    parser.add_argument("--udp-port", type=int, default=1700, help="Semtech UDP bind port")
+    parser.add_argument("--http-host", default="0.0.0.0", help="control-plane bind host")
+    parser.add_argument("--http-port", type=int, default=8080, help="control-plane bind port")
+    parser.add_argument(
+        "--queue-limit", type=int, default=10_000, help="bounded ingest queue, in forwards"
+    )
+    parser.add_argument(
+        "--linger-s", type=float, default=0.05, help="idle time that closes a batch (s)"
+    )
+    parser.add_argument(
+        "--max-hold-s", type=float, default=2.0, help="hard batching bound (s)"
+    )
+    parser.add_argument(
+        "--devices", default=None, help="JSON file of devices to provision (see module docs)"
+    )
+    return parser.parse_args(argv)
+
+
+def _provision(server: NetworkServer, path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        table = json.load(handle)
+    for addr_text, entry in table.items():
+        dev_addr = int(addr_text, 16)
+        keys = SessionKeys(
+            nwk_skey=bytes.fromhex(entry["nwk_skey"]),
+            app_skey=bytes.fromhex(entry["app_skey"]),
+        )
+        server.register_device(dev_addr, keys)
+        profile = entry.get("fb_profile")
+        if profile:
+            server.bootstrap_fb_profile(dev_addr, [float(v) for v in profile])
+    return len(table)
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = NetworkServer()
+    if args.devices:
+        count = _provision(server, args.devices)
+        print(f"provisioned {count} devices from {args.devices}")
+    config = ServiceConfig(
+        udp_host=args.udp_host,
+        udp_port=args.udp_port,
+        http_host=args.http_host,
+        http_port=args.http_port,
+        queue_limit=args.queue_limit,
+        linger_s=args.linger_s,
+        max_hold_s=args.max_hold_s,
+    )
+    daemon = NetworkServerDaemon(server=server, config=config)
+    await daemon.start()
+    print(
+        f"network-server daemon up: Semtech UDP on {args.udp_host}:{daemon.udp_port}, "
+        f"control plane on http://{args.http_host}:{daemon.http_port}"
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await daemon.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the daemon until interrupted."""
+    args = _parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("daemon stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,477 @@
+"""The network-server daemon: Semtech UDP in, fused replay verdicts out.
+
+:class:`NetworkServerDaemon` turns the in-process
+:class:`~repro.server.NetworkServer` into a long-running asyncio service
+with the shape real LoRaWAN network servers have:
+
+1. **front end** -- an asyncio datagram endpoint speaks the Semtech UDP
+   packet-forwarder protocol (:mod:`repro.service.semtech`): every
+   ``PUSH_DATA`` is acknowledged immediately with a token-echoing
+   ``PUSH_ACK``, ``PULL_DATA`` keep-alives register the gateway's
+   downlink address, and per-EUI :class:`GatewaySession` records track
+   who is forwarding;
+2. **bounded ingest** -- decoded forwards enter a bounded queue
+   (``queue_limit``); overload sheds forwards (counted, never blocking
+   the receive path) instead of growing memory without bound;
+3. **batched workers** -- a worker task groups queued forwards and runs
+   each batch through :meth:`NetworkServer.process_step` within the
+   dedup airtime window: a batch closes on a gateway ``stat`` beacon
+   (the load generator's window tick), after ``linger_s`` of ingest
+   silence, or at the ``max_hold_s`` wall-clock bound, whichever comes
+   first -- so cross-gateway copies of one transmission always resolve
+   together and verdicts are bit-identical to driving the wrapped
+   server in process (golden-pinned in ``tests/test_service_daemon.py``);
+4. **control plane** -- the REST/SSE endpoints of
+   :mod:`repro.service.rest` ride on top: device state, paged verdicts,
+   health, Prometheus ``/metrics``, and a live ``/alerts`` stream fed by
+   this module's :class:`AlertBroker` on every ``attack_detected``
+   verdict;
+5. **downlink path** -- when the wrapped server runs an
+   :class:`~repro.server.adr.AdrController`, queued ``LinkADRReq``
+   commands leave as ``PULL_RESP`` datagrams through a polling gateway's
+   registered downlink address, with in-flight commands gauged on
+   ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.lorawan.downlink import build_downlink
+from repro.server.forwarding import GatewayForward
+from repro.server.network_server import NetworkServer, ServerStatus
+from repro.service.config import ServiceConfig
+from repro.service.metrics import MetricsRegistry
+from repro.service.rest import ControlPlane
+from repro.service.semtech import (
+    PacketType,
+    PullAck,
+    PullData,
+    PullResp,
+    PushAck,
+    PushData,
+    TxAck,
+    decode_datagram,
+    encode_datagram,
+    txpk_for_downlink,
+)
+
+
+@dataclass
+class GatewaySession:
+    """Liveness and addressing state of one forwarding gateway EUI."""
+
+    eui: bytes
+    gateway_id: str
+    push_addr: tuple[str, int] | None = None
+    pull_addr: tuple[str, int] | None = None
+    last_seen_s: float = 0.0
+    push_count: int = 0
+    pull_count: int = 0
+    forward_count: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-safe session summary for ``/healthz``."""
+        return {
+            "gateway_id": self.gateway_id,
+            "eui": self.eui.hex(),
+            "push_count": self.push_count,
+            "pull_count": self.pull_count,
+            "forward_count": self.forward_count,
+            "downlink_ready": self.pull_addr is not None,
+            "last_seen_s": self.last_seen_s,
+        }
+
+
+class AlertBroker:
+    """Fan-out of detection alerts to ``/alerts`` SSE subscribers.
+
+    Publishing never blocks the worker: a subscriber whose buffer is
+    full loses the event (counted by the caller), exactly like a slow
+    Prometheus scraper loses samples rather than stalling the service.
+    """
+
+    def __init__(self, queue_limit: int):
+        """Create a broker whose subscribers buffer ``queue_limit`` alerts."""
+        self.queue_limit = queue_limit
+        self._subscribers: list[asyncio.Queue] = []
+
+    def subscribe(self) -> asyncio.Queue:
+        """Register one subscriber; returns its buffered alert queue."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Drop one subscriber (idempotent)."""
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    @property
+    def subscriber_count(self) -> int:
+        """Currently connected subscribers."""
+        return len(self._subscribers)
+
+    def publish(self, alert: dict) -> int:
+        """Offer one alert to every subscriber; returns how many were dropped."""
+        dropped = 0
+        for queue in self._subscribers:
+            try:
+                queue.put_nowait(alert)
+            except asyncio.QueueFull:
+                dropped += 1
+        return dropped
+
+
+class _SemtechProtocol(asyncio.DatagramProtocol):
+    """Datagram glue: hand every received packet to the daemon."""
+
+    def __init__(self, daemon: "NetworkServerDaemon"):
+        """Bind the protocol to its daemon."""
+        self.daemon = daemon
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:
+        """Remember the transport so the daemon can send replies."""
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        """Forward one raw datagram to the daemon's handler."""
+        self.daemon.handle_datagram(data, addr)
+
+
+@dataclass
+class NetworkServerDaemon:
+    """Asyncio service wrapping one :class:`NetworkServer` (see module docs).
+
+    Attributes:
+        server: The wrapped resolution point; its ``verdicts`` list is
+            the source of truth the control plane pages through.
+        config: Operational knobs (:class:`ServiceConfig`).
+        metrics: The Prometheus registry behind ``GET /metrics``.
+        alerts: The ``/alerts`` fan-out broker.
+        sessions: Per-EUI gateway sessions, keyed by the wire EUI.
+    """
+
+    server: NetworkServer
+    config: ServiceConfig = field(default_factory=ServiceConfig)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    alerts: AlertBroker = field(init=False)
+    sessions: dict[bytes, GatewaySession] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Register the metric families and the internal ingest state."""
+        self.alerts = AlertBroker(self.config.alert_queue_limit)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._queued_forwards = 0
+        self._pending: list[GatewayForward] = []
+        self._pending_since: float | None = None
+        self._transport: asyncio.DatagramTransport | None = None
+        self._control: ControlPlane | None = None
+        self._worker_task: asyncio.Task | None = None
+        self._started_s: float | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+        m = self.metrics
+        self._m_datagrams = m.counter(
+            "repro_service_datagrams_total", "UDP datagrams received, by packet type."
+        )
+        self._m_malformed = m.counter(
+            "repro_service_malformed_datagrams_total",
+            "Datagrams or rxpk entries rejected by the Semtech codec.",
+        )
+        self._m_uplinks = m.counter(
+            "repro_service_uplinks_total", "Gateway forwards accepted into the ingest queue."
+        )
+        self._m_overflow = m.counter(
+            "repro_service_queue_overflow_total",
+            "Forwards shed because the bounded ingest queue was full.",
+        )
+        self._m_depth = m.gauge(
+            "repro_service_queue_depth", "Forwards currently queued or awaiting resolution."
+        )
+        self._m_batches = m.counter(
+            "repro_service_batches_total", "Worker batches resolved through process_step."
+        )
+        self._m_verdicts = m.counter(
+            "repro_service_verdicts_total", "Fused verdicts issued, by final status."
+        )
+        self._m_dedup = m.gauge(
+            "repro_service_dedup_copies_per_uplink",
+            "Mean gateway copies per resolved uplink (server-lifetime).",
+        )
+        self._m_uplink_rate = m.gauge(
+            "repro_service_uplinks_per_s",
+            "Forward ingest rate since daemon start (wall-clock mean).",
+        )
+        self._m_verdict_rate = m.gauge(
+            "repro_service_verdicts_per_s",
+            "Verdict issue rate since daemon start (wall-clock mean).",
+        )
+        self._m_gateways = m.gauge(
+            "repro_service_gateways_seen", "Distinct gateway EUIs with a live session."
+        )
+        self._m_adr_inflight = m.gauge(
+            "repro_service_adr_commands_in_flight",
+            "LinkADRReq commands dispatched as PULL_RESP and not yet TX_ACKed.",
+        )
+        self._m_adr_sent = m.counter(
+            "repro_service_adr_pull_resp_total",
+            "LinkADRReq downlinks dispatched as PULL_RESP datagrams.",
+        )
+        self._m_adr_undeliverable = m.counter(
+            "repro_service_adr_undeliverable_total",
+            "ADR commands dropped for lack of a polling gateway or session keys.",
+        )
+        self._m_alerts = m.counter(
+            "repro_service_alerts_total", "attack_detected alerts published to /alerts."
+        )
+        self._m_alerts_dropped = m.counter(
+            "repro_service_alerts_dropped_total",
+            "Alerts lost to full subscriber buffers on /alerts.",
+        )
+        self._m_subscribers = m.gauge(
+            "repro_service_alert_subscribers", "Currently connected /alerts subscribers."
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def udp_port(self) -> int:
+        """The bound UDP port (resolves ``udp_port=0`` after :meth:`start`)."""
+        if self._transport is None:
+            raise ConfigurationError("daemon not started")
+        return self._transport.get_extra_info("sockname")[1]
+
+    @property
+    def http_port(self) -> int:
+        """The bound control-plane port (resolves ``http_port=0`` after start)."""
+        if self._control is None:
+            raise ConfigurationError("daemon not started")
+        return self._control.port
+
+    @property
+    def uptime_s(self) -> float:
+        """Wall-clock seconds since :meth:`start` (0.0 before)."""
+        return 0.0 if self._started_s is None else time.monotonic() - self._started_s
+
+    async def start(self) -> None:
+        """Bind the UDP front end and control plane; spawn the worker."""
+        if self._transport is not None:
+            raise ConfigurationError("daemon already started")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _SemtechProtocol(self),
+            local_addr=(self.config.udp_host, self.config.udp_port),
+        )
+        self._control = ControlPlane(self)
+        await self._control.start()
+        self._worker_task = loop.create_task(self._worker())
+        self._started_s = time.monotonic()
+
+    async def stop(self) -> None:
+        """Flush pending work and tear the endpoints down."""
+        if self._worker_task is not None:
+            self._queue.put_nowait(("stop", None))
+            await self._worker_task
+            self._worker_task = None
+        if self._control is not None:
+            await self._control.stop()
+            self._control = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    async def drain(self, timeout_s: float = 30.0) -> None:
+        """Wait until every queued forward has been resolved to a verdict."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self._queued_forwards == 0 and not self._pending and self._queue.empty():
+                return
+            await asyncio.sleep(0.005)
+        raise TimeoutError(f"daemon did not drain within {timeout_s} s")
+
+    # -- UDP front end ------------------------------------------------------------
+
+    def handle_datagram(self, data: bytes, addr: tuple[str, int]) -> None:
+        """Decode and dispatch one datagram (malformed input only counts)."""
+        try:
+            message = decode_datagram(data)
+        except DecodeError:
+            self._m_malformed.inc()
+            return
+        if isinstance(message, PushData):
+            self._m_datagrams.inc(labels={"type": PacketType.PUSH_DATA.name})
+            self._send(PushAck(token=message.token), addr)
+            self._on_push_data(message, addr)
+        elif isinstance(message, PullData):
+            self._m_datagrams.inc(labels={"type": PacketType.PULL_DATA.name})
+            self._send(PullAck(token=message.token), addr)
+            session = self._session(message.gateway_eui)
+            session.pull_addr = addr
+            session.pull_count += 1
+            session.last_seen_s = time.monotonic()
+        elif isinstance(message, TxAck):
+            self._m_datagrams.inc(labels={"type": PacketType.TX_ACK.name})
+            self._m_adr_inflight.inc(-1.0)
+        else:
+            # PUSH_ACK / PULL_ACK / PULL_RESP are server-to-gateway
+            # messages; arriving here they are protocol misuse.
+            self._m_malformed.inc()
+
+    def _on_push_data(self, message: PushData, addr: tuple[str, int]) -> None:
+        session = self._session(message.gateway_eui)
+        session.push_addr = addr
+        session.push_count += 1
+        session.last_seen_s = time.monotonic()
+        for rxpk in message.rxpks:
+            try:
+                forward = _forward_of(message, rxpk)
+            except DecodeError:
+                self._m_malformed.inc()
+                continue
+            if self._queued_forwards >= self.config.queue_limit:
+                self._m_overflow.inc()
+                continue
+            self._queued_forwards += 1
+            session.forward_count += 1
+            self._m_uplinks.inc()
+            self._idle.clear()
+            self._queue.put_nowait(("forward", forward))
+        if message.stat is not None:
+            # A gateway status beacon doubles as the ingest stream's
+            # window tick: everything forwarded before it resolves now.
+            self._queue.put_nowait(("tick", None))
+        self._m_depth.set(self._queued_forwards + len(self._pending))
+
+    def _session(self, eui: bytes) -> GatewaySession:
+        session = self.sessions.get(eui)
+        if session is None:
+            session = GatewaySession(eui=bytes(eui), gateway_id=_gateway_id(eui))
+            self.sessions[eui] = session
+            self._m_gateways.set(len(self.sessions))
+        return session
+
+    def _send(self, message, addr: tuple[str, int]) -> None:
+        if self._transport is not None:
+            self._transport.sendto(encode_datagram(message), addr)
+
+    # -- the batching worker --------------------------------------------------------
+
+    async def _worker(self) -> None:
+        """Group queued forwards into dedup-window batches and resolve them."""
+        while True:
+            timeout = None
+            if self._pending:
+                held = time.monotonic() - (self._pending_since or time.monotonic())
+                timeout = max(min(self.config.linger_s, self.config.max_hold_s - held), 0.0)
+            try:
+                kind, payload = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                self._flush()
+                continue
+            if kind == "forward":
+                self._queued_forwards -= 1
+                if not self._pending:
+                    self._pending_since = time.monotonic()
+                self._pending.append(payload)
+                if time.monotonic() - self._pending_since >= self.config.max_hold_s:
+                    self._flush()
+            elif kind == "tick":
+                self._flush()
+            else:  # "stop"
+                self._flush()
+                return
+
+    def _flush(self) -> None:
+        """Resolve the pending batch through the wrapped server."""
+        batch, self._pending = self._pending, []
+        self._pending_since = None
+        if batch:
+            verdicts = self.server.process_step(batch)
+            self._m_batches.inc()
+            for verdict in verdicts:
+                self._m_verdicts.inc(labels={"status": verdict.status.value})
+                if verdict.status is ServerStatus.REPLAY_DETECTED:
+                    self._publish_alert(verdict)
+            self._m_dedup.set(self.server.dedup_rate)
+            elapsed = self.uptime_s
+            if elapsed > 0:
+                self._m_uplink_rate.set(self._m_uplinks.total() / elapsed)
+                self._m_verdict_rate.set(self._m_verdicts.total() / elapsed)
+        if self.server.adr is not None:
+            self._dispatch_adr()
+        self._m_depth.set(self._queued_forwards)
+        if self._queued_forwards == 0:
+            self._idle.set()
+
+    def _publish_alert(self, verdict) -> None:
+        alert = verdict.as_dict()
+        alert["uptime_s"] = self.uptime_s
+        self._m_alerts.inc()
+        dropped = self.alerts.publish(alert)
+        if dropped:
+            self._m_alerts_dropped.inc(dropped)
+        self._m_subscribers.set(self.alerts.subscriber_count)
+
+    # -- ADR downlink dispatch ------------------------------------------------------
+
+    def _dispatch_adr(self) -> None:
+        """Ship queued LinkADRReq commands as PULL_RESP downlink orders.
+
+        The command leaves through a gateway that polled for downlinks
+        (``PULL_DATA``); without one -- or without session keys for the
+        device -- the command is returned to the controller as dropped so
+        it re-arms, mirroring the simulator's duty-cycle drop path.
+        """
+        commands = self.server.adr.take_pending()
+        if not commands:
+            return
+        pollers = [s for s in self.sessions.values() if s.pull_addr is not None]
+        for index, command in enumerate(commands):
+            keys = self.server.mac._keys.get(command.dev_addr)
+            if not pollers or keys is None:
+                self._m_adr_undeliverable.inc()
+                self.server.adr.command_dropped(command.dev_addr)
+                continue
+            session = pollers[index % len(pollers)]
+            raw = build_downlink(
+                keys,
+                command.dev_addr,
+                self.server.adr.next_fcnt_down(command.dev_addr),
+                payload=command.request.encode(),
+                fport=0,
+            )
+            sf = self.server.adr.last_sf(command.dev_addr) or 12
+            resp = PullResp(token=index & 0xFFFF, txpk=txpk_for_downlink(raw, sf))
+            self._send(resp, session.pull_addr)
+            self._m_adr_sent.inc()
+            self._m_adr_inflight.inc()
+
+    # -- control-plane queries ------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` body: liveness plus ingest/session summary."""
+        return {
+            "status": "ok",
+            "uptime_s": self.uptime_s,
+            "queue_depth": self._queued_forwards + len(self._pending),
+            "uplinks_total": int(self._m_uplinks.total()),
+            "verdicts_total": len(self.server.verdicts),
+            "gateways": [s.as_dict() for s in self.sessions.values()],
+        }
+
+
+def _gateway_id(eui: bytes) -> str:
+    from repro.service.semtech import gateway_id_from_eui
+
+    return gateway_id_from_eui(eui)
+
+
+def _forward_of(message: PushData, rxpk: dict) -> GatewayForward:
+    from repro.service.semtech import forward_from_rxpk
+
+    return forward_from_rxpk(message.gateway_id, rxpk)

@@ -1,0 +1,110 @@
+"""Tiny dependency-free Prometheus metrics registry.
+
+The daemon exposes its operational counters on ``GET /metrics`` in the
+Prometheus text exposition format.  Only the two instrument kinds the
+service needs are implemented -- monotonic counters and set-on-update
+gauges, both with optional labels -- rendered deterministically (metrics
+in registration order, label sets in sorted order) so tests can assert
+on exact scrape output.  The full metric-name table lives in
+``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: One label set, normalized to a sorted tuple of (name, value) pairs.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _normalize(labels: dict[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+@dataclass
+class Metric:
+    """One named instrument: a counter or a gauge, per label set."""
+
+    name: str
+    help: str
+    kind: str
+    values: dict[LabelSet, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, labels: dict[str, str] | None = None) -> None:
+        """Add to a counter (or shift a gauge) for one label set."""
+        key = _normalize(labels)
+        self.values[key] = self.values.get(key, 0.0) + amount
+
+    def set(self, value: float, labels: dict[str, str] | None = None) -> None:
+        """Set a gauge's current value for one label set."""
+        self.values[_normalize(labels)] = float(value)
+
+    def get(self, labels: dict[str, str] | None = None) -> float:
+        """Current value for one label set (0.0 when never touched)."""
+        return self.values.get(_normalize(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set (the scrape-side aggregate)."""
+        return sum(self.values.values())
+
+    def render(self) -> str:
+        """This metric's lines of the text exposition format."""
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        values = self.values or {(): 0.0}
+        for labels in sorted(values):
+            lines.append(f"{self.name}{_render_labels(labels)} {_format_value(values[labels])}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MetricsRegistry:
+    """Ordered collection of metrics behind one ``/metrics`` scrape."""
+
+    _metrics: dict[str, Metric] = field(default_factory=dict)
+
+    def counter(self, name: str, help_text: str) -> Metric:
+        """Register (or fetch) a monotonic counter."""
+        return self._register(name, help_text, "counter")
+
+    def gauge(self, name: str, help_text: str) -> Metric:
+        """Register (or fetch) a gauge."""
+        return self._register(name, help_text, "gauge")
+
+    def _register(self, name: str, help_text: str, kind: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = Metric(name=name, help=help_text, kind=kind)
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str) -> Metric:
+        """Look up a registered metric by name."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown metric {name!r}") from None
+
+    def render(self) -> str:
+        """The whole registry as one Prometheus text scrape."""
+        return "\n".join(m.render() for m in self._metrics.values()) + "\n"

@@ -61,6 +61,16 @@ class TestExamples:
         assert "false alarms    : 0" in out
 
     @pytest.mark.slow
+    def test_network_daemon(self, capsys):
+        load_example("network_daemon").main()
+        out = capsys.readouterr().out
+        assert "daemon up" in out
+        assert "/healthz         : ok" in out
+        assert "attack_detected events streamed" in out
+        assert "bit-identical to in-process: True" in out
+        assert "daemon stopped cleanly" in out
+
+    @pytest.mark.slow
     def test_adr_fleet(self, capsys):
         load_example("adr_fleet").main()
         out = capsys.readouterr().out

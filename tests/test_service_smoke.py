@@ -1,0 +1,116 @@
+"""End-to-end service smoke: boot, 200+ uplinks, health, metrics, alerts.
+
+This is the test the CI ``service-smoke`` job runs on its own: a real
+daemon on loopback, driven by the loadgen over UDP with a fleet stream
+that includes replayed frames, then checked from the outside through
+the control plane only -- ``/healthz`` reports ok, ``/metrics`` counters
+match what was sent, and the replay fires an ``attack_detected`` event
+on the ``/alerts`` SSE stream.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import NetworkServerDaemon, ServiceConfig, build_plan, new_server, replay
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def plan():
+    """A fleet stream big enough for a meaningful smoke (200+ forwards)."""
+    return build_plan(
+        n_devices=20, n_gateways=2, clean_s=240.0, attack_s=120.0, n_attacked=4
+    )
+
+
+def test_service_smoke_end_to_end(plan):
+    assert plan.n_forwards >= 200, f"plan too small: {plan.n_forwards} forwards"
+    replays = [v for v in plan.oracle_verdicts if v["status"] == "replay_detected"]
+    assert replays, "plan contains no replayed frame"
+
+    async def run():
+        server = new_server()
+        plan.provision(server)
+        daemon = NetworkServerDaemon(
+            server=server,
+            config=ServiceConfig(
+                udp_host="127.0.0.1", udp_port=0, http_host="127.0.0.1", http_port=0
+            ),
+        )
+        await daemon.start()
+        port = daemon.http_port
+
+        # Subscribe to /alerts before any traffic flows.
+        alerts_reader, alerts_writer = await asyncio.open_connection("127.0.0.1", port)
+        alerts_writer.write(b"GET /alerts HTTP/1.1\r\nHost: smoke\r\n\r\n")
+        await alerts_writer.drain()
+        head = await alerts_reader.readuntil(b"\r\n\r\n")
+        assert b"200 OK" in head and b"text/event-stream" in head
+
+        stats = await replay(plan, "127.0.0.1", daemon.udp_port)
+        await daemon.drain()
+
+        async def get(path):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            return int(head.split()[1]), body
+
+        status, body = await get("/healthz")
+        health = json.loads(body)
+
+        status_metrics, metrics_body = await get("/metrics")
+        metrics = metrics_body.decode()
+
+        # One SSE event per replay verdict, in order.
+        events = []
+        for _ in replays:
+            while True:
+                block = await asyncio.wait_for(alerts_reader.readuntil(b"\n\n"), 10.0)
+                text = block.decode()
+                if text.startswith("event: attack_detected"):
+                    data_line = next(
+                        line for line in text.splitlines() if line.startswith("data: ")
+                    )
+                    events.append(json.loads(data_line[len("data: ") :]))
+                    break
+        alerts_writer.close()
+        try:
+            await alerts_writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        await daemon.stop()
+        return stats, status, health, status_metrics, metrics, events
+
+    stats, status, health, status_metrics, metrics, events = asyncio.run(run())
+
+    assert stats.forwards_sent == plan.n_forwards
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["uplinks_total"] == plan.n_forwards
+    assert health["verdicts_total"] == len(plan.oracle_verdicts)
+    assert health["queue_depth"] == 0
+
+    assert status_metrics == 200
+    assert f"repro_service_uplinks_total {plan.n_forwards}" in metrics
+    counts = {}
+    for verdict in plan.oracle_verdicts:
+        counts[verdict["status"]] = counts.get(verdict["status"], 0) + 1
+    for name, count in counts.items():
+        assert f'repro_service_verdicts_total{{status="{name}"}} {count}' in metrics
+    assert f"repro_service_alerts_total {len(replays)}" in metrics
+    assert "repro_service_queue_overflow_total 0" in metrics
+
+    assert len(events) == len(replays)
+    for event, expected in zip(events, replays):
+        assert event["status"] == "replay_detected"
+        assert event["node_id"] == expected["node_id"]
+        assert event["fcnt"] == expected["fcnt"]
+        assert event["detection"] == expected["detection"]
