@@ -10,6 +10,12 @@ dot-path (default the top-level ``speedup``; the runtime bench gates
 so the gate is meaningful on CI runners whose absolute throughput
 differs from the committed numbers.
 
+``--direction`` picks the improvement sense: ``max`` (default) gates a
+higher-is-better ratio and fails when the fresh value drops below
+``baseline * (1 - tolerance)``; ``min`` gates a lower-is-better cost
+(e.g. ``--metric columnar.build_s --direction min``) and fails when the
+fresh value climbs above ``baseline * (1 + tolerance)``.
+
 All bench artifacts live under ``benchmarks/`` (``--bench-dir``);
 relative ``--baseline`` / ``--fresh`` paths resolve against it.
 
@@ -83,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.20,
         help="allowed fractional speedup regression (default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--direction",
+        choices=("max", "min"),
+        default="max",
+        help="'max' gates a higher-is-better ratio (default); 'min' gates a "
+        "lower-is-better cost such as a build time",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         sys.exit(f"bench gate: tolerance must be in [0, 1), got {args.tolerance}")
@@ -91,15 +104,23 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = load_speedup(args.bench_dir / args.baseline, "baseline", args.metric)
     fresh = load_speedup(args.bench_dir / args.fresh, "fresh", args.metric)
-    floor = baseline * (1.0 - args.tolerance)
-    verdict = "OK" if fresh >= floor else "REGRESSION"
+    if args.direction == "max":
+        bound = baseline * (1.0 - args.tolerance)
+        regressed = fresh < bound
+        bound_name = "floor"
+    else:
+        bound = baseline * (1.0 + args.tolerance)
+        regressed = fresh > bound
+        bound_name = "ceiling"
+    verdict = "REGRESSION" if regressed else "OK"
     print(
         f"bench gate: baseline {args.metric} {baseline:.2f}x, fresh {fresh:.2f}x, "
-        f"floor {floor:.2f}x ({args.tolerance:.0%} tolerance) -> {verdict}"
+        f"{bound_name} {bound:.2f}x ({args.tolerance:.0%} tolerance) -> {verdict}"
     )
-    if fresh < floor:
+    if regressed:
+        worse = "lost more than" if args.direction == "max" else "grew more than"
         print(
-            f"bench gate: {args.metric} lost more than "
+            f"bench gate: {args.metric} {worse} "
             f"{args.tolerance:.0%} of its committed value; see the "
             "benchmark that writes this artifact under benchmarks/"
         )

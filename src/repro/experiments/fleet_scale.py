@@ -215,6 +215,8 @@ def _measure_cell(
         # Events mode is golden-pinned bit-identical to the legacy
         # runtime, so cells measure the same numbers on either engine.
         runtime = ColumnarRuntime(world, traffic, window_s=params.window_s, mode="events")
+    elif params.engine == "columnar-counters":
+        runtime = ColumnarRuntime(world, traffic, window_s=params.window_s, mode="counters")
     else:
         runtime = FleetRuntime(world, traffic, window_s=params.window_s)
 
@@ -229,9 +231,15 @@ def _measure_cell(
     )
     # The attacker eavesdrops real traffic, so it targets devices some
     # gateway actually hears; with partial coverage the unreachable ones
-    # have nothing to jam or replay.
-    heard = {verdict.node_id for verdict in server.verdicts}
-    reachable = [d for d in devices if f"{d.dev_addr:08x}" in heard] or devices
+    # have nothing to jam or replay.  Counters cells never populate the
+    # verdict log, so they read the same heard set off the runtime's
+    # per-device delivery tally instead.
+    if params.engine == "columnar-counters":
+        heard_names = set(runtime.heard_names())
+        reachable = [d for d in devices if d.name in heard_names] or devices
+    else:
+        heard = {verdict.node_id for verdict in server.verdicts}
+        reachable = [d for d in devices if f"{d.dev_addr:08x}" in heard] or devices
     armed_at_s = world.simulator.now_s
     world.arm_attack(
         attack,
@@ -275,6 +283,28 @@ def _measure_cell(
     collided = sum(c.collided for c in contention)
     delivered = sum(c.delivered for c in contention)
     duration_s = clean_report.duration_s + attack_report.duration_s
+    if params.engine == "columnar-counters":
+        # Counter-only capacity run: the contention split is exact
+        # (pinned counter-for-counter against events mode), but no frame
+        # ever reaches the server, so the estimation/detection columns
+        # are not measured.  Every delivered frame (and every replayed
+        # one) would have produced exactly one server verdict.
+        resolved = delivered + sum(c.replays_delivered for c in contention)
+        unmeasured = float("nan")
+        return {
+            "uplink_attempts": attempts,
+            "resolved_uplinks": resolved,
+            "delivery_rate": resolved / attempts if attempts else 0.0,
+            "dedup_rate": unmeasured,
+            "collision_rate": collided / attempts if attempts else 0.0,
+            "goodput_fps": delivered / duration_s,
+            "fused_fb_mae_hz": unmeasured,
+            "best_single_fb_mae_hz": unmeasured,
+            "detection_tpr": unmeasured,
+            "detection_fpr": unmeasured,
+            "detection_latency_s": unmeasured,
+            "wall_s": wall_s,
+        }
     resolved = len(server.verdicts)
     return {
         "uplink_attempts": attempts,
@@ -352,9 +382,15 @@ def run_fleet_scale(
     ``engine="columnar"`` drives each cell through the time-wheel
     :class:`~repro.sim.columnar.ColumnarRuntime` in its bit-identical
     events mode instead of the legacy heap runtime.
+    ``engine="columnar-counters"`` runs the same cells in counters mode:
+    contention columns (attempts, collisions, goodput, delivery) are
+    exact, while the estimation/detection columns are reported as NaN
+    because counters cells never assemble frames for the server.
     """
-    if engine not in ("legacy", "columnar"):
-        raise ConfigurationError(f"engine must be 'legacy' or 'columnar', got {engine!r}")
+    if engine not in ("legacy", "columnar", "columnar-counters"):
+        raise ConfigurationError(
+            f"engine must be 'legacy', 'columnar', or 'columnar-counters', got {engine!r}"
+        )
     params = FleetScaleParams(
         clean_rounds=clean_rounds,
         attack_rounds=attack_rounds,

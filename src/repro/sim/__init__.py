@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate: event queue, world wiring, scenarios."""
 
-from repro.sim.columnar import ColumnarRuntime, FleetState
+from repro.sim.columnar import ColumnarRuntime, FleetSpec, FleetState
 from repro.sim.events import Simulator, TimeWheel
 from repro.sim.network import (
     FbMeasurementModel,
@@ -16,6 +16,7 @@ from repro.sim.scenarios import (
     build_building_scenario,
     build_campus_scenario,
     build_fleet,
+    build_fleet_spec,
     build_pinned_link_world,
 )
 from repro.sim.traffic import AlohaChannel, PeriodicTrafficModel
@@ -28,6 +29,7 @@ __all__ = [
     "ColumnarRuntime",
     "FbMeasurementModel",
     "FleetRuntime",
+    "FleetSpec",
     "FleetState",
     "LoRaWanWorld",
     "PeriodicTrafficModel",
@@ -40,5 +42,6 @@ __all__ = [
     "build_building_scenario",
     "build_campus_scenario",
     "build_fleet",
+    "build_fleet_spec",
     "build_pinned_link_world",
 ]

@@ -24,11 +24,23 @@ Two modes, one engine:
   fused, and ADR-on runs);
 * ``mode="counters"`` is the scale mode: the MAC layer runs on
   :class:`FleetState` columns, frames are never assembled, and the
-  report carries counters only.  Duty-cycle attempt/deferral accounting
-  stays *exactly* equal to the events mode (the gate arithmetic is
-  identical); delivery/collision splits are statistically equivalent
-  (emission jitter draws come from one engine stream instead of per-
-  device streams).
+  report carries counters only.  It covers the full scenario matrix --
+  armed frame-delay attacks, ADR downlink retuning, and multi-gateway
+  fusion (with or without an attached server) -- with counter-for-
+  counter parity against events mode on object-built fleets: attempt
+  and deferral gates share the arithmetic, emission jitter draws come
+  from the same per-device streams, and the delivered / collided /
+  low-SNR / suppressed split resolves through the identical capture
+  matrix.  (Spec-built fleets have no per-device streams; their jitter
+  comes from one engine stream and the split is statistically
+  equivalent instead.)
+
+Worlds themselves can skip per-device objects entirely: a
+:class:`FleetSpec` describes the fleet as parameters, and
+:meth:`FleetState.from_spec` materializes the columns directly --
+batched RNG draws, deferred key derivation, chunked power matrix --
+which is what makes million-device cells build in seconds instead of
+minutes.
 """
 
 from __future__ import annotations
@@ -40,14 +52,27 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.metrics import ContentionStats
-from repro.constants import SX1276_DEMOD_SNR_FLOOR_DB
+from repro.clock.clocks import DriftingClock
+from repro.clock.oscillator import Oscillator
+from repro.constants import (
+    EU868_CENTER_FREQUENCY_HZ,
+    EU868_DUTY_CYCLE_LIMIT,
+    PAPER_ANALYSIS_DRIFT_PPM,
+    SX1276_DEMOD_SNR_FLOOR_DB,
+)
 from repro.errors import ConfigurationError
-from repro.lorawan.device import sensor_payload_len
+from repro.lorawan.device import EndDevice, sensor_payload_len
 from repro.lorawan.downlink import DownlinkScheduler
+from repro.lorawan.duty_cycle import DutyCycleLimiter
+from repro.lorawan.mac import LinkADRAns, LinkADRReq
+from repro.lorawan.regional import EU868
+from repro.lorawan.security import SessionKeys
 from repro.phy.airtime import airtime_s
 from repro.radio.channel import DEFAULT_CAPTURE_THRESHOLD_DB, noise_floor_dbm
+from repro.radio.geometry import Position
 from repro.sim.events import TimeWheel
 from repro.sim.network import LoRaWanWorld, StagedTransmission
+from repro.sim.rng import RngStreams
 from repro.sim.runtime import (
     CollisionChannel,
     RuntimeReport,
@@ -56,23 +81,175 @@ from repro.sim.runtime import (
     overlap_cluster_indices,
     site_power_columns,
 )
+from repro.core.timestamping import ElapsedTimeCodec
 from repro.sim.traffic import PeriodicTrafficModel
 
 #: LoRaWAN framing overhead of an empty-buffer uplink: MHDR (1) + FHDR
 #: without FOpts (7) + FPort (1) + MIC (4).
 _FRAME_OVERHEAD_BYTES = 13
 
+#: Wire length of one queued LinkADRAns MAC command (CID + Status).
+_LINK_ADR_ANS_BYTES = 2
+
+#: FOpts field capacity (LoRaWAN 1.0.2: FCtrl.FOptsLen is 4 bits).
+_FOPTS_CAPACITY = 15
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Array-native description of a ring fleet (no device objects).
+
+    Describes the same fleet :func:`repro.sim.scenarios.build_fleet`
+    would build -- a ring of identically configured class-A devices with
+    per-device frequency biases and clock drifts -- as parameters plus
+    batched column draws, so :meth:`FleetState.from_spec` can
+    materialize a million-row :class:`FleetState` without constructing
+    a single :class:`~repro.lorawan.device.EndDevice` (and without the
+    per-device AES key derivation that dominates object-built fleets).
+
+    All stochastic columns come from one named stream
+    (``fresh("fleet-spec")`` of :class:`~repro.sim.rng.RngStreams`
+    seeded with :attr:`seed`), drawn in a fixed documented order: first
+    the ``n_devices`` FB offsets, then the ``n_devices`` clock drifts.
+    :meth:`realize` builds real devices from those *same* columns, so a
+    spec-built state and the object-built state of its realized fleet
+    are bitwise identical (pinned in ``tests/test_columnar.py``).
+
+    Attributes:
+        n_devices: Fleet size (rows).
+        spreading_factor: Uplink SF shared by the fleet.
+        ring_radius_m: Radius of the device ring around the origin.
+        fb_range_hz: ``(lo, hi)`` uniform range of radio frequency
+            biases, mirroring ``Oscillator.lora_end_device``.
+        drift_ppm: Clock drift magnitude; per-device drifts are drawn
+            uniformly from ``[-drift_ppm, +drift_ppm]``.
+        tx_power_dbm: Transmit power shared by the fleet.
+        coding_rate: LoRa coding-rate index (CR 4/(4+x)).
+        duty_cycle: ETSI duty-cycle fraction per device.
+        tx_latency_mean_s: Mean radio TX latency.
+        tx_latency_jitter_s: TX latency jitter sigma.
+        base_dev_addr: DevAddr of row 0; row ``i`` gets ``base + i``.
+        seed: Root seed of the spec's column draws (and of
+            :meth:`realize`'s per-device transmit streams).
+    """
+
+    n_devices: int
+    spreading_factor: int = 7
+    ring_radius_m: float = 5.0
+    fb_range_hz: tuple[float, float] = (-25e3, -17e3)
+    drift_ppm: float = PAPER_ANALYSIS_DRIFT_PPM
+    tx_power_dbm: float = 14.0
+    coding_rate: int = 1
+    duty_cycle: float = EU868_DUTY_CYCLE_LIMIT
+    tx_latency_mean_s: float = 3e-3
+    tx_latency_jitter_s: float = 0.5e-3
+    base_dev_addr: int = 0x26000000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate fleet geometry and radio parameters."""
+        if self.n_devices < 1:
+            raise ConfigurationError(f"need at least one device, got {self.n_devices}")
+        lo, hi = self.fb_range_hz
+        if lo >= hi:
+            raise ConfigurationError(f"fb range must satisfy lo < hi, got ({lo}, {hi})")
+        if self.ring_radius_m <= 0:
+            raise ConfigurationError(f"ring radius must be positive, got {self.ring_radius_m}")
+        if int(self.spreading_factor) not in SX1276_DEMOD_SNR_FLOOR_DB:
+            raise ConfigurationError(f"unsupported spreading factor {self.spreading_factor}")
+
+    @property
+    def names(self) -> list[str]:
+        """Row-ordered device names (``node-0`` .. ``node-{n-1}``)."""
+        return [f"node-{index}" for index in range(self.n_devices)]
+
+    def positions(self) -> np.ndarray:
+        """The ``(n, 3)`` ring coordinates, 1 m above ground."""
+        angles = 2 * np.pi * np.arange(self.n_devices) / self.n_devices
+        return np.column_stack(
+            [
+                self.ring_radius_m * np.cos(angles),
+                self.ring_radius_m * np.sin(angles),
+                np.ones(self.n_devices),
+            ]
+        )
+
+    def radio_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``(fb_hz, drift_ppm)`` draws from the spec stream.
+
+        Returns:
+            The per-device frequency-bias column followed by the clock
+            drift column -- drawn in that order from one fresh
+            generator, so repeated calls return identical arrays.
+        """
+        rng = RngStreams(self.seed).fresh("fleet-spec")
+        lo, hi = self.fb_range_hz
+        fb_hz = rng.uniform(lo, hi, self.n_devices)
+        drift = rng.uniform(-self.drift_ppm, self.drift_ppm, self.n_devices)
+        return fb_hz, drift
+
+    def dev_addrs(self) -> np.ndarray:
+        """The ``(n,)`` DevAddr column (``base_dev_addr + row``)."""
+        return self.base_dev_addr + np.arange(self.n_devices, dtype=np.int64)
+
+    def realize(self, streams: RngStreams | None = None) -> list[EndDevice]:
+        """Build the real :class:`EndDevice` fleet this spec describes.
+
+        Key derivation and per-device stream creation -- the expensive
+        per-object work the spec path defers -- happen here, from the
+        same pre-drawn FB/drift columns :meth:`FleetState.from_spec`
+        uses, so the realized fleet's object-built state matches the
+        spec-built one bitwise.
+
+        Args:
+            streams: Stream factory for the per-device transmit rngs;
+                defaults to ``RngStreams(self.seed)``.
+
+        Returns:
+            The fleet as a device list, ready for ``world.add_device``.
+        """
+        streams = streams or RngStreams(self.seed)
+        positions = self.positions()
+        fb_hz, drift = self.radio_columns()
+        devices = []
+        for index in range(self.n_devices):
+            dev_addr = self.base_dev_addr + index
+            devices.append(
+                EndDevice(
+                    name=f"node-{index}",
+                    dev_addr=dev_addr,
+                    keys=SessionKeys.derive_for_test(dev_addr),
+                    radio_oscillator=Oscillator(
+                        bias_ppm=float(fb_hz[index]) / EU868_CENTER_FREQUENCY_HZ * 1e6
+                    ),
+                    clock=DriftingClock(drift_ppm=float(drift[index])),
+                    position=Position(
+                        x=float(positions[index, 0]),
+                        y=float(positions[index, 1]),
+                        z=float(positions[index, 2]),
+                    ),
+                    tx_power_dbm=self.tx_power_dbm,
+                    spreading_factor=self.spreading_factor,
+                    coding_rate=self.coding_rate,
+                    tx_latency_mean_s=self.tx_latency_mean_s,
+                    tx_latency_jitter_s=self.tx_latency_jitter_s,
+                    duty_cycle=DutyCycleLimiter(duty_cycle=self.duty_cycle),
+                    rng=streams.stream(f"device-{index}-tx"),
+                )
+            )
+        return devices
+
 
 @dataclass
 class FleetState:
     """Struct-of-arrays snapshot of a fleet's MAC-layer state.
 
-    One row per device, in :attr:`LoRaWanWorld.devices` order.  The
+    One row per device, in :attr:`LoRaWanWorld.devices` order (or
+    :attr:`FleetSpec.names` order for spec-built states).  The
     counters-mode engine runs its duty-cycle gates, transmit
     bookkeeping, and link-budget lookups against these columns instead
-    of the per-device objects; positions, spreading factors, and powers
-    are frozen at snapshot time (counters mode rejects ADR, so nothing
-    retunes mid-run).
+    of the per-device objects; ADR retunes mutate the SF / power /
+    airtime / range rows in place through the cached path-loss column.
 
     Attributes:
         names: Device names, row order of every column.
@@ -91,6 +268,16 @@ class FleetState:
         delays_s: ``(n, n_sites)`` propagation delays to every gateway.
         in_range: ``(n, n_sites)`` whether each link clears the SF's
             demodulation SNR floor.
+        dev_addr: ``(n,)`` LoRaWAN device addresses.
+        coding_rate: ``(n,)`` LoRa coding-rate indices.
+        loss_db: ``(n, n_sites)`` cached path losses, so ADR power
+            retunes can rebuild a power row without the geometry pass.
+        site_noise: ``(n_sites,)`` per-gateway noise floors.
+        site_tx_gain_db: ``(n_sites,)`` per-gateway TX antenna gains.
+        site_rx_gain_db: ``(n_sites,)`` per-gateway RX antenna gains.
+        rngs: Per-device generators for emission-jitter draws (shared
+            with the live devices when object-built; ``None`` for
+            spec-built states, which draw from one engine stream).
     """
 
     names: list[str]
@@ -107,9 +294,21 @@ class FleetState:
     powers_dbm: np.ndarray
     delays_s: np.ndarray
     in_range: np.ndarray
+    dev_addr: np.ndarray | None = None
+    coding_rate: np.ndarray | None = None
+    loss_db: np.ndarray | None = None
+    site_noise: np.ndarray | None = None
+    site_tx_gain_db: np.ndarray | None = None
+    site_rx_gain_db: np.ndarray | None = None
+    rngs: list[np.random.Generator] | None = None
 
     @classmethod
-    def from_world(cls, world: LoRaWanWorld) -> "FleetState":
+    def from_world(
+        cls,
+        world: LoRaWanWorld,
+        chunk_rows: int | None = None,
+        power_dtype: np.dtype | str | None = None,
+    ) -> "FleetState":
         """Columnize a world's fleet (devices, links, duty budgets).
 
         Airtimes are evaluated through the memoized
@@ -120,6 +319,12 @@ class FleetState:
 
         Args:
             world: The world to snapshot; must hold at least one device.
+            chunk_rows: Build the power/delay/loss matrices in row
+                chunks of this size (bounded peak memory); ``None``
+                builds them in one pass.
+            power_dtype: Storage dtype of the ``(n, n_sites)`` matrices
+                (e.g. ``np.float32`` to halve 1M-row footprints);
+                ``None`` keeps float64.
 
         Returns:
             A fully populated state, duty budgets copied from the live
@@ -143,7 +348,16 @@ class FleetState:
             ]
         )
         sites, site_xyz = world.site_columns()
-        powers, delays = site_power_columns(sites, site_xyz, devices, positions, tx_power)
+        powers, delays, loss = site_power_columns(
+            sites,
+            site_xyz,
+            devices,
+            positions,
+            tx_power,
+            chunk_rows=chunk_rows,
+            out_dtype=power_dtype,
+            return_loss=True,
+        )
         floors = np.array([SX1276_DEMOD_SNR_FLOOR_DB[int(s)] for s in sf])
         site_noise = np.array(
             [noise_floor_dbm(site.link.bandwidth_hz, site.link.noise_figure_db) for site in sites]
@@ -164,6 +378,95 @@ class FleetState:
             powers_dbm=powers,
             delays_s=delays,
             in_range=in_range,
+            dev_addr=np.array([d.dev_addr for d in devices], dtype=np.int64),
+            coding_rate=np.array([d.coding_rate for d in devices], dtype=np.int64),
+            loss_db=loss,
+            site_noise=site_noise,
+            site_tx_gain_db=np.array([site.link.tx_antenna_gain_db for site in sites]),
+            site_rx_gain_db=np.array([site.link.rx_antenna_gain_db for site in sites]),
+            rngs=[d.rng for d in devices],
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: FleetSpec,
+        world: LoRaWanWorld,
+        chunk_rows: int | None = 262_144,
+        power_dtype: np.dtype | str | None = None,
+    ) -> "FleetState":
+        """Materialize the columns straight from a :class:`FleetSpec`.
+
+        No :class:`EndDevice` is ever constructed and no session key is
+        derived: positions come from the ring formula, airtime is one
+        memoized evaluation broadcast across the fleet, and the
+        device x site matrices stream through
+        ``PathLossModel.loss_db_from_distance`` in bounded-memory
+        chunks.  The result is bitwise identical (at the default
+        float64) to ``from_world`` over ``spec.realize()`` devices --
+        pinned in ``tests/test_columnar.py``.
+
+        Args:
+            spec: The fleet description.
+            world: Supplies the gateway topology (sites, noise figures,
+                antenna gains); its device map is not consulted.
+            chunk_rows: Row-chunk size for the power/delay/loss
+                matrices; ``None`` builds them in one pass.
+            power_dtype: Storage dtype of the ``(n, n_sites)``
+                matrices; ``None`` keeps float64.
+
+        Returns:
+            A state whose rows follow ``spec.names`` order.
+
+        Raises:
+            ConfigurationError: If a gateway's path-loss model has no
+                vectorized distance-only form (spec fleets have no
+                device objects to fall back on).
+        """
+        n = spec.n_devices
+        positions = spec.positions()
+        sf0 = int(spec.spreading_factor)
+        sf = np.full(n, sf0, dtype=np.int64)
+        frame = _FRAME_OVERHEAD_BYTES + sensor_payload_len(0, ElapsedTimeCodec())
+        tx_power = np.full(n, float(spec.tx_power_dbm))
+        sites, site_xyz = world.site_columns()
+        powers, delays, loss = site_power_columns(
+            sites,
+            site_xyz,
+            None,
+            positions,
+            tx_power,
+            chunk_rows=chunk_rows,
+            out_dtype=power_dtype,
+            return_loss=True,
+        )
+        site_noise = np.array(
+            [noise_floor_dbm(site.link.bandwidth_hz, site.link.noise_figure_db) for site in sites]
+        )
+        floors = np.full(n, SX1276_DEMOD_SNR_FLOOR_DB[sf0])
+        in_range = (powers - site_noise[None, :]) >= floors[:, None]
+        return cls(
+            names=spec.names,
+            positions=positions,
+            spreading_factor=sf,
+            tx_power_dbm=tx_power,
+            frame_bytes=np.full(n, frame, dtype=np.int64),
+            airtime_s=np.full(n, airtime_s(frame, sf0, coding_rate=spec.coding_rate)),
+            duty_cycle=np.full(n, float(spec.duty_cycle)),
+            next_allowed_s=np.zeros(n),
+            latency_mean_s=np.full(n, float(spec.tx_latency_mean_s)),
+            latency_jitter_s=np.full(n, float(spec.tx_latency_jitter_s)),
+            fcnt=np.zeros(n, dtype=np.int64),
+            powers_dbm=powers,
+            delays_s=delays,
+            in_range=in_range,
+            dev_addr=spec.dev_addrs(),
+            coding_rate=np.full(n, int(spec.coding_rate), dtype=np.int64),
+            loss_db=loss,
+            site_noise=site_noise,
+            site_tx_gain_db=np.array([site.link.tx_antenna_gain_db for site in sites]),
+            site_rx_gain_db=np.array([site.link.rx_antenna_gain_db for site in sites]),
+            rngs=None,
         )
 
     @property
@@ -180,8 +483,7 @@ class ColumnarRuntime:
     constructor shape, same :meth:`run` contract, same
     :class:`~repro.sim.runtime.RuntimeReport`.  Repeated :meth:`run`
     calls extend one timeline, so clean/arm-attack/attack phase
-    sequences work unchanged (events mode only -- counters mode rejects
-    an armed attack, and an attached ADR controller, outright).
+    sequences work unchanged in both modes.
 
     Attributes:
         world: The world to drive (either topology).
@@ -191,6 +493,12 @@ class ColumnarRuntime:
         backoff_s: Extra wait after a duty-cycle deferral.
         mode: ``"events"`` (bit-identical, full ``WorldEvent`` stream)
             or ``"counters"`` (columnar MAC, counter-only reports).
+        state: Pre-built :class:`FleetState` to run against (e.g. a
+            spec-built million-row state); ``None`` snapshots the
+            world's devices on first counters use.  Events mode needs
+            real device objects, so a spec-built state without matching
+            ``world.devices`` entries is rejected there (realize the
+            spec first).
     """
 
     world: LoRaWanWorld
@@ -199,6 +507,7 @@ class ColumnarRuntime:
     capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB
     backoff_s: float = 1e-3
     mode: str = "events"
+    state: FleetState | None = None
     attempts: int = field(init=False, default=0)
     deferrals: int = field(init=False, default=0)
     adr_sent: int = field(init=False, default=0)
@@ -216,17 +525,44 @@ class ColumnarRuntime:
         self._channel = CollisionChannel(capture_threshold_db=self.capture_threshold_db)
         self._wheel = TimeWheel(self.window_s)
         self._now = self.world.simulator.now_s
-        self._names = list(self.world.devices)
+        if self.state is not None:
+            self._names = list(self.state.names)
+        else:
+            self._names = list(self.world.devices)
         self._index_of = {name: i for i, name in enumerate(self._names)}
+        if self.mode == "events" and self.state is not None:
+            missing = next((n for n in self._names if n not in self.world.devices), None)
+            if missing is not None:
+                raise ConfigurationError(
+                    f"events mode needs real device objects but {missing!r} has no "
+                    "EndDevice in the world; realize the spec (FleetSpec.realize) "
+                    "or use mode='counters'"
+                )
         self._pending: list[StagedTransmission] = []
         self._apply_payloads: list[tuple[str, bytes]] = []
         self._downlink_schedulers: dict[int, DownlinkScheduler] = {}
-        self._state: FleetState | None = None
+        self._state: FleetState | None = self.state
         self._processed = 0
-        # Counters-mode staging: per-window emission/device columns.
+        # Counters-mode staging: per-window frame columns, captured at
+        # transmit time (ADR can retune a row before its window's flush).
         self._pend_emission: list[np.ndarray] = []
         self._pend_device: list[np.ndarray] = []
-        self._counts = np.zeros(3, dtype=np.int64)  # delivered, collided, low-SNR
+        self._pend_air: list[np.ndarray] = []
+        self._pend_sf: list[np.ndarray] = []
+        self._pend_fcnt: list[np.ndarray] = []
+        self._pend_ans: list[np.ndarray] = []
+        self._pend_powers: list[np.ndarray] = []
+        self._pend_in_range: list[np.ndarray] = []
+        self._pend_delays: list[np.ndarray] = []
+        # delivered, collided, low-SNR, suppressed, replays-delivered.
+        self._counts = np.zeros(5, dtype=np.int64)
+        self._heard_per_device = np.zeros(len(self._names), dtype=np.int64)
+        # Counters-mode ADR mirror: queued retune commands (negative
+        # wheel items index this list) and per-row pending FOpts bytes.
+        self._apply_commands: list[tuple[int, LinkADRReq]] = []
+        self._fopts_len: dict[int, int] = {}
+        self._adr = None
+        self._attacked_rows = np.zeros(0, dtype=bool)
 
     def run(self, duration_s: float, device_names: list[str] | None = None) -> RuntimeReport:
         """Schedule one phase of fleet traffic and run it to completion.
@@ -249,7 +585,7 @@ class ColumnarRuntime:
             raise ConfigurationError(f"duration must be positive, got {duration_s}")
         world = self.world
         names = self._names if device_names is None else list(device_names)
-        unknown = [n for n in names if n not in world.devices]
+        unknown = [n for n in names if n not in self._index_of]
         if unknown:
             raise ConfigurationError(f"unknown devices: {unknown}")
         start_s = self._now
@@ -279,12 +615,14 @@ class ColumnarRuntime:
         world.simulator.run_until(end_s)
         counters = None
         if self.mode == "counters":
-            delivered, collided, low = (self._counts - counts0).tolist()
+            delivered, collided, low, suppressed, replays = (self._counts - counts0).tolist()
             counters = ContentionStats(
                 attempts=self.attempts - attempts0,
                 delivered=delivered,
                 collided=collided,
                 lost_low_snr=low,
+                suppressed=suppressed,
+                replays_delivered=replays,
             )
         return RuntimeReport(
             start_s=start_s,
@@ -299,6 +637,28 @@ class ColumnarRuntime:
             adr_commands_applied=self.adr_applied - adr0[2],
             counters=counters,
         )
+
+    def heard_names(self) -> list[str]:
+        """Names of devices the network has heard at least once (counters mode).
+
+        A device counts as heard when one of its frames was delivered --
+        or suppressed, since the attacker's replay of a suppressed frame
+        reaches the commodity gateway and produces a verdict exactly
+        like a genuine delivery.  The result therefore mirrors the set
+        of devices an events-mode ``NetworkServer`` would hold verdicts
+        for on the same seeds, which lets counter-only sweeps pick
+        attack targets the way verdict-driven ones do.
+
+        Returns:
+            Device names with at least one heard frame, in fleet order.
+
+        Raises:
+            ConfigurationError: In events mode, where the server's own
+                verdict log is the authoritative record.
+        """
+        if self.mode != "counters":
+            raise ConfigurationError("heard_names() is tracked in counters mode only")
+        return [self._names[i] for i in np.flatnonzero(self._heard_per_device)]
 
     # -- events mode: bit-identical replay of FleetRuntime ----------------------
 
@@ -406,36 +766,30 @@ class ColumnarRuntime:
     def _drive_counters(self, end_s: float) -> None:
         """Pop windows and resolve them as whole-array operations."""
         world = self.world
-        if world.attack is not None:
-            raise ConfigurationError(
-                "counters mode cannot model the frame delay attack; use mode='events'"
-            )
-        if world.server is not None and world.server.adr is not None:
-            raise ConfigurationError(
-                "counters mode cannot apply ADR downlinks; use mode='events'"
-            )
-        if world.extra_gateways and world.server is None:
-            raise ConfigurationError(
-                "extra gateways are placed but no network server is attached; "
-                "call attach_server() to enable multi-gateway routing"
-            )
         if self._state is None:
             self._state = FleetState.from_world(world)
         state = self._state
+        self._adr = world.server.adr if world.server is not None else None
+        attacked = np.zeros(state.n_devices, dtype=bool)
+        if world.attack is not None:
+            for name in world.attack_targets:
+                row = self._index_of.get(name)
+                if row is not None:
+                    attacked[row] = True
+        self._attacked_rows = attacked
         table = self._channel.capture_matrix.threshold_table()
         while True:
             peek = self._wheel.peek_time_s()
             if peek is None or peek > end_s:
                 break
-            key, w_times, w_seq, w_items = self._wheel.pop_window()
-            boundary = self._wheel.window_end_s(key)
-            beyond = w_times > end_s
-            if beyond.any():
-                self._wheel.push(w_times[beyond], w_items[beyond])
-                keep = ~beyond
-                w_times, w_seq, w_items = w_times[keep], w_seq[keep], w_items[keep]
+            boundary, w_times, w_seq, w_items = self._pop_window_clipped(end_s)
             if w_times.size:
-                if np.unique(w_items).size == w_items.size:
+                if self._adr is not None:
+                    # Retune applies (negative items) interleave with
+                    # transmits inside the window; only the exact heap
+                    # walk preserves that order.
+                    self._window_pass_sequential(w_times, w_seq, w_items, state, boundary, end_s)
+                elif np.unique(w_items).size == w_items.size:
                     self._window_pass_vector(w_times, w_items, state)
                 else:
                     # A device appearing twice in one pass (retry chains
@@ -443,8 +797,37 @@ class ColumnarRuntime:
                     # updates; fall back to the exact heap walk.
                     self._window_pass_sequential(w_times, w_seq, w_items, state, boundary, end_s)
             if boundary <= end_s:
-                self._flush_counters(state, table)
-        self._flush_counters(state, table)
+                self._flush_counters(state, table, boundary)
+        self._flush_counters(state, table, end_s)
+        if self._adr is not None:
+            # The end flush can queue retune applies landing exactly at
+            # ``end_s``; fire them before reporting (mirrors the events
+            # drive's second pop loop).
+            while True:
+                peek = self._wheel.peek_time_s()
+                if peek is None or peek > end_s:
+                    break
+                boundary, w_times, w_seq, w_items = self._pop_window_clipped(end_s)
+                if w_times.size:
+                    self._window_pass_sequential(w_times, w_seq, w_items, state, boundary, end_s)
+            self._flush_counters(state, table, end_s)
+
+    def _pop_window_clipped(self, end_s: float) -> tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+        """Pop one wheel window, re-pushing anything beyond the horizon.
+
+        Returns:
+            ``(boundary, times, sequences, items)`` with every entry at
+            or before ``end_s``; later entries go back on the wheel for
+            the next phase.
+        """
+        key, w_times, w_seq, w_items = self._wheel.pop_window()
+        boundary = self._wheel.window_end_s(key)
+        beyond = w_times > end_s
+        if beyond.any():
+            self._wheel.push(w_times[beyond], w_items[beyond])
+            keep = ~beyond
+            w_times, w_seq, w_items = w_times[keep], w_seq[keep], w_items[keep]
+        return boundary, w_times, w_seq, w_items
 
     def _window_pass_vector(
         self, w_times: np.ndarray, w_items: np.ndarray, state: FleetState
@@ -478,14 +861,15 @@ class ColumnarRuntime:
         boundary: float,
         end_s: float,
     ) -> None:
-        """Exact heap walk for passes where one device appears twice."""
+        """Exact heap walk for retry chains and ADR retune interleaving."""
         heap = list(zip(w_times.tolist(), w_seq.tolist(), w_items.tolist()))
         heapq.heapify(heap)
-        att_t: list[float] = []
-        att_d: list[int] = []
         while heap:
             t, _, item = heapq.heappop(heap)
             self._processed += 1
+            if item < 0:
+                self._apply_retune(int(item), state)
+                continue
             device = int(item)
             if t < state.next_allowed_s[device]:
                 self.deferrals += 1
@@ -496,45 +880,145 @@ class ColumnarRuntime:
                     self._wheel.push(np.array([retry]), np.array([device]))
                 continue
             self.attempts += 1
-            att_t.append(t)
-            att_d.append(device)
-            air = float(state.airtime_s[device])
+            fopts = self._fopts_len.pop(device, 0)
+            if fopts:
+                # A pending LinkADRAns rides in FOpts: the frame grows
+                # and so does its airtime (same memoized arithmetic the
+                # device's transmit would use).
+                air = airtime_s(
+                    int(state.frame_bytes[device]) + fopts,
+                    int(state.spreading_factor[device]),
+                    coding_rate=int(state.coding_rate[device]),
+                )
+            else:
+                air = float(state.airtime_s[device])
             state.next_allowed_s[device] = t + air + air * (
                 1.0 / float(state.duty_cycle[device]) - 1.0
             )
+            fcnt = int(state.fcnt[device])
             state.fcnt[device] = (state.fcnt[device] + 1) & 0xFFFF
-        if att_t:
-            self._stage_counters(np.array(att_t), np.array(att_d, dtype=np.int64), state)
+            self._stage_counters(
+                np.array([t]),
+                np.array([device], dtype=np.int64),
+                state,
+                air=np.array([air]),
+                fcnt=np.array([fcnt], dtype=np.int64),
+                ans=np.array([fopts > 0]),
+            )
 
     def _register_attempts(self, att_t: np.ndarray, att_d: np.ndarray, state: FleetState) -> None:
         """Duty/FCnt bookkeeping plus emission staging for one attempt batch."""
         air = state.airtime_s[att_d]
         # Same expression (and FP op order) as DutyCycleLimiter.register.
         state.next_allowed_s[att_d] = att_t + air + air * (1.0 / state.duty_cycle[att_d] - 1.0)
+        fcnt = state.fcnt[att_d].copy()
         state.fcnt[att_d] = (state.fcnt[att_d] + 1) & 0xFFFF
-        self._stage_counters(att_t, att_d, state)
+        self._stage_counters(att_t, att_d, state, air=air, fcnt=fcnt)
 
-    def _stage_counters(self, att_t: np.ndarray, att_d: np.ndarray, state: FleetState) -> None:
-        """Draw emission latencies and stage the frames for the window flush."""
-        jitter = self.world.rng.standard_normal(att_t.size) * state.latency_jitter_s[att_d]
+    def _stage_counters(
+        self,
+        att_t: np.ndarray,
+        att_d: np.ndarray,
+        state: FleetState,
+        air: np.ndarray,
+        fcnt: np.ndarray,
+        ans: np.ndarray | None = None,
+    ) -> None:
+        """Draw emission latencies and stage the frames for the window flush.
+
+        Jitter comes from the per-device generators when the state
+        carries them (object-built fleets: the *same* draws, in the same
+        per-device order, events mode would make) and from the world's
+        engine stream otherwise (spec-built fleets).  Link columns are
+        captured per frame because an ADR retune can mutate a row
+        between its transmit and its window's flush.
+        """
+        if state.rngs is not None:
+            sigmas = state.latency_jitter_s[att_d]
+            jitter = np.array(
+                [
+                    state.rngs[d].normal(0.0, s) if s else 0.0
+                    for d, s in zip(att_d.tolist(), sigmas.tolist())
+                ]
+            )
+        else:
+            jitter = self.world.rng.standard_normal(att_t.size) * state.latency_jitter_s[att_d]
         emission = att_t + np.maximum(state.latency_mean_s[att_d] + jitter, 0.0)
         self._pend_emission.append(emission)
         self._pend_device.append(att_d)
+        self._pend_air.append(air)
+        self._pend_sf.append(state.spreading_factor[att_d].copy())
+        self._pend_fcnt.append(fcnt)
+        self._pend_ans.append(
+            np.zeros(att_t.size, dtype=bool) if ans is None else ans
+        )
+        self._pend_powers.append(state.powers_dbm[att_d].copy())
+        self._pend_in_range.append(state.in_range[att_d].copy())
+        self._pend_delays.append(state.delays_s[att_d])
 
-    def _flush_counters(self, state: FleetState, table: np.ndarray) -> None:
-        """Resolve one window's staged frames straight into counters."""
+    def _apply_retune(self, item: int, state: FleetState) -> None:
+        """Apply a queued LinkADRReq to a fleet row (device-side mirror).
+
+        Mirrors ``EndDevice.apply_link_adr`` on the columns: SF and TX
+        power switch when the request validates, airtime / received
+        powers / range masks rebuild from the cached path-loss column,
+        and a 2-byte LinkADRAns queues into the row's FOpts budget
+        either way.
+        """
+        row, request = self._apply_commands[-item - 1]
+        data_rate = EU868.DATA_RATES.get(request.data_rate_index)
+        accepted = (
+            request.ch_mask != 0
+            and data_rate is not None
+            and 0 <= request.tx_power_index <= 7
+        )
+        if accepted:
+            state.spreading_factor[row] = data_rate.spreading_factor
+            state.tx_power_dbm[row] = EU868.tx_power_dbm(request.tx_power_index)
+            state.airtime_s[row] = airtime_s(
+                int(state.frame_bytes[row]),
+                int(state.spreading_factor[row]),
+                coding_rate=int(state.coding_rate[row]),
+            )
+            # Same FP op order as the site_power_columns build pass.
+            powers_row = (
+                state.tx_power_dbm[row] + state.site_tx_gain_db + state.site_rx_gain_db
+            ) - state.loss_db[row]
+            state.powers_dbm[row] = powers_row
+            floor = SX1276_DEMOD_SNR_FLOOR_DB[int(state.spreading_factor[row])]
+            state.in_range[row] = (powers_row - state.site_noise) >= floor
+        pending = self._fopts_len.get(row, 0)
+        if pending + _LINK_ADR_ANS_BYTES <= _FOPTS_CAPACITY:
+            self._fopts_len[row] = pending + _LINK_ADR_ANS_BYTES
+        self.adr_applied += 1
+
+    def _flush_counters(self, state: FleetState, table: np.ndarray, now_s: float) -> None:
+        """Resolve one window's staged frames straight into counters.
+
+        Classification mirrors the events-mode delivery exactly: frames
+        in range of no gateway are low-SNR losses; attacked frames in
+        range are suppressed by the jammer and their recordings replayed
+        (they still interfere as colliders); the rest deliver if they
+        survive capture at any in-range site and collide otherwise.
+        Delivered frames then feed the ADR mirror when a controller is
+        attached.
+        """
         if not self._pend_emission:
             return
         emission = np.concatenate(self._pend_emission)
         devices = np.concatenate(self._pend_device)
-        self._pend_emission, self._pend_device = [], []
-        air = state.airtime_s[devices]
-        in_range = state.in_range[devices]
+        air = np.concatenate(self._pend_air)
+        sf = np.concatenate(self._pend_sf)
+        fcnt = np.concatenate(self._pend_fcnt)
+        ans = np.concatenate(self._pend_ans)
+        powers = np.vstack(self._pend_powers)
+        in_range = np.vstack(self._pend_in_range)
+        delays = np.vstack(self._pend_delays)
+        self._pend_emission, self._pend_device, self._pend_air = [], [], []
+        self._pend_sf, self._pend_fcnt, self._pend_ans = [], [], []
+        self._pend_powers, self._pend_in_range, self._pend_delays = [], [], []
         survives = np.ones_like(in_range)
         if emission.size >= 2:
-            powers = state.powers_dbm[devices]
-            delays = state.delays_s[devices]
-            sf = state.spreading_factor[devices]
             for cluster in overlap_cluster_indices(emission, emission + air):
                 if cluster.size < 2:
                     continue
@@ -545,8 +1029,104 @@ class ColumnarRuntime:
                     sf[cluster],
                     table,
                 )
+        attacked = self._attacked_rows[devices] if self._attacked_rows.size else np.zeros(
+            emission.size, dtype=bool
+        )
         reachable = in_range.any(axis=1)
-        delivered = (in_range & survives).any(axis=1)
+        ok = in_range & survives
+        delivered = ok.any(axis=1) & ~attacked
+        suppressed = attacked & reachable
         n_low = int((~reachable).sum())
+        n_suppressed = int(suppressed.sum())
         n_delivered = int(delivered.sum())
-        self._counts += (n_delivered, emission.size - n_low - n_delivered, n_low)
+        n_collided = emission.size - n_low - n_suppressed - n_delivered
+        self._counts += (n_delivered, n_collided, n_low, n_suppressed, n_suppressed)
+        np.add.at(self._heard_per_device, devices[delivered | suppressed], 1)
+        if self._adr is not None:
+            self._adr_feed_and_dispatch(
+                state, emission, devices, air, sf, fcnt, ans, powers, delays, ok, delivered, now_s
+            )
+
+    def _adr_feed_and_dispatch(
+        self,
+        state: FleetState,
+        emission: np.ndarray,
+        devices: np.ndarray,
+        air: np.ndarray,
+        sf: np.ndarray,
+        fcnt: np.ndarray,
+        ans: np.ndarray,
+        powers: np.ndarray,
+        delays: np.ndarray,
+        ok: np.ndarray,
+        delivered: np.ndarray,
+        now_s: float,
+    ) -> None:
+        """Feed delivered frames to the ADR controller and ship commands.
+
+        Server-side mirror of ``NetworkServer.resolve`` +
+        :func:`~repro.sim.runtime.dispatch_adr_downlinks`, without
+        frames or keys: SNR evidence is the link-budget power column
+        minus the site noise floor, observations arrive in the
+        deduplicator's ``(first arrival, DevAddr, FCnt)`` order with the
+        fused (earliest surviving-site) timestamp, and each queued
+        LinkADRReq anchors to its device's last delivered uplink --
+        RX1/RX2 scheduling, gateway choice, duty budgets, and the
+        apply-time arithmetic all match the events-mode dispatcher.
+        Suppressed frames never feed the controller (the replay detector
+        is assumed to catch their replays).
+        """
+        adr = self._adr
+        idx = np.flatnonzero(delivered)
+        if idx.size:
+            arrivals = np.where(ok[idx], emission[idx, None] + delays[idx], np.inf).min(axis=1)
+            snrs = np.where(
+                ok[idx], powers[idx] - state.site_noise[None, :], -np.inf
+            ).max(axis=1)
+            addrs = state.dev_addr[devices[idx]]
+            order = np.lexsort((fcnt[idx], addrs, arrivals))
+            for k in order.tolist():
+                frame = int(idx[k])
+                if ans[frame]:
+                    adr.acknowledge(int(addrs[k]), LinkADRAns(True, True, True))
+                adr.observe(
+                    int(addrs[k]), float(snrs[k]), int(sf[frame]), time_s=float(arrivals[k])
+                )
+        commands = adr.take_pending()
+        if not commands:
+            return
+        sent = dropped = 0
+        anchors: dict[int, int] = {}
+        for frame in idx.tolist():
+            anchors[int(state.dev_addr[devices[frame]])] = frame
+        for command in commands:
+            frame = anchors.get(command.dev_addr)
+            if frame is None:
+                dropped += 1
+                adr.command_dropped(command.dev_addr)
+                continue
+            raw_len = _FRAME_OVERHEAD_BYTES + len(command.request.encode())
+            adr.next_fcnt_down(command.dev_addr)
+            rx1_airtime = airtime_s(raw_len, int(sf[frame]))
+            rx2_airtime = airtime_s(raw_len, 12)
+            uplink_end_s = float(emission[frame] + air[frame])
+            window = None
+            for site_index in np.flatnonzero(ok[frame]).tolist():
+                scheduler = self._scheduler_for(site_index)
+                window = scheduler.schedule(uplink_end_s, rx1_airtime, rx2_airtime)
+                if window is not None:
+                    start_s = scheduler.scheduled[-1][0]
+                    break
+            if window is None:
+                dropped += 1
+                adr.command_dropped(command.dev_addr)
+                continue
+            sent += 1
+            on_air = rx1_airtime if window.which == "RX1" else rx2_airtime
+            self._apply_commands.append((int(devices[frame]), command.request))
+            self._wheel.push(
+                np.array([max(start_s + on_air, now_s)]),
+                np.array([-len(self._apply_commands)]),
+            )
+        self.adr_sent += sent
+        self.adr_dropped += dropped

@@ -490,33 +490,49 @@ class LoRaWanWorld:
                 )
 
         suppressed_events: dict[int, WorldEvent] = {}
-        for index, name, tx, snr, delay, arrival in attacked:
-            outcome = self.attack.execute(tx, self.attack_delay_s)
-            suppressed_events[index] = WorldEvent(
-                kind=EventKind.SUPPRESSED_BY_JAMMING,
-                time_s=arrival,
-                device_name=name,
-                snr_db=snr,
-                transmission=tx,
-                detail=f"jam outcome: {outcome.jam_outcome.value}",
-                metadata={"attack": outcome},
+        if attacked:
+            # One batched FB draw for the window's replays, mirroring the
+            # direct path.  The attack rng is its own stream, so running
+            # every execute() before the measurement batch keeps both
+            # streams' draw orders: the world rng still sees the replays'
+            # FB noise in staged order, and measure_batch is elementwise
+            # identical to the per-frame measure calls it replaces.
+            outcomes = [
+                self.attack.execute(tx, self.attack_delay_s) for _, _, tx, _, _, _ in attacked
+            ]
+            replay_fbs = self.fb_model.measure_batch(
+                np.array([outcome.replayed.fb_hz for outcome in outcomes]),
+                np.array([snr for _, _, _, snr, _, _ in attacked]),
+                self.rng,
+                spreading_factors=np.array(
+                    [tx.spreading_factor for _, _, tx, _, _, _ in attacked]
+                ),
             )
-            replay_arrival = outcome.replayed.arrival_time_s + delay
-            fb_measured = self.fb_model.measure(
-                outcome.replayed.fb_hz, snr, self.rng, spreading_factor=tx.spreading_factor
-            )
-            reception = self.gateway.process_frame(
-                outcome.replayed.mac_bytes, replay_arrival, fb_measured
-            )
-            primary[index] = WorldEvent(
-                kind=EventKind.REPLAY_DELIVERED,
-                time_s=replay_arrival,
-                device_name=name,
-                snr_db=snr,
-                transmission=tx,
-                reception=reception,
-                metadata={"attack": outcome},
-            )
+            for (index, name, tx, snr, delay, arrival), outcome, fb_measured in zip(
+                attacked, outcomes, replay_fbs
+            ):
+                suppressed_events[index] = WorldEvent(
+                    kind=EventKind.SUPPRESSED_BY_JAMMING,
+                    time_s=arrival,
+                    device_name=name,
+                    snr_db=snr,
+                    transmission=tx,
+                    detail=f"jam outcome: {outcome.jam_outcome.value}",
+                    metadata={"attack": outcome},
+                )
+                replay_arrival = outcome.replayed.arrival_time_s + delay
+                reception = self.gateway.process_frame(
+                    outcome.replayed.mac_bytes, replay_arrival, float(fb_measured)
+                )
+                primary[index] = WorldEvent(
+                    kind=EventKind.REPLAY_DELIVERED,
+                    time_s=replay_arrival,
+                    device_name=name,
+                    snr_db=snr,
+                    transmission=tx,
+                    reception=reception,
+                    metadata={"attack": outcome},
+                )
 
         ordered = []
         for index in range(len(staged)):

@@ -89,10 +89,14 @@ def overlap_cluster_indices(starts: np.ndarray, ends: np.ndarray) -> list[np.nda
 def site_power_columns(
     sites: list[GatewaySite],
     site_xyz: np.ndarray,
-    devices: list,
+    devices: list | None,
     dev_xyz: np.ndarray,
     tx_power_dbm: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    *,
+    chunk_rows: int | None = None,
+    out_dtype: np.dtype | type | None = None,
+    return_loss: bool = False,
+) -> tuple[np.ndarray, ...]:
     """Per-(frame, site) received powers and propagation delays.
 
     One vectorized distance/path-loss evaluation per gateway site,
@@ -106,31 +110,71 @@ def site_power_columns(
         sites: Gateway placements, as returned by ``world.site_columns()``.
         site_xyz: ``(n_sites, 3)`` site coordinates, same call.
         devices: The staged frames' :class:`EndDevice` objects (scalar
-            fallback only).
+            fallback only).  Pass ``None`` for array-native fleets that
+            never built device objects; the fallback then raises a
+            :class:`ConfigurationError` instead of failing obscurely.
         dev_xyz: ``(n, 3)`` device coordinates, one row per staged frame.
         tx_power_dbm: ``(n,)`` per-frame transmit powers.
+        chunk_rows: When set, process the device rows in slices of at
+            most this many rows per site column, bounding the peak
+            temporary memory at ``O(chunk_rows)`` instead of ``O(n)``.
+            Every operation is elementwise, so the chunked result is
+            *bitwise* identical to the unchunked one
+            (``tests/test_columnar.py`` pins this).
+        out_dtype: Storage dtype of the returned matrices (default
+            float64).  Arithmetic always runs in float64 per chunk; a
+            float32 ``out_dtype`` only narrows the stored result, which
+            halves the footprint of a 1M-device x 8-gateway matrix.
+        return_loss: Also return the raw per-(frame, site) path loss in
+            dB -- callers that later retune transmit powers (ADR) can
+            then rebuild a power row with the exact build-time
+            arithmetic.
 
     Returns:
-        ``(powers, delays)``, each ``(n, n_sites)``.
+        ``(powers, delays)``, each ``(n, n_sites)`` -- plus ``loss`` of
+        the same shape when ``return_loss`` is set.
     """
     n = dev_xyz.shape[0]
-    powers = np.empty((n, len(sites)))
-    delays = np.empty((n, len(sites)))
+    dtype = np.float64 if out_dtype is None else np.dtype(out_dtype)
+    powers = np.empty((n, len(sites)), dtype=dtype)
+    delays = np.empty((n, len(sites)), dtype=dtype)
+    loss_out = np.empty((n, len(sites)), dtype=dtype) if return_loss else None
+    step = n if not chunk_rows else max(1, int(chunk_rows))
     for column, site in enumerate(sites):
-        diff = dev_xyz - site_xyz[column]
-        distance = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2 + diff[:, 2] ** 2)
-        loss = None
         vectorized = getattr(site.link.pathloss, "loss_db_from_distance", None)
-        if vectorized is not None:
-            loss = vectorized(distance)
-        if loss is None:
-            loss = np.array(
-                [site.link.pathloss.loss_db(device.position, site.position) for device in devices]
+        for lo in range(0, max(n, 1), step):
+            hi = min(lo + step, n)
+            if lo >= hi:
+                break
+            diff = dev_xyz[lo:hi] - site_xyz[column]
+            distance = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2 + diff[:, 2] ** 2)
+            loss = None
+            if vectorized is not None:
+                loss = vectorized(distance)
+            if loss is None:
+                if devices is None:
+                    raise ConfigurationError(
+                        f"path-loss model {type(site.link.pathloss).__name__} has no "
+                        "vectorized distance-only form and no device objects exist "
+                        "to fall back on; use a closed-form model for spec-built fleets"
+                    )
+                loss = np.array(
+                    [
+                        site.link.pathloss.loss_db(device.position, site.position)
+                        for device in devices[lo:hi]
+                    ]
+                )
+            powers[lo:hi, column] = (
+                tx_power_dbm[lo:hi]
+                + site.link.tx_antenna_gain_db
+                + site.link.rx_antenna_gain_db
+                - loss
             )
-        powers[:, column] = (
-            tx_power_dbm + site.link.tx_antenna_gain_db + site.link.rx_antenna_gain_db - loss
-        )
-        delays[:, column] = distance / SPEED_OF_LIGHT_M_S
+            delays[lo:hi, column] = distance / SPEED_OF_LIGHT_M_S
+            if loss_out is not None:
+                loss_out[lo:hi, column] = loss
+    if return_loss:
+        return powers, delays, loss_out
     return powers, delays
 
 

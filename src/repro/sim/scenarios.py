@@ -247,6 +247,11 @@ def build_fleet(
     """
     if n_devices < 1:
         raise ConfigurationError(f"need at least one device, got {n_devices}")
+    lo, hi = fb_range_hz
+    if lo >= hi:
+        raise ConfigurationError(f"fb range must satisfy lo < hi, got ({lo}, {hi})")
+    if ring_radius_m <= 0:
+        raise ConfigurationError(f"ring radius must be positive, got {ring_radius_m}")
     streams = streams or RngStreams(0)
     devices = []
     for index in range(n_devices):
@@ -269,3 +274,35 @@ def build_fleet(
         )
         devices.append(device)
     return devices
+
+
+def build_fleet_spec(
+    n_devices: int = 16,
+    seed: int = 0,
+    spreading_factor: int = 7,
+    ring_radius_m: float = 5.0,
+    fb_range_hz: tuple[float, float] = (-25e3, -17e3),
+    drift_ppm: float = PAPER_ANALYSIS_DRIFT_PPM,
+) -> "FleetSpec":
+    """Array-native sibling of :func:`build_fleet`: the fleet as a spec.
+
+    Returns a :class:`~repro.sim.columnar.FleetSpec` describing the same
+    ring-of-devices deployment without constructing a single
+    :class:`EndDevice` -- feed it to
+    :meth:`~repro.sim.columnar.FleetState.from_spec` to materialize a
+    million-row columnar fleet in one vectorized pass, or call
+    ``spec.realize()`` to get the equivalent device objects (bitwise the
+    same columns, pinned in ``tests/test_columnar.py``).  Validation
+    (fleet size, FB range ordering, ring radius) matches
+    :func:`build_fleet`.
+    """
+    from repro.sim.columnar import FleetSpec
+
+    return FleetSpec(
+        n_devices=n_devices,
+        spreading_factor=spreading_factor,
+        ring_radius_m=ring_radius_m,
+        fb_range_hz=fb_range_hz,
+        drift_ppm=drift_ppm,
+        seed=seed,
+    )

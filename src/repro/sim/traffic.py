@@ -73,39 +73,31 @@ class PeriodicTrafficModel:
 
         Bit-identical to :meth:`schedule` over devices ``0..n-1`` -- same
         rng draw order (one phase per device, then one jitter per kept
-        tick), same repeated-addition tick arithmetic (``np.cumsum``
-        over ``[phase, period, period, ...]`` accumulates exactly like
-        the scalar ``t += period`` loop), same stable time sort -- but
-        the per-tick Python object churn is gone, so scheduling 100k
-        devices costs 100k small array ops instead of millions of
-        appends.
+        tick), same repeated-addition tick arithmetic (``t += period``
+        on the unjittered base time), same stable time sort -- but the
+        per-tick :class:`ScheduledUplink` churn is gone: ticks land in
+        flat scalar buffers converted to arrays once, so scheduling a
+        million devices costs seconds, not minutes.
         """
         horizon = start_s + duration_s
-        times_parts: list[np.ndarray] = []
-        index_parts: list[np.ndarray] = []
+        times_list: list[float] = []
+        counts = np.zeros(n_devices, dtype=np.int64)
+        uniform = self.rng.uniform
+        period = self.period_s
+        jitter = self.jitter_s
         for index in range(n_devices):
-            phase = float(self.rng.uniform(0.0, self.period_s))
-            first = start_s + phase
-            if first >= horizon:
-                continue
-            # Overestimate the tick count, accumulate, then keep the
-            # ticks the scalar loop would have appended (t < horizon on
-            # the *accumulated* value, so boundary rounding matches).
-            n_over = int(np.ceil((horizon - first) / self.period_s)) + 2
-            steps = np.full(n_over, self.period_s)
-            steps[0] = first
-            base = np.cumsum(steps)
-            base = base[base < horizon]
-            if base.size == 0:
-                continue
-            if self.jitter_s:
-                base = base + self.rng.uniform(0.0, self.jitter_s, size=base.size)
-            times_parts.append(base)
-            index_parts.append(np.full(base.size, index, dtype=np.int64))
-        if not times_parts:
+            t = start_s + float(uniform(0.0, period))
+            n_ticks = 0
+            while t < horizon:
+                tick = t + float(uniform(0.0, jitter)) if jitter else t
+                times_list.append(tick)
+                n_ticks += 1
+                t += period
+            counts[index] = n_ticks
+        if not times_list:
             return np.empty(0), np.empty(0, dtype=np.int64)
-        times = np.concatenate(times_parts)
-        indices = np.concatenate(index_parts)
+        times = np.array(times_list)
+        indices = np.repeat(np.arange(n_devices, dtype=np.int64), counts)
         order = np.argsort(times, kind="stable")
         return times[order], indices[order]
 
