@@ -16,6 +16,13 @@ higher-is-better ratio and fails when the fresh value drops below
 (e.g. ``--metric columnar.build_s --direction min``) and fails when the
 fresh value climbs above ``baseline * (1 + tolerance)``.
 
+``--match`` names a dot-path that must hold the *same* value in both
+reports for the comparison to mean anything (e.g. ``--match
+parallel_sweep.n_cpus``: a parallel speedup measured on a 4-core runner
+is incomparable to a baseline recorded on 1 core).  On a mismatch the
+gate prints ``SKIPPED`` and exits 0 -- an honest skip, not a silent
+pass of a meaningless comparison.
+
 All bench artifacts live under ``benchmarks/`` (``--bench-dir``);
 relative ``--baseline`` / ``--fresh`` paths resolve against it.
 
@@ -38,19 +45,26 @@ import sys
 from pathlib import Path
 
 
-def load_speedup(path: Path, label: str, metric: str = "speedup") -> float:
+def load_report(path: Path, label: str) -> dict:
     try:
-        report = json.loads(path.read_text())
+        return json.loads(path.read_text())
     except FileNotFoundError:
         sys.exit(f"bench gate: {label} report {path} does not exist")
     except json.JSONDecodeError as exc:
         sys.exit(f"bench gate: {label} report {path} is not valid JSON: {exc}")
+
+
+def dot_get(report: dict, dotted: str):
     value = report
-    for part in metric.split("."):
+    for part in dotted.split("."):
         if not isinstance(value, dict):
-            value = None
-            break
+            return None
         value = value.get(part)
+    return value
+
+
+def load_speedup(path: Path, label: str, metric: str = "speedup") -> float:
+    value = dot_get(load_report(path, label), metric)
     if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
         sys.exit(f"bench gate: {label} report {path} has no usable {metric!r} field")
     return float(value)
@@ -96,11 +110,29 @@ def main(argv: list[str] | None = None) -> int:
         help="'max' gates a higher-is-better ratio (default); 'min' gates a "
         "lower-is-better cost such as a build time",
     )
+    parser.add_argument(
+        "--match",
+        default=None,
+        help="dot-path that must hold the same value in both reports for the "
+        "metric to be comparable (e.g. 'parallel_sweep.n_cpus'); on a "
+        "mismatch the gate is SKIPPED with exit status 0",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         sys.exit(f"bench gate: tolerance must be in [0, 1), got {args.tolerance}")
     if not args.bench_dir.is_dir():
         sys.exit(f"bench gate: --bench-dir {args.bench_dir} is not a directory")
+
+    if args.match is not None:
+        baseline_key = dot_get(load_report(args.bench_dir / args.baseline, "baseline"), args.match)
+        fresh_key = dot_get(load_report(args.bench_dir / args.fresh, "fresh"), args.match)
+        if baseline_key != fresh_key:
+            print(
+                f"bench gate: {args.metric} SKIPPED -- {args.match} differs "
+                f"(baseline {baseline_key!r}, fresh {fresh_key!r}); the recorded "
+                "values are not comparable on this runner"
+            )
+            return 0
 
     baseline = load_speedup(args.bench_dir / args.baseline, "baseline", args.metric)
     fresh = load_speedup(args.bench_dir / args.fresh, "fresh", args.metric)

@@ -20,11 +20,15 @@ Three measurements land in ``benchmarks/BENCH_runtime.json``:
   between the two engines; full-scale runs must clear 100x, the tier-1
   smoke cell (200k devices x 10 minutes) 10x.
 * **parallel sweep speedup** -- four independent replicates of one
-  fleet_scale cell run through :class:`SweepExecutor` serially and with
-  spawn workers.  Results must be identical at both worker counts
-  (pinned here); wall-clock speedup is recorded and, on a runner with
-  >= 4 cores, must reach 2x -- on smaller runners the gate is *skipped*
-  (recording ``n_cpus``), not silently passed.
+  fleet_scale cell run through :class:`SweepExecutor` serially, twice
+  on the process backend (cold spawn, then the same warm persistent
+  pool), and once on the thread backend.  All four runs must produce
+  identical measurements before any wall-clock number counts; the
+  recorded section carries ``n_cpus``, cold-vs-warm pool timings, and
+  the sweep's shm-vs-pickle transport bytes alongside the gated
+  ``speedup`` (serial over warm-pool).  On a runner with >= 4 cores the
+  warm speedup must reach 2x -- on smaller runners the gate is
+  *skipped* (recording ``n_cpus``), not silently passed.
 
 The default sizes are smoke sizes (written to the gitignored
 ``BENCH_runtime_smoke.json``) so tier-1 stays fast; CI's bench job sets
@@ -39,10 +43,17 @@ import resource
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core.softlora import SoftLoRaGateway
 from repro.experiments.fleet_scale import run_fleet_scale
+from repro.parallel import (
+    DEFAULT_MIN_SHM_BYTES,
+    PayloadPublisher,
+    pickled_nbytes,
+    shutdown_default_pools,
+)
 from repro.lorawan.gateway import CommodityGateway
 from repro.phy.chirp import ChirpConfig
 from repro.radio.channel import LinkBudget
@@ -190,7 +201,7 @@ def _measure_columnar_throughput() -> dict:
     }
 
 
-def _run_replicated_sweep(n_workers: int):
+def _run_replicated_sweep(n_workers: int, backend: str = "process"):
     n_gateways, n_devices = SWEEP_CELL
     start = time.perf_counter()
     result = run_fleet_scale(
@@ -198,9 +209,39 @@ def _run_replicated_sweep(n_workers: int):
         device_counts=(n_devices,),
         replicates=N_REPLICATES,
         n_workers=n_workers,
+        backend=backend,
         **SWEEP_ROUNDS,
     )
     return time.perf_counter() - start, result
+
+
+def _measure_shm_transport() -> dict:
+    """Pickled task bytes for a power-matrix payload, with and without shm.
+
+    The replicated fleet cells ship only small parameter payloads, so
+    this measures the transport on the payload shape shared memory
+    exists for: a ``(50k, 8)`` float64 power matrix (a mid-size
+    fleet_scale cell's dominant array).
+    """
+    matrix = np.arange(50_000 * 8, dtype=np.float64).reshape(50_000, 8)
+    payload = {"powers": matrix, "threshold_db": 6.0}
+    without_shm = pickled_nbytes(payload)
+    publisher = PayloadPublisher(DEFAULT_MIN_SHM_BYTES)
+    skeleton = publisher.strip(payload)
+    pack = publisher.seal()
+    try:
+        with_shm = pickled_nbytes(publisher.fill(skeleton))
+        shm_bytes = pack.nbytes if pack is not None else 0
+    finally:
+        if pack is not None:
+            pack.close()
+            pack.unlink()
+    return {
+        "array_bytes": int(matrix.nbytes),
+        "pickled_without_shm": int(without_shm),
+        "pickled_with_shm": int(with_shm),
+        "shm_block_bytes": int(shm_bytes),
+    }
 
 
 def _merge_artifact(section: str, payload: dict) -> dict:
@@ -256,19 +297,28 @@ def test_runtime_vs_columnar_throughput():
 
 def test_parallel_sweep_speedup():
     n_cpus = multiprocessing.cpu_count()
-    # At least two workers so the spawn pool is genuinely exercised even
-    # on a single-core runner (where the speedup gate does not apply).
-    n_workers = max(2, min(4, n_cpus))
+    # Fan out across every available core; at least two workers so the
+    # spawn pool is genuinely exercised even on a single-core runner
+    # (where the speedup gate does not apply).
+    n_workers = max(2, n_cpus)
     serial_s, serial = _run_replicated_sweep(n_workers=1)
-    parallel_s, parallel = _run_replicated_sweep(n_workers=n_workers)
+    # Cold first: tear down any warm default pool so the recorded
+    # cold_pool_s honestly includes the spawn + warm-import cost, then
+    # run again on the surviving pool for the warm number.
+    shutdown_default_pools()
+    cold_s, cold = _run_replicated_sweep(n_workers=n_workers)
+    warm_s, warm = _run_replicated_sweep(n_workers=n_workers)
+    thread_s, threaded = _run_replicated_sweep(n_workers=n_workers, backend="thread")
 
-    # Correctness first: the worker fan-out must not change a single
-    # measurement before its wall-clock means anything.
-    for cell_a, cell_b in zip(serial.cells, parallel.cells):
-        for field_name in _COMPARED_FIELDS:
-            assert getattr(cell_a, field_name) == getattr(cell_b, field_name), field_name
+    # Correctness first: neither backend, worker count, nor pool warmth
+    # may change a single measurement before the wall-clock means
+    # anything.
+    for variant in (cold, warm, threaded):
+        for cell_a, cell_b in zip(serial.cells, variant.cells):
+            for field_name in _COMPARED_FIELDS:
+                assert getattr(cell_a, field_name) == getattr(cell_b, field_name), field_name
 
-    speedup = serial_s / parallel_s
+    speedup = serial_s / warm_s
     _merge_artifact(
         "parallel_sweep",
         {
@@ -278,15 +328,20 @@ def test_parallel_sweep_speedup():
             "n_cpus": n_cpus,
             "n_workers": n_workers,
             "serial_s": serial_s,
-            "parallel_s": parallel_s,
+            "cold_pool_s": cold_s,
+            "warm_pool_s": warm_s,
+            "thread_s": thread_s,
+            "parallel_s": warm_s,
             "speedup": speedup,
+            "shm_transport": _measure_shm_transport(),
         },
     )
 
     print()
     print(
         f"parallel sweep ({SWEEP_CELL[0]}x{SWEEP_CELL[1]} cell x{N_REPLICATES}): "
-        f"serial {serial_s:.1f}s, {n_workers} workers {parallel_s:.1f}s, "
+        f"serial {serial_s:.1f}s, {n_workers} workers cold {cold_s:.1f}s / "
+        f"warm {warm_s:.1f}s / threads {thread_s:.1f}s, "
         f"speedup {speedup:.2f}x on {n_cpus} cpus -> {ARTIFACT.name}"
     )
 

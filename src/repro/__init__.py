@@ -108,6 +108,7 @@ __all__ = [
     "SweepExecutor",
     "SweepPoint",
     "SyncFreeTimestamper",
+    "WorkerPool",
     "airtime_s",
     "hz_to_ppm",
     "ppm_to_hz",
@@ -138,6 +139,7 @@ _LAZY = {
     "SweepPoint": ("repro.experiments.common", "SweepPoint"),
     "run_sweep": ("repro.experiments.common", "run_sweep"),
     "FleetRuntime": ("repro.sim.runtime", "FleetRuntime"),
+    "WorkerPool": ("repro.parallel", "WorkerPool"),
 }
 
 

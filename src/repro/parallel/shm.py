@@ -1,0 +1,397 @@
+"""Zero-copy shared-memory transport for large numpy task payloads.
+
+The ``spawn`` process backend pickles everything that crosses into a
+worker.  For sweep payloads that is fine for specs and keys, but large
+arrays -- synthesized capture batches, :class:`~repro.sim.columnar.FleetState`
+columns, device x site power matrices -- would be serialized once per
+task and copied again on the worker side.  This module lets those
+arrays ride one :class:`multiprocessing.shared_memory.SharedMemory`
+block instead:
+
+* :class:`PayloadPublisher` walks a task payload (dicts, lists, tuples,
+  dataclasses), lifts every C-layout numeric array over a size
+  threshold into one shared block, and leaves a tiny
+  :class:`ShmArrayRef` descriptor in its place -- the pickled task
+  shrinks to (key, descriptor, slice);
+* :func:`resolve_payload` rebuilds the payload on the worker side,
+  substituting zero-copy read-only views of the shared block for the
+  descriptors;
+* :func:`use_shared` / :func:`shared_arrays` publish a per-run mapping
+  of named read-only arrays to every worker without touching the
+  ``measure`` callback signature.
+
+Transport is *bitwise* faithful: packing copies raw bytes into the
+block and views reconstruct the exact dtype/shape, so shared-memory
+runs produce results identical to pickled ones (pinned in
+``tests/test_parallel.py``).  Worker-side attachments are cached per
+block and evicted via :func:`release_other_blocks` when a new run's
+block replaces them, so long-lived pool workers do not accumulate
+mappings.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, fields, is_dataclass, replace
+from multiprocessing import shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Block offsets are rounded up to this alignment so every packed array
+#: starts on a cache-line boundary.
+_ALIGNMENT = 64
+
+#: Default minimum size for an array to ride shared memory instead of
+#: the pickle stream; smaller arrays are cheaper to pickle than to map.
+DEFAULT_MIN_SHM_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Picklable descriptor of one array packed inside a shared block.
+
+    Attributes:
+        block: Name of the :class:`SharedMemory` block holding the data.
+        dtype: Numpy dtype string (e.g. ``"<f8"``).
+        shape: Array shape.
+        offset: Byte offset of the array's first element in the block.
+    """
+
+    block: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the referenced array in bytes."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return int(np.dtype(self.dtype).itemsize) * count
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """Placeholder left in a stripped payload until the pack is sealed."""
+
+    index: int
+
+
+class SharedArrayPack:
+    """One shared-memory block holding several packed arrays.
+
+    Create through :meth:`pack` (or a :class:`PayloadPublisher`).  The
+    owner must :meth:`close` and :meth:`unlink` the pack once every
+    consumer is done with its views; workers only ever attach.
+    """
+
+    def __init__(self, arrays: list[np.ndarray]) -> None:
+        """Allocate one block and copy ``arrays`` into it back to back.
+
+        Args:
+            arrays: Numeric numpy arrays; non-contiguous inputs are
+                copied contiguous first (bit-identical values).
+        """
+        offsets: list[int] = []
+        total = 0
+        contiguous = [np.ascontiguousarray(a) for a in arrays]
+        for array in contiguous:
+            offsets.append(total)
+            total += array.nbytes
+            total = (total + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        _owned_blocks.add(self._shm.name)
+        self.refs: list[ShmArrayRef] = []
+        for array, offset in zip(contiguous, offsets):
+            dest = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf, offset=offset)
+            dest[...] = array
+            self.refs.append(
+                ShmArrayRef(
+                    block=self._shm.name,
+                    dtype=np.dtype(array.dtype).str,
+                    shape=tuple(array.shape),
+                    offset=offset,
+                )
+            )
+        self.nbytes = total
+
+    @classmethod
+    def pack(cls, arrays: list[np.ndarray]) -> "SharedArrayPack":
+        """Pack ``arrays`` into a fresh block; see ``__init__``."""
+        return cls(arrays)
+
+    @property
+    def name(self) -> str:
+        """The block's system-wide shared-memory name."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping of the block."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the block system-wide (owner-only, after :meth:`close`)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        _owned_blocks.discard(self._shm.name)
+
+    def __enter__(self) -> "SharedArrayPack":
+        """Context-manager entry: the pack itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the mapping and free the block."""
+        self.close()
+        self.unlink()
+
+
+def _walk(obj: Any, visit) -> Any:
+    """Rebuild ``obj`` with ``visit`` applied to every leaf array/ref.
+
+    Recurses through dicts, lists, tuples (incl. namedtuples), and
+    dataclass instances whose fields are all ``init=True`` (so
+    :func:`dataclasses.replace` can rebuild them); anything else is
+    returned untouched and rides the pickle stream whole.
+    """
+    if isinstance(obj, (np.ndarray, ShmArrayRef, _Slot)):
+        return visit(obj)
+    if isinstance(obj, dict):
+        return {key: _walk(value, visit) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        items = [_walk(value, visit) for value in obj]
+        if all(new is old for new, old in zip(items, obj)):
+            return obj
+        if hasattr(obj, "_fields"):  # namedtuple
+            return type(obj)(*items)
+        return tuple(items)
+    if isinstance(obj, list):
+        return [_walk(value, visit) for value in obj]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        if any(not f.init for f in fields(obj)):
+            return obj
+        changed = {}
+        for f in fields(obj):
+            old = getattr(obj, f.name)
+            new = _walk(old, visit)
+            if new is not old:
+                changed[f.name] = new
+        return replace(obj, **changed) if changed else obj
+    return obj
+
+
+class PayloadPublisher:
+    """Lifts large arrays out of task payloads into one shared block.
+
+    Usage: :meth:`strip` every payload (collecting arrays), then
+    :meth:`seal` once (allocating the block), then :meth:`fill` each
+    stripped skeleton (substituting :class:`ShmArrayRef` descriptors).
+    The two-phase shape lets many task payloads share a single block.
+    """
+
+    def __init__(self, min_bytes: int = DEFAULT_MIN_SHM_BYTES) -> None:
+        """Create a publisher lifting arrays of at least ``min_bytes``.
+
+        Args:
+            min_bytes: Size threshold; smaller arrays stay in the
+                pickle stream where they are cheaper.
+
+        Raises:
+            ConfigurationError: If ``min_bytes`` is smaller than 1.
+        """
+        if min_bytes < 1:
+            raise ConfigurationError(f"shm threshold must be >= 1 byte, got {min_bytes}")
+        self.min_bytes = int(min_bytes)
+        self._arrays: list[np.ndarray] = []
+        self._pack: SharedArrayPack | None = None
+
+    def strip(self, payload: Any) -> Any:
+        """Collect the payload's large arrays, leaving slot placeholders.
+
+        Args:
+            payload: Any nesting of dicts/lists/tuples/dataclasses.
+
+        Returns:
+            A structurally identical skeleton with every eligible array
+            replaced by an internal placeholder (resolve with
+            :meth:`fill` after :meth:`seal`).
+        """
+        if self._pack is not None:
+            raise ConfigurationError("publisher already sealed; strip before seal")
+
+        def visit(leaf: Any) -> Any:
+            """Swap each eligible array for a slot, collecting it."""
+            if not isinstance(leaf, np.ndarray):
+                return leaf
+            if leaf.dtype.hasobject or leaf.nbytes < self.min_bytes:
+                return leaf
+            slot = _Slot(len(self._arrays))
+            self._arrays.append(leaf)
+            return slot
+
+        return _walk(payload, visit)
+
+    def seal(self) -> SharedArrayPack | None:
+        """Allocate the block and copy every collected array into it.
+
+        Returns:
+            The pack (caller owns its lifecycle), or ``None`` when no
+            array met the threshold.
+        """
+        if self._pack is None and self._arrays:
+            self._pack = SharedArrayPack.pack(self._arrays)
+        return self._pack
+
+    def fill(self, skeleton: Any) -> Any:
+        """Substitute sealed :class:`ShmArrayRef` descriptors into a skeleton.
+
+        Args:
+            skeleton: A value previously returned by :meth:`strip`.
+
+        Returns:
+            The picklable task payload, descriptors in place of arrays.
+        """
+        if self._arrays and self._pack is None:
+            raise ConfigurationError("publisher not sealed; call seal() before fill()")
+
+        def visit(leaf: Any) -> Any:
+            """Swap each slot for its sealed block descriptor."""
+            if isinstance(leaf, _Slot):
+                return self._pack.refs[leaf.index]
+            return leaf
+
+        return _walk(skeleton, visit)
+
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes riding shared memory (0 before :meth:`seal`)."""
+        return self._pack.nbytes if self._pack is not None else 0
+
+
+# --- worker-side attachment cache -------------------------------------
+
+_attached: dict[str, shared_memory.SharedMemory] = {}
+#: Blocks this process created (attaching your own block must not
+#: deregister the create-side tracker entry).
+_owned_blocks: set[str] = set()
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach (or reuse the cached attachment of) one shared block."""
+    block = _attached.get(name)
+    if block is None:
+        block = shared_memory.SharedMemory(name=name)
+        # Worker-side attachments must not be tracked: the parent owns
+        # the block's lifetime, and before Python 3.13 (track=False)
+        # every attach registers with the worker's resource tracker,
+        # which would unlink (or warn about) a block the worker never
+        # created.  The documented workaround is to unregister the
+        # attach-side entry -- except in the owning process, where the
+        # create- and attach-side registrations share one tracker slot.
+        if name not in _owned_blocks:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(block._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        _attached[name] = block
+    return block
+
+
+def attach_array(ref: ShmArrayRef) -> np.ndarray:
+    """A zero-copy read-only view of the array behind ``ref``.
+
+    Args:
+        ref: Descriptor produced by a :class:`PayloadPublisher`.
+
+    Returns:
+        A read-only numpy view into the shared block (no copy).
+    """
+    block = _attach_block(ref.block)
+    view: np.ndarray = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=block.buf, offset=ref.offset
+    )
+    view.flags.writeable = False
+    return view
+
+
+def release_other_blocks(keep: set[str]) -> None:
+    """Close cached attachments for every block not in ``keep``.
+
+    Called at the start of each task batch so persistent pool workers
+    drop mappings of previous runs' (already unlinked) blocks instead of
+    accumulating them.  Views into a released block must no longer be
+    referenced -- task results are pickled copies, so this holds as long
+    as ``measure`` callbacks do not stash views in globals.
+    """
+    for name in [n for n in _attached if n not in keep]:
+        _attached.pop(name).close()
+
+
+def resolve_payload(payload: Any) -> Any:
+    """Rebuild a published payload, attaching views for every descriptor.
+
+    The inverse of :meth:`PayloadPublisher.fill`; payloads that never
+    went through a publisher pass through unchanged, so one code path
+    serves the process, thread, and serial backends.
+
+    Args:
+        payload: A (possibly descriptor-bearing) task payload.
+
+    Returns:
+        The payload with every :class:`ShmArrayRef` replaced by a
+        read-only zero-copy view.
+    """
+
+    def visit(leaf: Any) -> Any:
+        """Swap each descriptor for its zero-copy shared view."""
+        if isinstance(leaf, ShmArrayRef):
+            return attach_array(leaf)
+        return leaf
+
+    return _walk(payload, visit)
+
+
+# --- per-run shared mapping -------------------------------------------
+
+_active_shared: dict[str, np.ndarray] = {}
+
+
+def use_shared(mapping: Mapping[str, Any] | None) -> None:
+    """Install the run's named shared arrays for :func:`shared_arrays`.
+
+    Workers call this (via the executor) at the start of each task
+    batch; serial and thread backends call it once in the parent so the
+    accessor behaves identically on every backend.
+
+    Args:
+        mapping: Name -> array (or :class:`ShmArrayRef`) pairs, or
+            ``None`` to clear the mapping after a run.
+    """
+    global _active_shared
+    if mapping is None:
+        _active_shared = {}
+        return
+    _active_shared = {name: resolve_payload(value) for name, value in mapping.items()}
+
+
+def shared_arrays() -> dict[str, np.ndarray]:
+    """The current run's named shared arrays (empty outside a run).
+
+    Returns:
+        A shallow copy of the name -> array mapping installed by
+        :func:`use_shared`; arrays from the process backend are
+        read-only zero-copy views of the run's shared block.
+    """
+    return dict(_active_shared)
+
+
+def pickled_nbytes(obj: Any) -> int:
+    """Size of ``obj``'s pickle stream in bytes (transport accounting)."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

@@ -67,6 +67,7 @@ from repro.lorawan.duty_cycle import DutyCycleLimiter
 from repro.lorawan.mac import LinkADRAns, LinkADRReq
 from repro.lorawan.regional import EU868
 from repro.lorawan.security import SessionKeys
+from repro.parallel.intra import thread_map
 from repro.phy.airtime import airtime_s
 from repro.radio.channel import DEFAULT_CAPTURE_THRESHOLD_DB, noise_floor_dbm
 from repro.radio.geometry import Position
@@ -1019,9 +1020,14 @@ class ColumnarRuntime:
         self._pend_powers, self._pend_in_range, self._pend_delays = [], [], []
         survives = np.ones_like(in_range)
         if emission.size >= 2:
-            for cluster in overlap_cluster_indices(emission, emission + air):
-                if cluster.size < 2:
-                    continue
+
+            def resolve_cluster(cluster: np.ndarray) -> None:
+                """Resolve one overlap cluster into the survival matrix.
+
+                Clusters are disjoint row sets, so concurrent writes into
+                ``survives`` never touch the same rows and the result is
+                bitwise-identical at any thread count.
+                """
                 survives[cluster] = cluster_survival_matrix(
                     emission[cluster, None] + delays[cluster],
                     air[cluster],
@@ -1029,6 +1035,13 @@ class ColumnarRuntime:
                     sf[cluster],
                     table,
                 )
+
+            clusters = [
+                cluster
+                for cluster in overlap_cluster_indices(emission, emission + air)
+                if cluster.size >= 2
+            ]
+            thread_map(resolve_cluster, clusters)
         attacked = self._attacked_rows[devices] if self._attacked_rows.size else np.zeros(
             emission.size, dtype=bool
         )

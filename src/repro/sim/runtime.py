@@ -50,6 +50,7 @@ from repro.constants import SPEED_OF_LIGHT_M_S
 from repro.core.softlora import SoftLoRaStatus
 from repro.errors import ConfigurationError
 from repro.lorawan.downlink import DownlinkScheduler, build_downlink
+from repro.parallel.intra import thread_map
 from repro.phy.airtime import airtime_s
 from repro.radio.channel import (
     DEFAULT_CAPTURE_THRESHOLD_DB,
@@ -96,6 +97,7 @@ def site_power_columns(
     chunk_rows: int | None = None,
     out_dtype: np.dtype | type | None = None,
     return_loss: bool = False,
+    n_threads: int | None = None,
 ) -> tuple[np.ndarray, ...]:
     """Per-(frame, site) received powers and propagation delays.
 
@@ -129,6 +131,11 @@ def site_power_columns(
             dB -- callers that later retune transmit powers (ADR) can
             then rebuild a power row with the exact build-time
             arithmetic.
+        n_threads: Worker threads for the (site, row-chunk) tiles;
+            defaults to :func:`repro.parallel.intra_thread_count` (the
+            ``REPRO_INTRA_THREADS`` knob).  Tiles write disjoint output
+            slices and the arithmetic is elementwise, so any thread
+            count produces the *bitwise*-identical matrices.
 
     Returns:
         ``(powers, delays)``, each ``(n, n_sites)`` -- plus ``loss`` of
@@ -140,39 +147,43 @@ def site_power_columns(
     delays = np.empty((n, len(sites)), dtype=dtype)
     loss_out = np.empty((n, len(sites)), dtype=dtype) if return_loss else None
     step = n if not chunk_rows else max(1, int(chunk_rows))
-    for column, site in enumerate(sites):
+
+    def fill_tile(tile: tuple[int, int]) -> None:
+        """Fill one (site column, row chunk) slice of the outputs."""
+        column, lo = tile
+        site = sites[column]
+        hi = min(lo + step, n)
         vectorized = getattr(site.link.pathloss, "loss_db_from_distance", None)
-        for lo in range(0, max(n, 1), step):
-            hi = min(lo + step, n)
-            if lo >= hi:
-                break
-            diff = dev_xyz[lo:hi] - site_xyz[column]
-            distance = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2 + diff[:, 2] ** 2)
-            loss = None
-            if vectorized is not None:
-                loss = vectorized(distance)
-            if loss is None:
-                if devices is None:
-                    raise ConfigurationError(
-                        f"path-loss model {type(site.link.pathloss).__name__} has no "
-                        "vectorized distance-only form and no device objects exist "
-                        "to fall back on; use a closed-form model for spec-built fleets"
-                    )
-                loss = np.array(
-                    [
-                        site.link.pathloss.loss_db(device.position, site.position)
-                        for device in devices[lo:hi]
-                    ]
+        diff = dev_xyz[lo:hi] - site_xyz[column]
+        distance = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2 + diff[:, 2] ** 2)
+        loss = None
+        if vectorized is not None:
+            loss = vectorized(distance)
+        if loss is None:
+            if devices is None:
+                raise ConfigurationError(
+                    f"path-loss model {type(site.link.pathloss).__name__} has no "
+                    "vectorized distance-only form and no device objects exist "
+                    "to fall back on; use a closed-form model for spec-built fleets"
                 )
-            powers[lo:hi, column] = (
-                tx_power_dbm[lo:hi]
-                + site.link.tx_antenna_gain_db
-                + site.link.rx_antenna_gain_db
-                - loss
+            loss = np.array(
+                [
+                    site.link.pathloss.loss_db(device.position, site.position)
+                    for device in devices[lo:hi]
+                ]
             )
-            delays[lo:hi, column] = distance / SPEED_OF_LIGHT_M_S
-            if loss_out is not None:
-                loss_out[lo:hi, column] = loss
+        powers[lo:hi, column] = (
+            tx_power_dbm[lo:hi]
+            + site.link.tx_antenna_gain_db
+            + site.link.rx_antenna_gain_db
+            - loss
+        )
+        delays[lo:hi, column] = distance / SPEED_OF_LIGHT_M_S
+        if loss_out is not None:
+            loss_out[lo:hi, column] = loss
+
+    tiles = [(column, lo) for column in range(len(sites)) for lo in range(0, n, step)]
+    thread_map(fill_tile, tiles, n_threads=n_threads)
     if return_loss:
         return powers, delays, loss_out
     return powers, delays
@@ -399,14 +410,21 @@ class CollisionChannel:
         )
         powers, delays = site_power_columns(sites, site_xyz, devices, dev_xyz, tx_power)
         table = self.capture_matrix.threshold_table()
-        for cluster in clusters:
-            survives = cluster_survival_matrix(
+
+        def resolve_cluster(cluster: np.ndarray) -> np.ndarray:
+            """Capture fates for one overlap cluster's (frame, site) grid."""
+            return cluster_survival_matrix(
                 emission[cluster, None] + delays[cluster],
                 airtime[cluster],
                 powers[cluster],
                 spreading_factor[cluster],
                 table,
             )
+
+        # Clusters are disjoint, so their survival matrices compute
+        # independently on threads; the mask update stays serial (and
+        # ordered) because it mutates shared Python sets.
+        for cluster, survives in zip(clusters, thread_map(resolve_cluster, clusters)):
             for row, site_index in zip(*np.nonzero(~survives)):
                 mask[int(cluster[row])].discard(int(site_index))
         return mask

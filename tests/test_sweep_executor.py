@@ -74,6 +74,31 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             SweepExecutor().run([SweepPoint(key=1, spec=_spec(fast_config))], measure_fb)
 
+    def test_zero_trials_fails_fast_in_parent(self):
+        # The parent validates the whole grid before any dispatch, so a
+        # bad trial count surfaces as a clear error naming the point --
+        # not a traceback from inside a spawn worker.
+        with pytest.raises(ConfigurationError, match="'bad'"):
+            SweepExecutor(n_workers=2).run(
+                [SweepPoint(key="ok"), SweepPoint(key="bad", n_trials=0)],
+                measure_fb,
+                point_seed=1,
+            )
+
+    def test_spec_without_rng_fails_fast_in_parallel_parent(self, fast_config):
+        with pytest.raises(ConfigurationError, match="no rng"):
+            SweepExecutor(n_workers=2).run(
+                [SweepPoint(key=1, spec=_spec(fast_config))], measure_fb
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(n_workers=2, backend="fiber").run([SweepPoint(key=1)], measure_fb)
+
+    def test_zero_chunksize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(n_workers=2, chunksize=0).run([SweepPoint(key=1)], measure_fb)
+
 
 class TestSpawnSafety:
     def test_scenario_spec_with_stock_fb_law_pickles(self, fast_config):
