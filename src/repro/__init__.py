@@ -90,9 +90,11 @@ __all__ = [
     "LinearRegressionFbEstimator",
     "LinkADRAns",
     "LinkADRReq",
+    "LruCachedStore",
     "NetworkServer",
     "Oscillator",
     "PerfectClock",
+    "PersistentShardedFbDatabase",
     "PhyFrame",
     "PhyReceiver",
     "PhyTransmitter",
@@ -105,12 +107,14 @@ __all__ = [
     "SessionKeys",
     "ShardedFbDatabase",
     "SoftLoRaGateway",
+    "SqliteFbStore",
     "SweepExecutor",
     "SweepPoint",
     "SyncFreeTimestamper",
     "WorkerPool",
     "airtime_s",
     "hz_to_ppm",
+    "open_store",
     "ppm_to_hz",
     "run_sweep",
     "__version__",
@@ -134,6 +138,13 @@ _LAZY = {
     "NetworkServer": ("repro.server.network_server", "NetworkServer"),
     "ServerVerdict": ("repro.server.network_server", "ServerVerdict"),
     "ShardedFbDatabase": ("repro.server.sharding", "ShardedFbDatabase"),
+    "SqliteFbStore": ("repro.server.store.sqlite", "SqliteFbStore"),
+    "LruCachedStore": ("repro.server.store.cache", "LruCachedStore"),
+    "PersistentShardedFbDatabase": (
+        "repro.server.store.sharded",
+        "PersistentShardedFbDatabase",
+    ),
+    "open_store": ("repro.server.store", "open_store"),
     "ScenarioSpec": ("repro.experiments.common", "ScenarioSpec"),
     "SweepExecutor": ("repro.experiments.common", "SweepExecutor"),
     "SweepPoint": ("repro.experiments.common", "SweepPoint"),

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, runtime_checkable
 
 from repro.constants import FB_ESTIMATION_RESOLUTION_HZ
 from repro.errors import ConfigurationError
@@ -64,12 +64,21 @@ class DetectionResult:
         }
 
 
+@runtime_checkable
 class FbStore(Protocol):
     """Anything that can hold per-node FB history for a detector.
 
     :class:`FbDatabase` is the in-process implementation;
     :class:`repro.server.ShardedFbDatabase` spreads the same interface
-    over hash-routed shards for fleet-scale network servers.
+    over hash-routed shards, and the backends in
+    :mod:`repro.server.store` persist it (SQLite/LMDB files, an LRU
+    write-through cache, per-shard store files with rebalancing).
+
+    The protocol is ``runtime_checkable`` so a backend missing a method
+    fails an ``isinstance`` conformance test instead of exploding later
+    inside a worker; the full surface below is what the detector, the
+    network server's ``device_state``, the LRU hot-cache, and shard
+    rebalancing collectively require of every store.
     """
 
     def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None: ...
@@ -77,6 +86,16 @@ class FbStore(Protocol):
     def sample_count(self, node_id: str) -> int: ...
 
     def interval(self, node_id: str, guard_hz: float) -> FbInterval | None: ...
+
+    def estimates(self, node_id: str) -> list[float]: ...
+
+    def history(self, node_id: str) -> list[tuple[float, float]]: ...
+
+    def known_nodes(self) -> list[str]: ...
+
+    def node_count(self) -> int: ...
+
+    def forget(self, node_id: str) -> None: ...
 
 
 class FbDatabase:
@@ -109,6 +128,10 @@ class FbDatabase:
 
     def estimates(self, node_id: str) -> list[float]:
         return [fb for _, fb in self._history.get(node_id, ())]
+
+    def history(self, node_id: str) -> list[tuple[float, float]]:
+        """The node's recorded ``(time_s, fb_hz)`` pairs, oldest first."""
+        return list(self._history.get(node_id, ()))
 
     def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
         """[min − guard, max + guard] over the node's recorded history."""

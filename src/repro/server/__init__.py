@@ -7,6 +7,13 @@ Everything above the gateways: forwarding records
 (:class:`ShardedFbDatabase`), the closed-loop data-rate controller
 (:class:`AdrController`), and the :class:`NetworkServer` that ties them
 into one replay verdict per over-the-air transmission.
+
+:mod:`repro.server.store` adds durable drop-in FB stores behind the
+same :class:`~repro.core.detector.FbStore` protocol: WAL-mode SQLite
+(:class:`SqliteFbStore`), optional LMDB, a write-through LRU hot-cache
+(:class:`LruCachedStore`), and CRC32-sharded per-shard store files with
+offline rebalancing (:class:`PersistentShardedFbDatabase`); build one
+from an operator spec string with :func:`open_store`.
 """
 
 from repro.server.adr import AdrCommand, AdrController
@@ -25,18 +32,33 @@ from repro.server.fusion import (
 )
 from repro.server.network_server import NetworkServer, ServerStatus, ServerVerdict
 from repro.server.sharding import ShardedFbDatabase
+from repro.server.store import (
+    CacheStats,
+    LmdbFbStore,
+    LruCachedStore,
+    PersistentShardedFbDatabase,
+    SqliteFbStore,
+    open_store,
+    store_batch,
+    store_stats,
+)
 
 __all__ = [
     "AdrCommand",
     "AdrController",
+    "CacheStats",
     "DeduplicatedUplink",
     "FusedFb",
     "FusionPolicy",
     "GatewayForward",
+    "LmdbFbStore",
+    "LruCachedStore",
     "NetworkServer",
+    "PersistentShardedFbDatabase",
     "ServerStatus",
     "ServerVerdict",
     "ShardedFbDatabase",
+    "SqliteFbStore",
     "UplinkDeduplicator",
     "UplinkKey",
     "best_snr_contribution",
@@ -44,4 +66,7 @@ __all__ = [
     "forward_from_reception",
     "fuse_fb",
     "fuse_timestamp_s",
+    "open_store",
+    "store_batch",
+    "store_stats",
 ]

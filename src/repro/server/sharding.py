@@ -55,6 +55,10 @@ class ShardedFbDatabase:
         """The node's recorded FB values, oldest first."""
         return self.shard_for(node_id).estimates(node_id)
 
+    def history(self, node_id: str) -> list[tuple[float, float]]:
+        """The node's recorded ``(time_s, fb_hz)`` pairs, oldest first."""
+        return self.shard_for(node_id).history(node_id)
+
     def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
         """The node's guarded acceptance interval (``None`` if unknown)."""
         return self.shard_for(node_id).interval(node_id, guard_hz)

@@ -1,0 +1,180 @@
+"""Pluggable persistence for per-device FB histories.
+
+Every backend here implements the same
+:class:`repro.core.detector.FbStore` protocol the in-memory
+:class:`~repro.core.detector.FbDatabase` defines, so a
+:class:`~repro.core.detector.ReplayDetector` (and therefore a
+:class:`~repro.server.NetworkServer`) takes any of them unchanged --
+the persistence layer is protocol-only and verdict-bitwise-equal to
+the in-memory reference, including across a crash and restart:
+
+* :class:`~repro.server.store.sqlite.SqliteFbStore` -- one WAL-mode
+  SQLite file; dedup windows commit in one transaction;
+* :class:`~repro.server.store.lmdb.LmdbFbStore` -- optional LMDB
+  environment (:data:`~repro.server.store.lmdb.LMDB_AVAILABLE` gates
+  it cleanly when the binding is absent);
+* :class:`~repro.server.store.cache.LruCachedStore` -- bounded
+  write-through hot-cache with hit/miss/eviction counters;
+* :class:`~repro.server.store.sharded.PersistentShardedFbDatabase` --
+  the CRC32 sharding of :class:`~repro.server.ShardedFbDatabase` over
+  per-shard store files, with offline :meth:`rebalance
+  <repro.server.store.sharded.PersistentShardedFbDatabase.rebalance>`
+  when gateways are added.
+
+:func:`open_store` turns an operator-facing spec string (the daemon's
+``--store`` flag) into a configured store.  The backend matrix,
+durability contract, and rebalance procedure live in ``docs/store.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from repro.core.detector import FbDatabase, FbStore
+from repro.errors import ConfigurationError
+from repro.server.sharding import ShardedFbDatabase
+from repro.server.store.cache import CacheStats, LruCachedStore
+from repro.server.store.lmdb import LMDB_AVAILABLE, LmdbFbStore
+from repro.server.store.sharded import PersistentShardedFbDatabase
+from repro.server.store.sqlite import SqliteFbStore
+
+__all__ = [
+    "CacheStats",
+    "LMDB_AVAILABLE",
+    "LmdbFbStore",
+    "LruCachedStore",
+    "PersistentShardedFbDatabase",
+    "SqliteFbStore",
+    "open_store",
+    "store_batch",
+    "store_stats",
+]
+
+#: Default file/directory names when a spec omits the path.
+_DEFAULT_PATHS = {
+    "sqlite": "fb_store.sqlite",
+    "lmdb": "fb_store.lmdb",
+    "sharded-sqlite": "fb_store.d",
+    "sharded-lmdb": "fb_store.d",
+}
+
+
+def _parse_options(query: str, spec: str) -> dict[str, int]:
+    """``cache=N&shards=N&history=N`` -> validated int options."""
+    options: dict[str, int] = {}
+    if not query:
+        return options
+    for pair in query.split("&"):
+        name, sep, value = pair.partition("=")
+        if not sep or name not in ("cache", "shards", "history"):
+            raise ConfigurationError(
+                f"bad store option {pair!r} in spec {spec!r}; "
+                "expected cache=N, shards=N, or history=N"
+            )
+        try:
+            options[name] = int(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"store option {name!r} in spec {spec!r} must be an integer, "
+                f"got {value!r}"
+            ) from None
+    return options
+
+
+def open_store(spec: str, history_len: int = 50) -> FbStore:
+    """Build an FB store from an operator spec string.
+
+    The grammar is ``backend[:path][?option=value&...]``:
+
+    * ``memory`` -- the in-memory :class:`FbDatabase` (dies with the
+      process; the pre-persistence default);
+    * ``sharded`` -- the in-memory :class:`ShardedFbDatabase`
+      (``?shards=N``, default 16);
+    * ``sqlite:PATH`` -- one durable WAL SQLite file (``sqlite:`` alone
+      uses ``fb_store.sqlite`` in the working directory);
+    * ``lmdb:PATH`` -- one durable LMDB environment (requires the
+      optional ``lmdb`` package);
+    * ``sharded-sqlite:DIR`` / ``sharded-lmdb:DIR`` -- a
+      :class:`PersistentShardedFbDatabase` directory (``?shards=N``
+      for a new directory, default 16).
+
+    Any durable backend takes ``?cache=N`` to wrap it in an
+    :class:`LruCachedStore` holding ``N`` hot node histories;
+    ``?history=N`` overrides ``history_len``.
+
+    Args:
+        spec: The spec string, e.g. ``"sqlite:/var/lib/repro/fb.sqlite?cache=4096"``.
+        history_len: Per-node history depth when the spec does not
+            carry ``?history=N``.
+
+    Returns:
+        A configured store satisfying :class:`FbStore`.
+
+    Raises:
+        ConfigurationError: On an unknown backend, a malformed option,
+            or an unavailable LMDB binding.
+    """
+    backend, sep, rest = spec.partition(":")
+    if not sep and "?" in backend:
+        backend, _, rest = spec.partition("?")
+        rest = "?" + rest
+    path, query = (rest.split("?", 1) + [""])[:2] if "?" in rest else (rest, "")
+    options = _parse_options(query, spec)
+    history = options.get("history", history_len)
+    cache = options.get("cache", 0)
+    shards = options.get("shards")
+
+    store: FbStore
+    if backend == "memory":
+        store = FbDatabase(history_len=history)
+    elif backend == "sharded":
+        store = ShardedFbDatabase(n_shards=shards or 16, history_len=history)
+    elif backend in ("sqlite", "lmdb"):
+        target = path or _DEFAULT_PATHS[backend]
+        if backend == "sqlite":
+            store = SqliteFbStore(target, history_len=history)
+        else:
+            store = LmdbFbStore(target, history_len=history)
+    elif backend in ("sharded-sqlite", "sharded-lmdb"):
+        store = PersistentShardedFbDatabase(
+            path or _DEFAULT_PATHS[backend],
+            n_shards=shards,
+            history_len=history,
+            backend=backend.removeprefix("sharded-"),
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown store backend {backend!r} in spec {spec!r}; expected one of "
+            "memory, sharded, sqlite, lmdb, sharded-sqlite, sharded-lmdb"
+        )
+    if cache:
+        store = LruCachedStore(store, max_nodes=cache)
+    return store
+
+
+def store_batch(store: FbStore):
+    """A dedup-window transaction on any store (no-op when unsupported).
+
+    The daemon wraps every ``process_step`` call in this, so durable
+    backends commit a whole window's verdicts atomically while the
+    in-memory databases -- which have no transactions to speak of --
+    cost nothing.
+    """
+    batch = getattr(store, "batch", None)
+    if callable(batch):
+        return batch()
+    return nullcontext(store)
+
+
+def store_stats(store: FbStore) -> dict:
+    """JSON-safe operational snapshot of any store (the /metrics feed).
+
+    Always reports ``node_count`` and the store's type name; adds the
+    LRU cache counters when the store (or, for a cached store, its
+    write-through wrapper) exposes them.
+    """
+    stats: dict = {"backend": type(store).__name__, "node_count": store.node_count()}
+    cache = getattr(store, "stats", None)
+    if callable(cache):
+        stats["cache"] = cache().as_dict()
+    return stats

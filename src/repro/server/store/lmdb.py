@@ -1,0 +1,219 @@
+"""Optional LMDB-backed durable FB store.
+
+LMDB gives the same durability contract as the SQLite backend (one
+write transaction per dedup window, committed windows survive a crash)
+with memory-mapped reads -- attractive when the hot path is lookups
+over a store too big for the LRU cache.  The binding is optional: the
+module always imports, :data:`LMDB_AVAILABLE` says whether the backend
+is usable, and constructing :class:`LmdbFbStore` without the ``lmdb``
+package raises a clear :class:`~repro.errors.ConfigurationError`
+(tests skip instead of failing).
+
+Layout: history rows live under ``h\\x00<node>\\x00<seq:8-byte-be>`` keys
+holding a packed ``(time_s, fb_hz)`` double pair, and a per-node
+``m\\x00<node>`` meta key holds the next insertion ``seq`` -- the same
+``(node_id, seq, time_s, fb_hz)`` model as the SQLite table, so the
+two backends are state-equivalent row for row.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.detector import FbInterval
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - exercised only where lmdb is installed
+    import lmdb
+
+    LMDB_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common container case
+    lmdb = None
+    LMDB_AVAILABLE = False
+
+#: Value packing for one history row: (time_s, fb_hz) as IEEE doubles.
+_ROW = struct.Struct("<dd")
+_META = struct.Struct("<q")
+
+
+def _history_key(node_id: str, seq: int) -> bytes:
+    return b"h\x00" + node_id.encode() + b"\x00" + seq.to_bytes(8, "big")
+
+
+def _history_prefix(node_id: str) -> bytes:
+    return b"h\x00" + node_id.encode() + b"\x00"
+
+
+def _meta_key(node_id: str) -> bytes:
+    return b"m\x00" + node_id.encode()
+
+
+class LmdbFbStore:
+    """Durable :class:`~repro.core.detector.FbStore` in an LMDB environment.
+
+    Attributes:
+        path: The LMDB environment directory.
+        history_len: Bounded per-node history depth.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        history_len: int = 50,
+        map_size: int = 1 << 30,
+    ):
+        """Open (creating if needed) the LMDB environment.
+
+        Args:
+            path: Environment directory; created if missing.
+            history_len: How many recent estimates shape each node's
+                acceptance interval.
+            map_size: Maximum environment size in bytes (sparse file).
+        """
+        if not LMDB_AVAILABLE:
+            raise ConfigurationError(
+                "LmdbFbStore requires the 'lmdb' package, which is not installed; "
+                "use the sqlite backend instead"
+            )
+        if history_len < 1:
+            raise ConfigurationError(f"history length must be >= 1, got {history_len}")
+        self.history_len = history_len
+        self.path = str(path)
+        Path(self.path).mkdir(parents=True, exist_ok=True)
+        self._env = lmdb.open(self.path, map_size=map_size, max_dbs=1)
+        self._txn = None  # open write txn while inside batch()
+
+    # -- transactions -----------------------------------------------------------
+
+    @contextmanager
+    def _write(self) -> Iterator:
+        """One write transaction; joins the open :meth:`batch` if any."""
+        if self._txn is not None:
+            yield self._txn
+            return
+        with self._env.begin(write=True) as txn:
+            yield txn
+
+    @contextmanager
+    def _read(self) -> Iterator:
+        """One read view; sees the open batch's writes when inside one."""
+        if self._txn is not None:
+            yield self._txn
+            return
+        with self._env.begin(write=False) as txn:
+            yield txn
+
+    @contextmanager
+    def batch(self) -> Iterator["LmdbFbStore"]:
+        """One write transaction around a whole dedup window (atomic)."""
+        if self._txn is not None:
+            yield self
+            return
+        txn = self._env.begin(write=True)
+        self._txn = txn
+        try:
+            yield self
+        except BaseException:
+            txn.abort()
+            raise
+        else:
+            txn.commit()
+        finally:
+            self._txn = None
+
+    # -- FbStore interface ------------------------------------------------------
+
+    def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None:
+        """Append one accepted FB estimate, pruning beyond ``history_len``."""
+        with self._write() as txn:
+            raw = txn.get(_meta_key(node_id))
+            seq = 0 if raw is None else _META.unpack(raw)[0]
+            txn.put(_history_key(node_id, seq), _ROW.pack(float(time_s), float(fb_hz)))
+            txn.put(_meta_key(node_id), _META.pack(seq + 1))
+            stale = seq - self.history_len
+            if stale >= 0:
+                txn.delete(_history_key(node_id, stale))
+
+    def _rows(self, txn, node_id: str) -> list[tuple[float, float]]:
+        prefix = _history_prefix(node_id)
+        rows = []
+        with txn.cursor() as cursor:
+            if cursor.set_range(prefix):
+                for key, value in cursor:
+                    if not key.startswith(prefix):
+                        break
+                    rows.append(_ROW.unpack(value))
+        return rows
+
+    def sample_count(self, node_id: str) -> int:
+        """Recorded estimates for one node."""
+        with self._read() as txn:
+            return len(self._rows(txn, node_id))
+
+    def estimates(self, node_id: str) -> list[float]:
+        """The node's recorded FB values, oldest first."""
+        with self._read() as txn:
+            return [fb for _, fb in self._rows(txn, node_id)]
+
+    def history(self, node_id: str) -> list[tuple[float, float]]:
+        """The node's recorded ``(time_s, fb_hz)`` pairs, oldest first."""
+        with self._read() as txn:
+            return self._rows(txn, node_id)
+
+    def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
+        """[min - guard, max + guard] over the node's recorded history."""
+        with self._read() as txn:
+            values = [fb for _, fb in self._rows(txn, node_id)]
+        if not values:
+            return None
+        return FbInterval(low_hz=min(values) - guard_hz, high_hz=max(values) + guard_hz)
+
+    def known_nodes(self) -> list[str]:
+        """Every tracked node id, sorted."""
+        nodes = []
+        with self._read() as txn, txn.cursor() as cursor:
+            if cursor.set_range(b"m\x00"):
+                for key, _ in cursor:
+                    if not key.startswith(b"m\x00"):
+                        break
+                    node = key[2:].decode()
+                    if self._rows(txn, node):
+                        nodes.append(node)
+        return sorted(nodes)
+
+    def node_count(self) -> int:
+        """Total tracked nodes."""
+        return len(self.known_nodes())
+
+    def forget(self, node_id: str) -> None:
+        """Drop one node's history."""
+        with self._write() as txn:
+            prefix = _history_prefix(node_id)
+            with txn.cursor() as cursor:
+                if cursor.set_range(prefix):
+                    while cursor.key().startswith(prefix):
+                        if not cursor.delete():
+                            break
+            txn.delete(_meta_key(node_id))
+
+    # -- durability / lifecycle -------------------------------------------------
+
+    def flush(self) -> None:
+        """Force the environment's buffers to disk."""
+        if self._txn is not None:
+            raise ConfigurationError("cannot flush inside an open batch")
+        self._env.sync()
+
+    def close(self) -> None:
+        """Flush and close the environment (idempotent)."""
+        if self._env is not None:
+            self._env.sync()
+            self._env.close()
+            self._env = None
+
+    def __repr__(self) -> str:
+        """Path and depth, for operator logs."""
+        return f"LmdbFbStore(path={self.path!r}, history_len={self.history_len})"

@@ -1,0 +1,263 @@
+"""CRC32-sharded FB state over per-shard durable store files.
+
+:class:`PersistentShardedFbDatabase` is the durable twin of
+:class:`repro.server.ShardedFbDatabase`: the same stable CRC32 routing
+(``zlib.crc32(node_id) % n_shards``) over ``n_shards`` independent
+stores, except each shard is a :class:`~repro.server.store.sqlite.SqliteFbStore`
+(or :class:`~repro.server.store.lmdb.LmdbFbStore`) file inside one
+directory.  A ``store_meta.json`` sidecar records the shard count,
+history depth, and backend so reopening the directory -- the daemon's
+reload-on-boot path -- reconstructs exactly the layout that wrote it,
+and a mismatched explicit shard count fails loudly instead of silently
+routing nodes to the wrong files.
+
+:meth:`PersistentShardedFbDatabase.rebalance` is the offline gateway-
+scaling step: it streams every node's ``(time_s, fb_hz)`` history out
+of the old shard files (in sorted node order, so the migration is
+deterministic byte for byte), rewrites the directory under the new
+shard count, and updates the sidecar.  ``known_nodes()`` and every
+per-node interval are preserved exactly -- pinned by the property
+suite in ``tests/test_store_properties.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from contextlib import ExitStack, contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.detector import FbInterval, FbStore
+from repro.errors import ConfigurationError
+
+#: Sidecar file naming the directory's layout.
+META_FILE = "store_meta.json"
+
+_BACKENDS = ("sqlite", "lmdb")
+
+
+def _open_backend(backend: str, path: Path, history_len: int) -> FbStore:
+    """One shard store of the named backend kind."""
+    if backend == "sqlite":
+        from repro.server.store.sqlite import SqliteFbStore
+
+        return SqliteFbStore(path, history_len=history_len)
+    if backend == "lmdb":
+        from repro.server.store.lmdb import LmdbFbStore
+
+        return LmdbFbStore(path, history_len=history_len)
+    raise ConfigurationError(
+        f"unknown shard backend {backend!r}; expected one of {_BACKENDS}"
+    )
+
+
+class PersistentShardedFbDatabase:
+    """CRC32-routed shard files behind the :class:`FbStore` interface.
+
+    Attributes:
+        directory: The shard-file directory (created if missing).
+        n_shards: Live shard count (from the sidecar when reopening).
+        history_len: Bounded per-node history depth.
+        backend: Shard file backend, ``"sqlite"`` or ``"lmdb"``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_shards: int | None = None,
+        history_len: int = 50,
+        backend: str = "sqlite",
+    ):
+        """Open (creating or reloading) a sharded store directory.
+
+        Args:
+            directory: Where the shard files and sidecar live.
+            n_shards: Shard count for a *new* directory (default 16).
+                Reopening an existing directory takes the count from
+                the sidecar; passing a different explicit count raises
+                (use :meth:`rebalance` to change the layout).
+            history_len: Per-node history depth for a new directory.
+            backend: ``"sqlite"`` (default) or ``"lmdb"``.
+        """
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta_path = self.directory / META_FILE
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if n_shards is not None and n_shards != meta["n_shards"]:
+                raise ConfigurationError(
+                    f"store at {self.directory} has {meta['n_shards']} shards; "
+                    f"asked for {n_shards} -- run rebalance({n_shards}) instead"
+                )
+            self.n_shards = int(meta["n_shards"])
+            self.history_len = int(meta["history_len"])
+            self.backend = str(meta["backend"])
+        else:
+            if n_shards is None:
+                n_shards = 16
+            if n_shards < 1:
+                raise ConfigurationError(f"need at least one shard, got {n_shards}")
+            if history_len < 1:
+                raise ConfigurationError(
+                    f"history length must be >= 1, got {history_len}"
+                )
+            if backend not in _BACKENDS:
+                raise ConfigurationError(
+                    f"unknown shard backend {backend!r}; expected one of {_BACKENDS}"
+                )
+            self.n_shards = n_shards
+            self.history_len = history_len
+            self.backend = backend
+            self._write_meta()
+        self._shards = [
+            _open_backend(self.backend, self._shard_path(i), self.history_len)
+            for i in range(self.n_shards)
+        ]
+
+    def _write_meta(self) -> None:
+        meta = {
+            "n_shards": self.n_shards,
+            "history_len": self.history_len,
+            "backend": self.backend,
+        }
+        (self.directory / META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
+
+    def _shard_path(self, index: int) -> Path:
+        suffix = "sqlite" if self.backend == "sqlite" else "lmdb"
+        return self.directory / f"shard-{index:04d}.{suffix}"
+
+    # -- routing (identical to ShardedFbDatabase) -------------------------------
+
+    def shard_index(self, node_id: str) -> int:
+        """Stable shard routing: CRC32 of the node id, modulo the count."""
+        return zlib.crc32(node_id.encode()) % self.n_shards
+
+    def shard_for(self, node_id: str) -> FbStore:
+        """The shard store owning a node's entire FB history."""
+        return self._shards[self.shard_index(node_id)]
+
+    # -- FbStore interface, delegated to the owning shard -----------------------
+
+    def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None:
+        """Store an accepted FB estimate in the node's shard."""
+        self.shard_for(node_id).record(node_id, fb_hz, time_s)
+
+    def sample_count(self, node_id: str) -> int:
+        """Recorded estimates for one node."""
+        return self.shard_for(node_id).sample_count(node_id)
+
+    def estimates(self, node_id: str) -> list[float]:
+        """The node's recorded FB values, oldest first."""
+        return self.shard_for(node_id).estimates(node_id)
+
+    def history(self, node_id: str) -> list[tuple[float, float]]:
+        """The node's recorded ``(time_s, fb_hz)`` pairs, oldest first."""
+        return self.shard_for(node_id).history(node_id)
+
+    def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
+        """The node's guarded acceptance interval (``None`` if unknown)."""
+        return self.shard_for(node_id).interval(node_id, guard_hz)
+
+    def forget(self, node_id: str) -> None:
+        """Drop one node's history from its shard."""
+        self.shard_for(node_id).forget(node_id)
+
+    def known_nodes(self) -> list[str]:
+        """Every tracked node id, across all shards, sorted."""
+        return sorted(node for shard in self._shards for node in shard.known_nodes())
+
+    def node_count(self) -> int:
+        """Total tracked nodes across all shards."""
+        return sum(shard.node_count() for shard in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Tracked-node count per shard (the balance diagnostic)."""
+        return [shard.node_count() for shard in self._shards]
+
+    # -- transactions / durability ----------------------------------------------
+
+    @contextmanager
+    def batch(self) -> Iterator["PersistentShardedFbDatabase"]:
+        """One transaction per shard around a whole dedup window.
+
+        Each shard commits independently (a node's history lives wholly
+        inside one shard, so per-shard atomicity is per-node atomicity);
+        an exception rolls back every still-open shard transaction.
+        """
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.batch())
+            yield self
+
+    def flush(self) -> None:
+        """Flush every shard store."""
+        for shard in self._shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Close every shard store (idempotent)."""
+        for shard in self._shards:
+            shard.close()
+        self._shards = []
+
+    # -- offline rebalancing ----------------------------------------------------
+
+    def rebalance(self, n_shards: int) -> None:
+        """Migrate the directory to a new shard count, deterministically.
+
+        The offline procedure when gateways (and their shard workers)
+        are added or removed:
+
+        1. stream every node's full ``(time_s, fb_hz)`` history out of
+           the current shard files, in sorted node order;
+        2. close and delete the old shard files;
+        3. recreate the directory under ``n_shards`` CRC32-routed
+           shards, replaying each node's history in order (so per-node
+           ``seq`` numbering restarts dense from 0);
+        4. rewrite the sidecar.
+
+        Every node keeps its exact history -- ``known_nodes()`` and
+        every per-node interval are unchanged -- and the result is a
+        pure function of (content, n_shards): two identical stores
+        rebalanced to the same count produce identical directories.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {n_shards}")
+        histories = {
+            node: shard.history(node)
+            for shard in self._shards
+            for node in shard.known_nodes()
+        }
+        self.close()
+        for index in range(self.n_shards):
+            path = self._shard_path(index)
+            if path.is_dir():  # lmdb environments are directories
+                for child in sorted(path.iterdir()):
+                    child.unlink()
+                path.rmdir()
+            elif path.exists():
+                path.unlink()
+            # WAL sidecars of a sqlite shard, if a crash left them.
+            for sidecar in (path.with_suffix(".sqlite-wal"), path.with_suffix(".sqlite-shm")):
+                if sidecar.exists():
+                    sidecar.unlink()
+        self.n_shards = n_shards
+        self._write_meta()
+        self._shards = [
+            _open_backend(self.backend, self._shard_path(i), self.history_len)
+            for i in range(self.n_shards)
+        ]
+        with self.batch():
+            for node in sorted(histories):
+                store = self.shard_for(node)
+                for time_s, fb_hz in histories[node]:
+                    store.record(node, fb_hz, time_s)
+        self.flush()
+
+    def __repr__(self) -> str:
+        """Directory and layout, for operator logs."""
+        return (
+            f"PersistentShardedFbDatabase(directory={str(self.directory)!r}, "
+            f"n_shards={self.n_shards}, backend={self.backend!r})"
+        )

@@ -1,0 +1,215 @@
+"""SQLite-backed durable FB store.
+
+One :class:`SqliteFbStore` holds every node's accepted-FB history in a
+single WAL-mode SQLite file: one ``fb_history`` table of ``(node_id,
+seq, time_s, fb_hz)`` rows, where ``seq`` is a per-node monotonic
+insertion counter and rows older than ``history_len`` per node are
+pruned on insert -- exactly the bounded-deque semantics of the
+in-memory :class:`repro.core.detector.FbDatabase`.
+
+Durability contract:
+
+* SQLite stores ``REAL`` values as 8-byte IEEE-754 doubles, so every
+  Python float round-trips **bit-exactly** -- acceptance intervals (and
+  therefore replay verdicts) computed from a reloaded store are
+  bitwise identical to the live in-memory ones;
+* WAL journal mode with ``synchronous=NORMAL`` means a committed
+  transaction survives a process kill (the crash-recovery tests reopen
+  the file *without* closing the writer to simulate exactly that);
+* :meth:`SqliteFbStore.batch` opens one transaction around a whole
+  dedup window's read-modify-write traffic, so either every verdict of
+  the window commits or none does -- a crash can lose the uncommitted
+  window wholesale but can never leave a half-written history behind.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.detector import FbInterval
+from repro.errors import ConfigurationError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS fb_history (
+    node_id TEXT    NOT NULL,
+    seq     INTEGER NOT NULL,
+    time_s  REAL    NOT NULL,
+    fb_hz   REAL    NOT NULL,
+    PRIMARY KEY (node_id, seq)
+) WITHOUT ROWID
+"""
+
+
+class SqliteFbStore:
+    """Durable :class:`~repro.core.detector.FbStore` in one SQLite file.
+
+    Attributes:
+        path: The database file (``":memory:"`` for an ephemeral store).
+        history_len: Bounded per-node history depth, as in
+            :class:`~repro.core.detector.FbDatabase`.
+    """
+
+    def __init__(self, path: str | Path = ":memory:", history_len: int = 50):
+        """Open (creating if needed) the store file and its schema.
+
+        Args:
+            path: SQLite file path; parents are created.  ``":memory:"``
+                gives a process-private ephemeral store (no WAL).
+            history_len: How many recent estimates shape each node's
+                acceptance interval.
+        """
+        if history_len < 1:
+            raise ConfigurationError(f"history length must be >= 1, got {history_len}")
+        self.history_len = history_len
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        # Autocommit connection: transactions are opened explicitly by
+        # _tx()/batch() so the commit boundary is always the one the
+        # durability contract names, never an implicit driver one.
+        self._conn = sqlite3.connect(self.path, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(_SCHEMA)
+        self._in_batch = False
+
+    # -- transactions -----------------------------------------------------------
+
+    @contextmanager
+    def _tx(self) -> Iterator[sqlite3.Connection]:
+        """One write transaction; a no-op inside an open :meth:`batch`."""
+        if self._in_batch:
+            yield self._conn
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    @contextmanager
+    def batch(self) -> Iterator["SqliteFbStore"]:
+        """Group every store operation in the block into one transaction.
+
+        The daemon wraps each dedup window's ``process_step`` in a
+        batch, so all the window's verdict-driven read-modify-writes
+        commit atomically.  Nested batches join the outer transaction.
+        An exception rolls the whole batch back.
+        """
+        if self._in_batch:
+            yield self
+            return
+        self._conn.execute("BEGIN IMMEDIATE")
+        self._in_batch = True
+        try:
+            yield self
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+        finally:
+            self._in_batch = False
+
+    # -- FbStore interface ------------------------------------------------------
+
+    def record(self, node_id: str, fb_hz: float, time_s: float = 0.0) -> None:
+        """Append one accepted FB estimate, pruning beyond ``history_len``."""
+        with self._tx() as conn:
+            row = conn.execute(
+                "SELECT COALESCE(MAX(seq), -1) + 1 FROM fb_history WHERE node_id = ?",
+                (node_id,),
+            ).fetchone()
+            seq = int(row[0])
+            conn.execute(
+                "INSERT INTO fb_history (node_id, seq, time_s, fb_hz) VALUES (?, ?, ?, ?)",
+                (node_id, seq, float(time_s), float(fb_hz)),
+            )
+            conn.execute(
+                "DELETE FROM fb_history WHERE node_id = ? AND seq <= ?",
+                (node_id, seq - self.history_len),
+            )
+
+    def sample_count(self, node_id: str) -> int:
+        """Recorded estimates for one node."""
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM fb_history WHERE node_id = ?", (node_id,)
+        ).fetchone()
+        return int(row[0])
+
+    def estimates(self, node_id: str) -> list[float]:
+        """The node's recorded FB values, oldest first."""
+        rows = self._conn.execute(
+            "SELECT fb_hz FROM fb_history WHERE node_id = ? ORDER BY seq", (node_id,)
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def history(self, node_id: str) -> list[tuple[float, float]]:
+        """The node's recorded ``(time_s, fb_hz)`` pairs, oldest first."""
+        rows = self._conn.execute(
+            "SELECT time_s, fb_hz FROM fb_history WHERE node_id = ? ORDER BY seq",
+            (node_id,),
+        ).fetchall()
+        return [(row[0], row[1]) for row in rows]
+
+    def interval(self, node_id: str, guard_hz: float) -> FbInterval | None:
+        """[min - guard, max + guard] over the node's recorded history."""
+        row = self._conn.execute(
+            "SELECT MIN(fb_hz), MAX(fb_hz) FROM fb_history WHERE node_id = ?",
+            (node_id,),
+        ).fetchone()
+        if row[0] is None:
+            return None
+        return FbInterval(low_hz=row[0] - guard_hz, high_hz=row[1] + guard_hz)
+
+    def known_nodes(self) -> list[str]:
+        """Every tracked node id, sorted."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT node_id FROM fb_history ORDER BY node_id"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def node_count(self) -> int:
+        """Total tracked nodes."""
+        row = self._conn.execute(
+            "SELECT COUNT(DISTINCT node_id) FROM fb_history"
+        ).fetchone()
+        return int(row[0])
+
+    def forget(self, node_id: str) -> None:
+        """Drop one node's history."""
+        with self._tx() as conn:
+            conn.execute("DELETE FROM fb_history WHERE node_id = ?", (node_id,))
+
+    # -- durability / lifecycle -------------------------------------------------
+
+    def flush(self) -> None:
+        """Checkpoint the WAL into the main database file.
+
+        Committed transactions are already crash-safe in the WAL; the
+        checkpoint folds them into the main file so a plain copy of
+        ``path`` is complete -- the daemon's graceful-shutdown step.
+        """
+        if self._in_batch:
+            raise ConfigurationError("cannot flush inside an open batch")
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        """Flush and close the connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self.flush()
+            except sqlite3.Error:  # pragma: no cover - already-broken handle
+                pass
+            self._conn.close()
+            self._conn = None
+
+    def __repr__(self) -> str:
+        """Path and depth, for operator logs."""
+        return f"SqliteFbStore(path={self.path!r}, history_len={self.history_len})"

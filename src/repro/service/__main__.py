@@ -11,7 +11,16 @@ The ``--devices`` file maps hex DevAddrs to session key material::
     {"26000000": {"nwk_skey": "<32 hex>", "app_skey": "<32 hex>",
                   "fb_profile": [-20.0, 5.0, 30.0]}}
 
-See ``docs/service.md`` for the full operator guide.
+``--store`` selects the FB-history backend
+(:func:`repro.server.store.open_store` specs): the default ``memory``
+dies with the process, while ``sqlite:PATH`` (or ``lmdb:PATH`` /
+``sharded-sqlite:DIR``) persists every enrolled fingerprint across
+restarts -- on boot the daemon reloads the store and skips
+``fb_profile`` bootstraps for devices that already have history, so a
+restart never re-opens the replay window or double-records a profile.
+
+See ``docs/service.md`` for the full operator guide and ``docs/store.md``
+for the backend matrix.
 """
 
 from __future__ import annotations
@@ -21,8 +30,10 @@ import asyncio
 import json
 import sys
 
+from repro.core.detector import ReplayDetector
 from repro.lorawan.security import SessionKeys
 from repro.server.network_server import NetworkServer
+from repro.server.store import open_store, store_stats
 from repro.service.config import ServiceConfig
 from repro.service.daemon import NetworkServerDaemon
 
@@ -48,10 +59,23 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--devices", default=None, help="JSON file of devices to provision (see module docs)"
     )
+    parser.add_argument(
+        "--store",
+        default="memory",
+        help="FB-history store spec: memory (default), sqlite:PATH, lmdb:PATH, "
+        "sharded-sqlite:DIR; add ?cache=N for an LRU hot-cache (see docs/store.md)",
+    )
     return parser.parse_args(argv)
 
 
 def _provision(server: NetworkServer, path: str) -> int:
+    """Register devices; bootstrap FB profiles only for unseen nodes.
+
+    A persistent store already holds the histories learned before a
+    restart -- re-recording the offline profile on top of them would
+    shift every acceptance interval, so profiles apply only when the
+    store has no samples for the node (reload-on-boot).
+    """
     with open(path, encoding="utf-8") as handle:
         table = json.load(handle)
     for addr_text, entry in table.items():
@@ -62,13 +86,19 @@ def _provision(server: NetworkServer, path: str) -> int:
         )
         server.register_device(dev_addr, keys)
         profile = entry.get("fb_profile")
-        if profile:
+        if profile and server.detector.database.sample_count(f"{dev_addr:08x}") == 0:
             server.bootstrap_fb_profile(dev_addr, [float(v) for v in profile])
     return len(table)
 
 
 async def _serve(args: argparse.Namespace) -> None:
-    server = NetworkServer()
+    store = open_store(args.store)
+    server = NetworkServer(detector=ReplayDetector(database=store))
+    stats = store_stats(store)
+    print(
+        f"fb store: {args.store} ({stats['backend']}, "
+        f"{stats['node_count']} nodes reloaded)"
+    )
     if args.devices:
         count = _provision(server, args.devices)
         print(f"provisioned {count} devices from {args.devices}")

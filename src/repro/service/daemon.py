@@ -37,12 +37,14 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, DecodeError
 from repro.lorawan.downlink import build_downlink
 from repro.server.forwarding import GatewayForward
 from repro.server.network_server import NetworkServer, ServerStatus
+from repro.server.store import store_batch, store_stats
 from repro.service.config import ServiceConfig
 from repro.service.metrics import MetricsRegistry
 from repro.service.rest import ControlPlane
@@ -236,6 +238,22 @@ class NetworkServerDaemon:
         self._m_subscribers = m.gauge(
             "repro_service_alert_subscribers", "Currently connected /alerts subscribers."
         )
+        self._m_store_nodes = m.gauge(
+            "repro_service_store_nodes",
+            "Devices with recorded FB history in the detector's store.",
+        )
+        self._m_store_hit_rate = m.gauge(
+            "repro_service_store_cache_hit_rate",
+            "LRU hot-cache hit rate of the FB store (1 when uncached).",
+        )
+        self._m_store_flush = m.gauge(
+            "repro_service_store_flush_seconds",
+            "Commit (flush) latency of the last store-wrapped batch.",
+        )
+        self._m_store_batches = m.counter(
+            "repro_service_store_batches_total",
+            "Dedup-window transactions committed to the FB store.",
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -271,9 +289,19 @@ class NetworkServerDaemon:
         await self._control.start()
         self._worker_task = loop.create_task(self._worker())
         self._started_s = time.monotonic()
+        # A durable store reloads its nodes before any batch flows;
+        # publish them immediately so a freshly booted daemon's gauges
+        # reflect the reloaded state, not zero.
+        self._update_store_metrics()
 
     async def stop(self) -> None:
-        """Flush pending work and tear the endpoints down."""
+        """Flush pending work, sync the FB store, and tear endpoints down.
+
+        A durable store gets a final ``flush()`` (e.g. a WAL checkpoint)
+        so the on-disk file is complete at shutdown; the store stays
+        open -- whoever built it owns closing it -- and a restarted
+        daemon pointed at the same store resumes verdict-bit-identically.
+        """
         if self._worker_task is not None:
             self._queue.put_nowait(("stop", None))
             await self._worker_task
@@ -284,6 +312,9 @@ class NetworkServerDaemon:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        flush = getattr(self.server.detector.database, "flush", None)
+        if callable(flush):
+            flush()
 
     async def drain(self, timeout_s: float = 30.0) -> None:
         """Wait until every queued forward has been resolved to a verdict."""
@@ -387,11 +418,25 @@ class NetworkServerDaemon:
                 return
 
     def _flush(self) -> None:
-        """Resolve the pending batch through the wrapped server."""
+        """Resolve the pending batch through the wrapped server.
+
+        The resolution runs inside one FB-store transaction
+        (:func:`repro.server.store.store_batch`), so a durable store
+        commits the whole dedup window's verdicts atomically -- a crash
+        between windows never leaves a half-written history -- and the
+        commit latency lands on ``/metrics``.
+        """
         batch, self._pending = self._pending, []
         self._pending_since = None
         if batch:
-            verdicts = self.server.process_step(batch)
+            store = self.server.detector.database
+            with ExitStack() as stack:
+                stack.enter_context(store_batch(store))
+                verdicts = self.server.process_step(batch)
+                commit_start = time.perf_counter()
+            self._m_store_flush.set(time.perf_counter() - commit_start)
+            self._m_store_batches.inc()
+            self._update_store_metrics()
             self._m_batches.inc()
             for verdict in verdicts:
                 self._m_verdicts.inc(labels={"status": verdict.status.value})
@@ -407,6 +452,13 @@ class NetworkServerDaemon:
         self._m_depth.set(self._queued_forwards)
         if self._queued_forwards == 0:
             self._idle.set()
+
+    def _update_store_metrics(self) -> None:
+        """Refresh the FB-store gauges from a live store snapshot."""
+        stats = store_stats(self.server.detector.database)
+        self._m_store_nodes.set(stats["node_count"])
+        cache = stats.get("cache")
+        self._m_store_hit_rate.set(1.0 if cache is None else cache["hit_rate"])
 
     def _publish_alert(self, verdict) -> None:
         alert = verdict.as_dict()
@@ -454,7 +506,7 @@ class NetworkServerDaemon:
     # -- control-plane queries ------------------------------------------------------
 
     def health(self) -> dict:
-        """The ``/healthz`` body: liveness plus ingest/session summary."""
+        """The ``/healthz`` body: liveness plus ingest/session/store summary."""
         return {
             "status": "ok",
             "uptime_s": self.uptime_s,
@@ -462,6 +514,7 @@ class NetworkServerDaemon:
             "uplinks_total": int(self._m_uplinks.total()),
             "verdicts_total": len(self.server.verdicts),
             "gateways": [s.as_dict() for s in self.sessions.values()],
+            "store": store_stats(self.server.detector.database),
         }
 
 

@@ -107,11 +107,20 @@ class LoadPlan:
         return sum(len(batch) for batch in self.batches)
 
     def provision(self, server: NetworkServer) -> None:
-        """Give a fresh server the same devices and FB profiles."""
+        """Give a fresh server the same devices and FB profiles.
+
+        Profiles bootstrap only nodes whose store has no samples yet:
+        when the server sits on a persistent FB store that survived a
+        restart, the history already contains these estimates (plus
+        everything learned since) and recording them again would shift
+        the acceptance intervals.
+        """
         for dev_addr, keys in self.registrations:
             server.register_device(dev_addr, keys)
+        database = server.detector.database
         for dev_addr, estimates in self.profiles:
-            server.bootstrap_fb_profile(dev_addr, list(estimates))
+            if database.sample_count(f"{dev_addr:08x}") == 0:
+                server.bootstrap_fb_profile(dev_addr, list(estimates))
 
 
 def new_server(adr=None) -> NetworkServer:

@@ -306,3 +306,93 @@ class TestProvisioningCli:
         state = server.device_state(0x26000042)
         assert state is not None
         assert state["fb_profile"]["sample_count"] == 3
+
+
+class TestPersistentStore:
+    def test_daemon_restart_resumes_bit_identically(self, plan, tmp_path):
+        """Kill the daemon mid-scenario; a sqlite store resumes exactly.
+
+        The first daemon replays half the plan's batches into a durable
+        store and stops gracefully; a *fresh* daemon (new server, new
+        MAC state, new dedup) reopens the same store file, provisioning
+        skips the FB bootstraps because the histories are on disk, and
+        the remaining batches produce the oracle's verdicts bit for bit.
+        """
+        import dataclasses
+
+        from repro.core.detector import ReplayDetector
+        from repro.server.store import SqliteFbStore
+
+        path = tmp_path / "fb.sqlite"
+        half = len(plan.batches) // 2
+        first_half = dataclasses.replace(plan, batches=plan.batches[:half])
+        second_half = dataclasses.replace(plan, batches=plan.batches[half:])
+
+        async def run_half(sub_plan):
+            store = SqliteFbStore(path)
+            server = NetworkServer(detector=ReplayDetector(database=store))
+            daemon = await make_daemon(sub_plan, server=server)
+            await replay(sub_plan, "127.0.0.1", daemon.udp_port)
+            await daemon.drain()
+            _, metrics = await http_get(daemon.http_port, "/metrics")
+            _, health = await http_get(daemon.http_port, "/healthz")
+            await daemon.stop()
+            store.close()
+            return [v.as_dict() for v in daemon.server.verdicts], metrics, health
+
+        before, _, _ = asyncio.run(run_half(first_half))
+        after, metrics, health = asyncio.run(run_half(second_half))
+        assert before + after == list(plan.oracle_verdicts)
+
+        text = metrics.decode()
+        assert "# TYPE repro_service_store_nodes gauge" in text
+        assert "repro_service_store_batches_total" in text
+        assert "repro_service_store_flush_seconds" in text
+        assert "repro_service_store_cache_hit_rate" in text
+        store_health = json.loads(health)["store"]
+        assert store_health["backend"] == "SqliteFbStore"
+        assert store_health["node_count"] == len(plan.registrations)
+
+    def test_memory_store_reports_unit_hit_rate(self, plan):
+        async def run():
+            daemon = await make_daemon(plan)
+            await replay(plan, "127.0.0.1", daemon.udp_port)
+            await daemon.drain()
+            rate = daemon.metrics.get("repro_service_store_cache_hit_rate").get()
+            nodes = daemon.metrics.get("repro_service_store_nodes").get()
+            await daemon.stop()
+            return rate, nodes
+
+        rate, nodes = asyncio.run(run())
+        assert rate == 1.0
+        assert nodes == len(plan.registrations)
+
+    def test_provision_cli_is_idempotent_over_a_persistent_store(self, tmp_path):
+        from repro.core.detector import ReplayDetector
+        from repro.server.store import SqliteFbStore
+        from repro.service.__main__ import _provision
+
+        keys = SessionKeys.derive_for_test(0x26000042)
+        table = {
+            "26000042": {
+                "nwk_skey": keys.nwk_skey.hex(),
+                "app_skey": keys.app_skey.hex(),
+                "fb_profile": [-20.0, 5.0, 30.0],
+            }
+        }
+        path = tmp_path / "devices.json"
+        path.write_text(json.dumps(table))
+        db_path = tmp_path / "fb.sqlite"
+
+        store = SqliteFbStore(db_path)
+        server = NetworkServer(detector=ReplayDetector(database=store))
+        _provision(server, str(path))
+        assert store.sample_count("26000042") == 3
+        store.close()
+
+        # Second boot on the same file: the profile must not re-record.
+        reopened = SqliteFbStore(db_path)
+        server = NetworkServer(detector=ReplayDetector(database=reopened))
+        _provision(server, str(path))
+        assert reopened.sample_count("26000042") == 3
+        reopened.close()

@@ -114,3 +114,77 @@ def test_service_smoke_end_to_end(plan):
         assert event["node_id"] == expected["node_id"]
         assert event["fcnt"] == expected["fcnt"]
         assert event["detection"] == expected["detection"]
+
+
+def test_service_smoke_store_restart(plan, tmp_path):
+    """CI service-smoke: restart the daemon mid-load on a durable store.
+
+    Half the plan flows into daemon one (``--store sqlite:`` semantics:
+    an LRU-cached :class:`SqliteFbStore`), the daemon stops, and a
+    brand-new daemon on the same file serves the rest.  From the
+    outside: ``/devices/{addr}`` still knows the device's FB profile
+    after the restart, ``/metrics`` still exports the store series, and
+    the concatenated verdict stream equals the oracle's, bit for bit.
+    """
+    import dataclasses
+
+    from repro.core.detector import ReplayDetector
+    from repro.server import NetworkServer
+    from repro.server.store import open_store
+
+    spec = f"sqlite:{tmp_path / 'fb.sqlite'}?cache=64"
+    half = len(plan.batches) // 2
+    halves = [
+        dataclasses.replace(plan, batches=plan.batches[:half]),
+        dataclasses.replace(plan, batches=plan.batches[half:]),
+    ]
+    dev_addr = plan.registrations[0][0]
+
+    async def run_half(sub_plan):
+        store = open_store(spec)
+        server = NetworkServer(detector=ReplayDetector(database=store))
+        sub_plan.provision(server)
+        daemon = NetworkServerDaemon(
+            server=server,
+            config=ServiceConfig(
+                udp_host="127.0.0.1", udp_port=0, http_host="127.0.0.1", http_port=0
+            ),
+        )
+        await daemon.start()
+        await replay(sub_plan, "127.0.0.1", daemon.udp_port)
+        await daemon.drain()
+
+        async def get(path):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.http_port)
+            writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            return int(head.split()[1]), body
+
+        device_status, device_body = await get(f"/devices/{dev_addr:08x}")
+        _, metrics_body = await get("/metrics")
+        await daemon.stop()
+        store.close()
+        return (
+            [v.as_dict() for v in daemon.server.verdicts],
+            device_status,
+            json.loads(device_body),
+            metrics_body.decode(),
+        )
+
+    before, _, device_before, _ = asyncio.run(run_half(halves[0]))
+    after, device_status, device_after, metrics = asyncio.run(run_half(halves[1]))
+
+    assert before + after == list(plan.oracle_verdicts)
+    assert device_status == 200
+    # The FB profile learned before the restart is still live after it.
+    assert device_after["fb_profile"]["sample_count"] >= device_before[
+        "fb_profile"
+    ]["sample_count"] > 0
+    assert "# TYPE repro_service_store_nodes gauge" in metrics
+    assert f"repro_service_store_nodes {len(plan.registrations)}" in metrics
+    assert "repro_service_store_cache_hit_rate" in metrics
+    assert "repro_service_store_batches_total" in metrics

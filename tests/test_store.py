@@ -1,0 +1,384 @@
+"""Durable FB stores: conformance, crash recovery, and verdict parity.
+
+The acceptance bar from the ISSUE: every persistent backend behind the
+:class:`~repro.core.detector.FbStore` protocol must be verdict-bitwise
+equal to the in-memory :class:`~repro.core.detector.FbDatabase` on
+golden scenarios -- including across a simulated crash and restart in
+the middle of a scenario.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.detector import FbDatabase, FbStore, ReplayDetector
+from repro.errors import ConfigurationError
+from repro.server import NetworkServer
+from repro.server.sharding import ShardedFbDatabase
+from repro.server.store import (
+    LMDB_AVAILABLE,
+    LmdbFbStore,
+    LruCachedStore,
+    PersistentShardedFbDatabase,
+    SqliteFbStore,
+    open_store,
+    store_batch,
+    store_stats,
+)
+from repro.server.store.sharded import META_FILE
+from repro.service import build_plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    """A small recorded fleet run with clean and attack phases."""
+    return build_plan(n_devices=6, n_gateways=2, clean_s=90.0, attack_s=90.0)
+
+
+def store_builders(tmp_path):
+    """Label -> zero-arg builder for every available backend."""
+    builders = {
+        "memory": lambda: FbDatabase(),
+        "sharded-memory": lambda: ShardedFbDatabase(n_shards=4),
+        "sqlite": lambda: SqliteFbStore(tmp_path / "fb.sqlite"),
+        "lru-sqlite": lambda: LruCachedStore(
+            SqliteFbStore(tmp_path / "fb-lru.sqlite"), max_nodes=64
+        ),
+        "sharded-sqlite": lambda: PersistentShardedFbDatabase(
+            tmp_path / "fb.d", n_shards=3
+        ),
+    }
+    if LMDB_AVAILABLE:
+        builders["lmdb"] = lambda: LmdbFbStore(tmp_path / "fb.lmdb")
+    return builders
+
+
+class TestProtocolConformance:
+    def test_every_backend_satisfies_fbstore(self, tmp_path):
+        for label, build in store_builders(tmp_path).items():
+            store = build()
+            assert isinstance(store, FbStore), label
+            close = getattr(store, "close", None)
+            if callable(close):
+                close()
+
+    def test_protocol_is_runtime_checkable_and_rejects_non_stores(self):
+        assert not isinstance(object(), FbStore)
+        assert not isinstance({"record": None}, FbStore)
+
+    def test_store_stats_shape(self, tmp_path):
+        store = SqliteFbStore(tmp_path / "s.sqlite")
+        store.record("node", 10.0, 1.0)
+        stats = store_stats(store)
+        assert stats == {"backend": "SqliteFbStore", "node_count": 1}
+        cached = LruCachedStore(store, max_nodes=4)
+        cached.interval("node", 5.0)
+        stats = store_stats(cached)
+        assert stats["backend"] == "LruCachedStore"
+        assert stats["cache"]["misses"] == 1
+        store.close()
+
+
+class TestSqliteStore:
+    def test_record_interval_and_pruning_match_reference(self, tmp_path):
+        ref = FbDatabase(history_len=3)
+        store = SqliteFbStore(tmp_path / "s.sqlite", history_len=3)
+        values = [(-20.0, 1.0), (5.5, 2.0), (30.25, 3.0), (-4.75, 4.0), (18.0, 5.0)]
+        for fb, t in values:
+            ref.record("n1", fb, t)
+            store.record("n1", fb, t)
+        assert store.estimates("n1") == ref.estimates("n1")
+        assert store.history("n1") == ref.history("n1")
+        assert store.sample_count("n1") == 3
+        got = store.interval("n1", guard_hz=7.0)
+        want = ref.interval("n1", guard_hz=7.0)
+        assert (got.low_hz, got.high_hz) == (want.low_hz, want.high_hz)
+        assert store.interval("missing", 7.0) is None
+        store.close()
+
+    def test_floats_round_trip_bitwise(self, tmp_path):
+        store = SqliteFbStore(tmp_path / "s.sqlite")
+        awkward = [0.1, -0.3, 1e-17, 123456.789012345, math.pi, -2.5e8]
+        for i, fb in enumerate(awkward):
+            store.record("n", fb, float(i) + 0.1)
+        got = store.estimates("n")
+        assert [v.hex() for v in got] == [v.hex() for v in awkward]
+        store.close()
+
+    def test_history_survives_close_and_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SqliteFbStore(path, history_len=4)
+        for fb in (1.0, 2.0, 3.0):
+            store.record("node", fb, fb)
+        store.flush()
+        store.close()
+        reopened = SqliteFbStore(path, history_len=4)
+        assert reopened.history("node") == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        reopened.record("node", 4.0, 4.0)
+        assert reopened.estimates("node") == [1.0, 2.0, 3.0, 4.0]
+        reopened.close()
+
+    def test_crash_reopen_without_close_sees_committed_rows(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        writer = SqliteFbStore(path)
+        with writer.batch():
+            writer.record("a", 1.0, 1.0)
+            writer.record("b", 2.0, 1.5)
+        # Simulated process kill: a second store opens the same file
+        # while the writer never ran flush()/close().
+        survivor = SqliteFbStore(path)
+        assert survivor.known_nodes() == ["a", "b"]
+        assert survivor.history("a") == [(1.0, 1.0)]
+        survivor.close()
+        writer.close()
+
+    def test_batch_rolls_back_wholesale_on_error(self, tmp_path):
+        store = SqliteFbStore(tmp_path / "s.sqlite")
+        store.record("keep", 5.0, 1.0)
+        with pytest.raises(RuntimeError):
+            with store.batch():
+                store.record("keep", 6.0, 2.0)
+                store.record("gone", 7.0, 2.0)
+                raise RuntimeError("window died")
+        assert store.estimates("keep") == [5.0]
+        assert store.known_nodes() == ["keep"]
+        store.close()
+
+    def test_batch_is_reentrant_and_blocks_flush(self, tmp_path):
+        store = SqliteFbStore(tmp_path / "s.sqlite")
+        with store.batch():
+            with store.batch():
+                store.record("n", 1.0, 1.0)
+            with pytest.raises(ConfigurationError):
+                store.flush()
+        assert store.estimates("n") == [1.0]
+        store.close()
+
+    def test_forget_and_validation(self, tmp_path):
+        store = SqliteFbStore(tmp_path / "s.sqlite")
+        store.record("n", 1.0, 1.0)
+        store.forget("n")
+        assert store.node_count() == 0
+        assert store.sample_count("n") == 0
+        store.close()
+        with pytest.raises(ConfigurationError):
+            SqliteFbStore(tmp_path / "bad.sqlite", history_len=0)
+
+
+@pytest.mark.skipif(not LMDB_AVAILABLE, reason="lmdb binding not installed")
+class TestLmdbStore:
+    def test_round_trip_and_reopen(self, tmp_path):
+        path = tmp_path / "fb.lmdb"
+        store = LmdbFbStore(path, history_len=3)
+        for fb in (1.0, 2.5, -3.0, 4.0):
+            store.record("n", fb, fb * 2.0)
+        assert store.estimates("n") == [2.5, -3.0, 4.0]
+        store.close()
+        reopened = LmdbFbStore(path, history_len=3)
+        assert reopened.history("n") == [(5.0, 2.5), (-6.0, -3.0), (8.0, 4.0)]
+        reopened.close()
+
+
+class TestLmdbGating:
+    def test_absent_binding_raises_configuration_error(self, tmp_path):
+        if LMDB_AVAILABLE:
+            pytest.skip("lmdb binding installed; gating path unreachable")
+        with pytest.raises(ConfigurationError, match="lmdb"):
+            LmdbFbStore(tmp_path / "fb.lmdb")
+
+
+class TestLruCachedStore:
+    def test_write_through_and_counters(self, tmp_path):
+        backing = SqliteFbStore(tmp_path / "s.sqlite")
+        cached = LruCachedStore(backing, max_nodes=2)
+        cached.record("a", 1.0, 1.0)
+        cached.record("a", 2.0, 2.0)
+        assert backing.estimates("a") == [1.0, 2.0]
+        assert cached.estimates("a") == [1.0, 2.0]
+        stats = cached.stats()
+        assert stats.misses == 1 and stats.hits >= 1
+        assert 0.0 < stats.hit_rate <= 1.0
+        backing.close()
+
+    def test_eviction_bounds_cached_nodes(self, tmp_path):
+        backing = SqliteFbStore(tmp_path / "s.sqlite")
+        cached = LruCachedStore(backing, max_nodes=2)
+        for node in ("a", "b", "c"):
+            cached.record(node, 1.0, 1.0)
+        stats = cached.stats()
+        assert stats.cached_nodes == 2
+        assert stats.evictions == 1
+        # Evicted node reloads from backing on next touch, not empty.
+        assert cached.estimates("a") == [1.0]
+        backing.close()
+
+    def test_cache_never_double_counts_fresh_writes(self, tmp_path):
+        backing = SqliteFbStore(tmp_path / "s.sqlite", history_len=4)
+        backing.record("n", 1.0, 1.0)
+        cached = LruCachedStore(backing, max_nodes=4)
+        cached.record("n", 2.0, 2.0)  # miss-load then append: no dupes
+        assert cached.estimates("n") == [1.0, 2.0]
+        assert backing.estimates("n") == [1.0, 2.0]
+        backing.close()
+
+    def test_forget_and_invalidate(self, tmp_path):
+        backing = SqliteFbStore(tmp_path / "s.sqlite")
+        cached = LruCachedStore(backing, max_nodes=4)
+        cached.record("n", 1.0, 1.0)
+        cached.forget("n")
+        assert cached.sample_count("n") == 0
+        cached.record("m", 2.0, 1.0)
+        cached.invalidate()
+        assert cached.stats().cached_nodes == 0
+        assert cached.estimates("m") == [2.0]
+        backing.close()
+
+    def test_wrapping_in_memory_store_composes(self):
+        cached = LruCachedStore(FbDatabase(), max_nodes=4)
+        with store_batch(cached):
+            cached.record("n", 1.0, 1.0)
+        assert cached.estimates("n") == [1.0]
+
+
+class TestPersistentSharded:
+    def test_routing_matches_in_memory_sharding(self, tmp_path):
+        memory = ShardedFbDatabase(n_shards=5)
+        durable = PersistentShardedFbDatabase(tmp_path / "fb.d", n_shards=5)
+        for i in range(40):
+            node = f"{i:08x}"
+            assert durable.shard_index(node) == memory.shard_index(node)
+        durable.close()
+
+    def test_meta_sidecar_reload_and_mismatch(self, tmp_path):
+        directory = tmp_path / "fb.d"
+        store = PersistentShardedFbDatabase(directory, n_shards=3, history_len=7)
+        store.record("node", 1.0, 1.0)
+        store.close()
+        assert (directory / META_FILE).exists()
+        reopened = PersistentShardedFbDatabase(directory)
+        assert reopened.n_shards == 3
+        assert reopened.history_len == 7
+        assert reopened.estimates("node") == [1.0]
+        reopened.close()
+        with pytest.raises(ConfigurationError, match="rebalance"):
+            PersistentShardedFbDatabase(directory, n_shards=8)
+
+    def test_rebalance_preserves_every_history(self, tmp_path):
+        store = PersistentShardedFbDatabase(tmp_path / "fb.d", n_shards=2)
+        histories = {}
+        for i in range(25):
+            node = f"{i:08x}"
+            for k in range(3):
+                store.record(node, float(i) + k * 0.25, float(k))
+            histories[node] = store.history(node)
+        for count in (7, 1, 4):
+            store.rebalance(count)
+            assert store.n_shards == count
+            assert store.known_nodes() == sorted(histories)
+            for node, history in histories.items():
+                assert store.history(node) == history
+        assert sum(store.shard_sizes()) == len(histories)
+        store.close()
+
+    def test_rebalance_is_deterministic(self, tmp_path):
+        def build(directory):
+            store = PersistentShardedFbDatabase(directory, n_shards=2)
+            for i in range(12):
+                store.record(f"{i:08x}", float(i), float(i))
+            store.rebalance(5)
+            store.flush()
+            store.close()
+
+        build(tmp_path / "a")
+        build(tmp_path / "b")
+        for index in range(5):
+            name = f"shard-{index:04d}.sqlite"
+            a = (tmp_path / "a" / name).read_bytes()
+            b = (tmp_path / "b" / name).read_bytes()
+            assert a == b, f"shard file {name} diverged between identical runs"
+
+
+class TestOpenStore:
+    def test_specs_build_expected_backends(self, tmp_path):
+        assert isinstance(open_store("memory"), FbDatabase)
+        assert isinstance(open_store("sharded?shards=4"), ShardedFbDatabase)
+        sqlite_store = open_store(f"sqlite:{tmp_path / 'fb.sqlite'}")
+        assert isinstance(sqlite_store, SqliteFbStore)
+        sqlite_store.close()
+        cached = open_store(f"sqlite:{tmp_path / 'fb2.sqlite'}?cache=8&history=4")
+        assert isinstance(cached, LruCachedStore)
+        assert cached.backing.history_len == 4
+        cached.close()
+        sharded = open_store(f"sharded-sqlite:{tmp_path / 'fb.d'}?shards=2")
+        assert isinstance(sharded, PersistentShardedFbDatabase)
+        assert sharded.n_shards == 2
+        sharded.close()
+
+    def test_memory_spec_with_options_and_defaults(self):
+        store = open_store("memory?history=4")
+        assert isinstance(store, FbDatabase)
+        assert store.history_len == 4
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ConfigurationError, match="unknown store backend"):
+            open_store("redis:somewhere")
+        with pytest.raises(ConfigurationError, match="bad store option"):
+            open_store("memory?turbo=1")
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            open_store("memory?history=lots")
+
+
+def _drive(plan, store):
+    """Replay the plan's forwards through a server backed by ``store``."""
+    server = NetworkServer(detector=ReplayDetector(database=store))
+    plan.provision(server)
+    verdicts = []
+    for batch in plan.batches:
+        with store_batch(store):
+            verdicts.extend(v.as_dict() for v in server.process_step(batch))
+    return verdicts
+
+
+class TestGoldenVerdictParity:
+    def test_every_backend_is_verdict_bitwise_equal(self, plan, tmp_path):
+        oracle = list(plan.oracle_verdicts)
+        for label, build in store_builders(tmp_path).items():
+            store = build()
+            assert _drive(plan, store) == oracle, f"backend {label} diverged"
+            close = getattr(store, "close", None)
+            if callable(close):
+                close()
+
+    def test_crash_and_restart_mid_scenario_is_bit_identical(self, plan, tmp_path):
+        oracle = list(plan.oracle_verdicts)
+        half = len(plan.batches) // 2
+        path = tmp_path / "crash.sqlite"
+
+        first = SqliteFbStore(path)
+        before = _drive(dataclasses.replace(plan, batches=plan.batches[:half]), first)
+        # Crash: the first process never flushes or closes; a new store
+        # opens the same file, and provisioning skips the FB bootstraps
+        # because the histories are already on disk.
+        survivor = SqliteFbStore(path)
+        after = _drive(
+            dataclasses.replace(plan, batches=plan.batches[half:]), survivor
+        )
+        assert before + after == oracle
+        survivor.close()
+        first.close()
+
+    def test_restart_with_sharded_store_directory(self, plan, tmp_path):
+        oracle = list(plan.oracle_verdicts)
+        half = len(plan.batches) // 2
+        directory = tmp_path / "crash.d"
+
+        first = PersistentShardedFbDatabase(directory, n_shards=3)
+        before = _drive(dataclasses.replace(plan, batches=plan.batches[:half]), first)
+        first.close()
+        survivor = PersistentShardedFbDatabase(directory)
+        after = _drive(
+            dataclasses.replace(plan, batches=plan.batches[half:]), survivor
+        )
+        assert before + after == oracle
+        survivor.close()
